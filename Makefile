@@ -1,0 +1,33 @@
+# SC-GNN reproduction — common targets.
+
+GO ?= go
+
+.PHONY: all build vet test race bench experiments quick-experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/worker/ ./internal/dist/
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every paper table/figure plus the ablations (minutes).
+experiments:
+	$(GO) run ./cmd/scgnn-bench -exp all -csv results/csv | tee results/full_results.txt
+
+# Fast smoke of the full experiment matrix (seconds).
+quick-experiments:
+	$(GO) run ./cmd/scgnn-bench -exp all -quick
+
+clean:
+	rm -rf results/csv

@@ -1,0 +1,57 @@
+// Models: train the three GNN architectures of the stack — GCN, GraphSAGE,
+// and GAT — on the same dataset, single-machine, and then re-run GCN and
+// SAGE on the goroutine-based distributed runtime with SC-GNN compression,
+// reporting the *real* wire bytes exchanged between workers.
+//
+//	go run ./examples/models
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"scgnn"
+	"scgnn/internal/gnn"
+)
+
+func main() {
+	ds, err := scgnn.LoadDataset("pubmed-sim", 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%s: %d nodes, %d classes\n\n", ds.Name, ds.NumNodes(), ds.NumClasses)
+
+	// Single-machine: exact aggregation, three architectures.
+	agg := gnn.NewLocalAggregator(ds.Graph)
+	dims := []int{ds.FeatureDim(), 32, ds.NumClasses}
+	arch := []struct {
+		name  string
+		model gnn.Model
+	}{
+		{"GCN", gnn.NewGCN(agg, dims, rand.New(rand.NewSource(1)))},
+		{"GraphSAGE", gnn.NewSAGE(agg, dims, rand.New(rand.NewSource(2)))},
+		{"GAT", gnn.NewGAT(ds.Graph, []int{ds.FeatureDim(), 16, ds.NumClasses}, rand.New(rand.NewSource(3)))},
+	}
+	fmt.Println("single-machine (exact aggregate):")
+	for _, a := range arch {
+		res := gnn.Train(a.model, ds.Features, ds.Labels, ds.TrainMask, ds.ValMask, ds.TestMask,
+			gnn.TrainConfig{Epochs: 80, LR: 0.02})
+		fmt.Printf("  %-10s test acc %.4f (best val %.4f)\n", a.name, res.TestAcc, res.BestValAcc)
+	}
+
+	// Concurrent distributed runtime: goroutine workers, real wire bytes.
+	part := scgnn.PartitionGraph(ds, 4, scgnn.NodeCut, 1)
+	fmt.Println("\ngoroutine workers × 4, real message passing:")
+	for _, semantic := range []bool{false, true} {
+		name := "vanilla"
+		if semantic {
+			name = "semantic"
+		}
+		res := scgnn.TrainConcurrent(ds, part, 4, semantic,
+			scgnn.SemanticOptions{Seed: 1},
+			scgnn.TrainOptions{Epochs: 60, Seed: 1})
+		fmt.Printf("  %-10s test acc %.4f, %8.3f MB on the wire (%d messages)\n",
+			name, res.TestAcc, float64(res.Bytes)/1e6, res.Messages)
+	}
+}

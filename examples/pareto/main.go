@@ -1,0 +1,52 @@
+// Pareto: sweep each baseline's knob on a chosen dataset and print the
+// volume/accuracy frontier with the SC-GNN point — a configurable version
+// of the paper's Fig. 2(b).
+//
+//	go run ./examples/pareto                 # reddit-sim
+//	go run ./examples/pareto yelp-sim
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"scgnn"
+)
+
+func main() {
+	name := "reddit-sim"
+	if len(os.Args) > 1 {
+		name = os.Args[1]
+	}
+	ds, err := scgnn.LoadDataset(name, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	part := scgnn.PartitionGraph(ds, 4, scgnn.NodeCut, 1)
+	opt := scgnn.TrainOptions{Epochs: 40, Seed: 1}
+
+	fmt.Printf("%s × 4 partitions — volume/accuracy frontier\n\n", ds.Name)
+	fmt.Printf("%-22s %12s %10s\n", "point", "norm volume", "test acc")
+
+	van := scgnn.Train(ds, part, 4, scgnn.Vanilla(), opt)
+	show := func(label string, res *scgnn.Result) {
+		fmt.Printf("%-22s %12.5f %10.4f\n", label, res.BytesPerEpoch/van.BytesPerEpoch, res.TestAcc)
+	}
+	show("vanilla", van)
+	for _, rate := range []float64{0.1, 0.25, 0.5} {
+		show(fmt.Sprintf("sampling rate=%.2f", rate),
+			scgnn.Train(ds, part, 4, scgnn.Sampling(rate, 1), opt))
+	}
+	for _, bits := range []int{2, 4, 8} {
+		show(fmt.Sprintf("quant bits=%d", bits),
+			scgnn.Train(ds, part, 4, scgnn.Quant(bits), opt))
+	}
+	for _, period := range []int{2, 4, 8} {
+		show(fmt.Sprintf("delay period=%d", period),
+			scgnn.Train(ds, part, 4, scgnn.Delay(period), opt))
+	}
+	show("semantic (EEP)", scgnn.Train(ds, part, 4, scgnn.Semantic(1), opt))
+	show("semantic w/o O2O",
+		scgnn.Train(ds, part, 4, scgnn.SemanticWith(scgnn.SemanticOptions{DropO2O: true, Seed: 1}), opt))
+}

@@ -1,0 +1,3 @@
+module scgnn
+
+go 1.22

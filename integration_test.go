@@ -1,0 +1,93 @@
+package scgnn_test
+
+import (
+	"testing"
+
+	"scgnn"
+)
+
+// TestIntegrationMatrix sweeps the full pipeline — every benchmark dataset ×
+// every partitioner family × the main exchange methods — asserting on each
+// cell that (a) training converges well above the class-prior floor, (b)
+// compression never increases traffic, and (c) the accounting is internally
+// consistent. This is the closest thing to a release gate: any structural
+// regression anywhere in the stack trips it.
+func TestIntegrationMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration matrix skipped in -short mode")
+	}
+	for _, name := range scgnn.DatasetNames() {
+		ds, err := scgnn.LoadDataset(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Class-prior floor: the best constant predictor.
+		counts := make(map[int]int)
+		for _, l := range ds.Labels {
+			counts[l]++
+		}
+		maxCount := 0
+		for _, c := range counts {
+			if c > maxCount {
+				maxCount = c
+			}
+		}
+		floor := float64(maxCount) / float64(ds.NumNodes())
+
+		for _, pm := range []scgnn.PartitionMethod{scgnn.NodeCut, scgnn.Multilevel} {
+			part := scgnn.PartitionGraph(ds, 4, pm, 1)
+			stats := scgnn.EvaluatePartition(ds, part, 4)
+			if stats.Imbalance > 0.4 {
+				t.Fatalf("%s/%s: imbalance %v", name, pm, stats.Imbalance)
+			}
+
+			opt := scgnn.TrainOptions{Epochs: 25, Seed: 1}
+			van := scgnn.Train(ds, part, 4, scgnn.Vanilla(), opt)
+			sem := scgnn.Train(ds, part, 4, scgnn.Semantic(1), opt)
+
+			if van.TestAcc < floor+0.15 {
+				t.Fatalf("%s/%s: vanilla acc %v barely above floor %v", name, pm, van.TestAcc, floor)
+			}
+			if sem.TestAcc < floor+0.10 {
+				t.Fatalf("%s/%s: semantic acc %v barely above floor %v", name, pm, sem.TestAcc, floor)
+			}
+			if sem.BytesPerEpoch >= van.BytesPerEpoch {
+				t.Fatalf("%s/%s: semantic %v B not below vanilla %v B",
+					name, pm, sem.BytesPerEpoch, van.BytesPerEpoch)
+			}
+			if sem.EpochTimeModeled >= van.EpochTimeModeled {
+				t.Fatalf("%s/%s: semantic epoch time not below vanilla", name, pm)
+			}
+			// Accounting consistency: mean ≤ peak.
+			for _, r := range []*scgnn.Result{van, sem} {
+				if r.BytesPerEpoch > float64(r.PeakBytesPerEpoch)+1 {
+					t.Fatalf("%s/%s/%s: mean bytes %v above peak %d",
+						name, pm, r.Method, r.BytesPerEpoch, r.PeakBytesPerEpoch)
+				}
+			}
+		}
+	}
+}
+
+// TestIntegrationDifferentialNeverLoses: across all datasets, the
+// differential optimization (drop O2O) must never increase traffic and must
+// keep accuracy within a reasonable band of plain semantic compression.
+func TestIntegrationDifferentialNeverLoses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipped in -short mode")
+	}
+	for _, name := range scgnn.DatasetNames() {
+		ds, _ := scgnn.LoadDataset(name, 1)
+		part := scgnn.PartitionGraph(ds, 4, scgnn.NodeCut, 1)
+		opt := scgnn.TrainOptions{Epochs: 25, Seed: 1}
+		full := scgnn.Train(ds, part, 4, scgnn.Semantic(1), opt)
+		drop := scgnn.Train(ds, part, 4,
+			scgnn.SemanticWith(scgnn.SemanticOptions{DropO2O: true, Seed: 1}), opt)
+		if drop.BytesPerEpoch > full.BytesPerEpoch {
+			t.Fatalf("%s: drop-O2O increased traffic", name)
+		}
+		if drop.TestAcc < full.TestAcc-0.06 {
+			t.Fatalf("%s: drop-O2O accuracy %v vs full %v", name, drop.TestAcc, full.TestAcc)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+// Package cluster implements the classical clustering machinery SC-GNN's
+// cohesion-driven node grouping relies on (paper Sec. 3.2): k-means with
+// k-means++ seeding, the inertia statistic, elbow-equilibrium-point (EEP)
+// selection of the group count, and PCA for the 2-D grouping visualizations
+// of Fig. 6.
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scgnn/internal/tensor"
+)
+
+// KMeansResult holds the output of a k-means run.
+type KMeansResult struct {
+	K          int
+	Assign     []int          // Assign[i] = cluster of point i, in [0,K)
+	Centroids  *tensor.Matrix // K×D
+	Inertia    float64        // Σ_i ‖x_i − c_{Assign[i]}‖²
+	Iterations int
+}
+
+// KMeansConfig tunes the Lloyd iteration.
+type KMeansConfig struct {
+	MaxIter int     // default 100
+	Tol     float64 // relative inertia improvement to continue; default 1e-6
+}
+
+func (c KMeansConfig) withDefaults() KMeansConfig {
+	if c.MaxIter <= 0 {
+		c.MaxIter = 100
+	}
+	if c.Tol <= 0 {
+		c.Tol = 1e-6
+	}
+	return c
+}
+
+// KMeans clusters the rows of points into k clusters using k-means++ seeding
+// followed by Lloyd iterations. rng drives seeding; the iteration itself is
+// deterministic given the seeds. Panics if k < 1 or there are no points.
+func KMeans(points *tensor.Matrix, k int, rng *rand.Rand, cfg KMeansConfig) *KMeansResult {
+	n, d := points.Rows, points.Cols
+	if k < 1 {
+		panic(fmt.Sprintf("cluster: k = %d", k))
+	}
+	if n == 0 {
+		panic("cluster: no points")
+	}
+	if k > n {
+		k = n // every point its own cluster at most
+	}
+	cfg = cfg.withDefaults()
+
+	cents := seedPlusPlus(points, k, rng)
+	assign := make([]int, n)
+	counts := make([]int, k)
+	res := &KMeansResult{K: k, Assign: assign, Centroids: cents}
+
+	// assignStep reassigns every point to its nearest centroid and returns
+	// the resulting inertia. The loop always *ends* right after an
+	// assignment step, so res.Assign/res.Inertia are consistent with the
+	// returned centroids.
+	assignStep := func() float64 {
+		inertia := 0.0
+		for i := 0; i < n; i++ {
+			row := points.Row(i)
+			best, bi := math.Inf(1), 0
+			for c := 0; c < k; c++ {
+				if dist := tensor.SquaredDistance(row, cents.Row(c)); dist < best {
+					best, bi = dist, c
+				}
+			}
+			assign[i] = bi
+			inertia += best
+		}
+		return inertia
+	}
+
+	updateStep := func() {
+		cents.Zero()
+		for c := range counts {
+			counts[c] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			tensor.AXPY(1, points.Row(i), cents.Row(c))
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at the point farthest from its
+				// centroid to keep k populated clusters.
+				far, fi := -1.0, 0
+				for i := 0; i < n; i++ {
+					if dist := tensor.SquaredDistance(points.Row(i), cents.Row(assign[i])); dist > far {
+						far, fi = dist, i
+					}
+				}
+				copy(cents.Row(c), points.Row(fi))
+				continue
+			}
+			inv := 1.0 / float64(counts[c])
+			crow := cents.Row(c)
+			for j := 0; j < d; j++ {
+				crow[j] *= inv
+			}
+		}
+	}
+
+	prev := math.Inf(1)
+	for it := 0; it < cfg.MaxIter; it++ {
+		inertia := assignStep()
+		res.Inertia = inertia
+		res.Iterations = it + 1
+		if prev-inertia <= cfg.Tol*math.Max(1, prev) {
+			return res
+		}
+		prev = inertia
+		updateStep()
+	}
+	// MaxIter exhausted after an update: resync the assignment with the
+	// final centroids.
+	res.Inertia = assignStep()
+	return res
+}
+
+// seedPlusPlus picks k initial centroids with D² weighting (k-means++).
+func seedPlusPlus(points *tensor.Matrix, k int, rng *rand.Rand) *tensor.Matrix {
+	n := points.Rows
+	cents := tensor.New(k, points.Cols)
+	first := rng.Intn(n)
+	copy(cents.Row(0), points.Row(first))
+	d2 := make([]float64, n)
+	for i := 0; i < n; i++ {
+		d2[i] = tensor.SquaredDistance(points.Row(i), cents.Row(0))
+	}
+	for c := 1; c < k; c++ {
+		var total float64
+		for _, v := range d2 {
+			total += v
+		}
+		var pick int
+		if total <= 0 {
+			pick = rng.Intn(n) // all points coincide with a centroid
+		} else {
+			r := rng.Float64() * total
+			acc := 0.0
+			pick = n - 1
+			for i, v := range d2 {
+				acc += v
+				if acc >= r {
+					pick = i
+					break
+				}
+			}
+		}
+		copy(cents.Row(c), points.Row(pick))
+		for i := 0; i < n; i++ {
+			if nd := tensor.SquaredDistance(points.Row(i), cents.Row(c)); nd < d2[i] {
+				d2[i] = nd
+			}
+		}
+	}
+	return cents
+}
+
+// ClusterSizes returns the member count of each cluster.
+func (r *KMeansResult) ClusterSizes() []int {
+	sizes := make([]int, r.K)
+	for _, c := range r.Assign {
+		sizes[c]++
+	}
+	return sizes
+}
+
+// Members returns, per cluster, the indices of its member points.
+func (r *KMeansResult) Members() [][]int {
+	out := make([][]int, r.K)
+	for i, c := range r.Assign {
+		out[c] = append(out[c], i)
+	}
+	return out
+}
+
+// InertiaCurve runs k-means for every k in [kmin, kmax] and returns the
+// inertia per k — the raw material for the elbow plots of Fig. 4(b). The same
+// rng stream is used in sequence so the curve is deterministic for a seed.
+func InertiaCurve(points *tensor.Matrix, kmin, kmax int, rng *rand.Rand, cfg KMeansConfig) []float64 {
+	if kmin < 1 || kmax < kmin {
+		panic(fmt.Sprintf("cluster: bad k range [%d,%d]", kmin, kmax))
+	}
+	out := make([]float64, kmax-kmin+1)
+	for k := kmin; k <= kmax; k++ {
+		out[k-kmin] = KMeans(points, k, rng, cfg).Inertia
+	}
+	return out
+}
+
+// ElbowEEP returns the index (0-based, relative to the start of the curve) of
+// the elbow equilibrium point: the point of maximum discrete curvature of the
+// normalized inertia curve, as the paper adopts for picking group numbers
+// (Sec. 3.2, "the point with the greatest curvatures"). Ties break toward
+// smaller k. Curves shorter than 3 points return 0.
+func ElbowEEP(inertia []float64) int {
+	n := len(inertia)
+	if n < 3 {
+		return 0
+	}
+	// Normalize both axes to [0,1] so curvature is scale-free.
+	minI, maxI := inertia[0], inertia[0]
+	for _, v := range inertia {
+		minI = math.Min(minI, v)
+		maxI = math.Max(maxI, v)
+	}
+	span := maxI - minI
+	if span == 0 {
+		return 0
+	}
+	y := make([]float64, n)
+	for i, v := range inertia {
+		y[i] = (v - minI) / span
+	}
+	dx := 1.0 / float64(n-1)
+	best, bi := -1.0, 0
+	for i := 1; i < n-1; i++ {
+		d1 := (y[i+1] - y[i-1]) / (2 * dx)
+		d2 := (y[i+1] - 2*y[i] + y[i-1]) / (dx * dx)
+		kappa := math.Abs(d2) / math.Pow(1+d1*d1, 1.5)
+		if kappa > best {
+			best, bi = kappa, i
+		}
+	}
+	return bi
+}
+
+// Silhouette computes the mean silhouette coefficient of an assignment —
+// used to quantify Fig. 6's "explicit groups vs mixed clusters" comparison
+// numerically. Returns 0 when every point is alone or k < 2.
+func Silhouette(points *tensor.Matrix, assign []int, k int) float64 {
+	n := points.Rows
+	if k < 2 || n < 2 {
+		return 0
+	}
+	sizes := make([]int, k)
+	for _, c := range assign {
+		sizes[c]++
+	}
+	var total float64
+	var counted int
+	for i := 0; i < n; i++ {
+		ci := assign[i]
+		if sizes[ci] <= 1 {
+			continue // silhouette undefined for singleton clusters
+		}
+		// Mean distance to own cluster (a) and nearest other cluster (b).
+		sum := make([]float64, k)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			sum[assign[j]] += math.Sqrt(tensor.SquaredDistance(points.Row(i), points.Row(j)))
+		}
+		a := sum[ci] / float64(sizes[ci]-1)
+		b := math.Inf(1)
+		for c := 0; c < k; c++ {
+			if c == ci || sizes[c] == 0 {
+				continue
+			}
+			if v := sum[c] / float64(sizes[c]); v < b {
+				b = v
+			}
+		}
+		if math.IsInf(b, 1) {
+			continue
+		}
+		den := math.Max(a, b)
+		if den > 0 {
+			total += (b - a) / den
+			counted++
+		}
+	}
+	if counted == 0 {
+		return 0
+	}
+	return total / float64(counted)
+}

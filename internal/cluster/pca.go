@@ -1,0 +1,126 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+
+	"scgnn/internal/tensor"
+)
+
+// PCA projects the rows of points onto their top-ncomp principal components,
+// computed by power iteration with deflation on the covariance matrix. It is
+// used to regenerate the drop-dimensional grouping scatter plots of Fig. 6.
+//
+// Returns the n×ncomp coordinate matrix and the explained-variance of each
+// component (eigenvalues of the covariance matrix, descending).
+func PCA(points *tensor.Matrix, ncomp int, rng *rand.Rand) (*tensor.Matrix, []float64) {
+	n, d := points.Rows, points.Cols
+	if ncomp > d {
+		ncomp = d
+	}
+	if n == 0 || ncomp == 0 {
+		return tensor.New(n, ncomp), nil
+	}
+
+	// Center the data.
+	mean := make([]float64, d)
+	for i := 0; i < n; i++ {
+		row := points.Row(i)
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	centered := tensor.New(n, d)
+	for i := 0; i < n; i++ {
+		src, dst := points.Row(i), centered.Row(i)
+		for j, v := range src {
+			dst[j] = v - mean[j]
+		}
+	}
+
+	// Covariance C = Xᵀ X / (n-1).
+	cov := tensor.MatMulATB(centered, centered)
+	if n > 1 {
+		cov.Scale(1 / float64(n-1))
+	}
+
+	comps := tensor.New(ncomp, d)
+	eig := make([]float64, 0, ncomp)
+	for c := 0; c < ncomp; c++ {
+		v, lambda := powerIterate(cov, rng)
+		if lambda <= 1e-12 {
+			// Remaining variance is numerically zero; leave the rest of the
+			// components as zero vectors.
+			eig = append(eig, 0)
+			continue
+		}
+		copy(comps.Row(c), v)
+		eig = append(eig, lambda)
+		deflate(cov, v, lambda)
+	}
+
+	// Project: coords = centered × compsᵀ.
+	coords := tensor.MatMulABT(centered, comps)
+	return coords, eig
+}
+
+// powerIterate returns the dominant eigenvector/eigenvalue of symmetric m.
+func powerIterate(m *tensor.Matrix, rng *rand.Rand) ([]float64, float64) {
+	d := m.Rows
+	v := make([]float64, d)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	normalize(v)
+	next := make([]float64, d)
+	lambda := 0.0
+	for it := 0; it < 300; it++ {
+		matVec(m, v, next)
+		l := tensor.L2Norm(next)
+		if l == 0 {
+			return v, 0
+		}
+		for i := range next {
+			next[i] /= l
+		}
+		// Convergence on direction.
+		if math.Abs(math.Abs(tensor.Dot(v, next))-1) < 1e-12 && it > 2 {
+			copy(v, next)
+			lambda = l
+			break
+		}
+		copy(v, next)
+		lambda = l
+	}
+	return v, lambda
+}
+
+// deflate removes the component lambda·vvᵀ from symmetric m in place.
+func deflate(m *tensor.Matrix, v []float64, lambda float64) {
+	d := m.Rows
+	for i := 0; i < d; i++ {
+		row := m.Row(i)
+		for j := 0; j < d; j++ {
+			row[j] -= lambda * v[i] * v[j]
+		}
+	}
+}
+
+func matVec(m *tensor.Matrix, v, out []float64) {
+	for i := 0; i < m.Rows; i++ {
+		out[i] = tensor.Dot(m.Row(i), v)
+	}
+}
+
+func normalize(v []float64) {
+	l := tensor.L2Norm(v)
+	if l == 0 {
+		return
+	}
+	for i := range v {
+		v[i] /= l
+	}
+}

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scgnn/internal/tensor"
+)
+
+func TestPCARecoversDominantAxis(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Points stretched along (1,1,0)/√2 with tiny noise elsewhere.
+	n := 200
+	pts := tensor.New(n, 3)
+	for i := 0; i < n; i++ {
+		s := rng.NormFloat64() * 10
+		pts.Set(i, 0, s+0.01*rng.NormFloat64())
+		pts.Set(i, 1, s+0.01*rng.NormFloat64())
+		pts.Set(i, 2, 0.01*rng.NormFloat64())
+	}
+	coords, eig := PCA(pts, 2, rng)
+	if coords.Rows != n || coords.Cols != 2 {
+		t.Fatalf("coords %dx%d", coords.Rows, coords.Cols)
+	}
+	if len(eig) != 2 || eig[0] < 100 {
+		t.Fatalf("eigenvalues = %v, want dominant ≈ 200", eig)
+	}
+	if eig[1] > eig[0]*0.01 {
+		t.Fatalf("second eigenvalue %v should be tiny vs %v", eig[1], eig[0])
+	}
+	// First coordinate must correlate almost perfectly with the latent s,
+	// which is proportional to x0+x1.
+	var num, da, db float64
+	for i := 0; i < n; i++ {
+		a := coords.At(i, 0)
+		b := pts.At(i, 0) + pts.At(i, 1)
+		num += a * b
+		da += a * a
+		db += b * b
+	}
+	corr := math.Abs(num) / math.Sqrt(da*db)
+	if corr < 0.999 {
+		t.Fatalf("PC1 correlation with latent axis = %v", corr)
+	}
+}
+
+func TestPCAVarianceOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	pts := tensor.New(150, 5)
+	scales := []float64{9, 5, 2, 1, 0.3}
+	for i := 0; i < 150; i++ {
+		for j := 0; j < 5; j++ {
+			pts.Set(i, j, scales[j]*rng.NormFloat64())
+		}
+	}
+	_, eig := PCA(pts, 5, rng)
+	for i := 1; i < len(eig); i++ {
+		if eig[i] > eig[i-1]+1e-6 {
+			t.Fatalf("eigenvalues not descending: %v", eig)
+		}
+	}
+	// Leading eigenvalue should be close to 81 (variance of axis 0).
+	if eig[0] < 60 || eig[0] > 110 {
+		t.Fatalf("eig[0] = %v, want ≈81", eig[0])
+	}
+}
+
+func TestPCADegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// All points identical → zero variance everywhere.
+	pts := tensor.New(10, 3)
+	pts.Fill(4)
+	coords, eig := PCA(pts, 2, rng)
+	if coords.MaxAbs() > 1e-9 {
+		t.Fatalf("coords of constant data = %v", coords)
+	}
+	for _, e := range eig {
+		if e > 1e-9 {
+			t.Fatalf("nonzero eigenvalue %v for constant data", e)
+		}
+	}
+	// ncomp > dims must clamp.
+	c2, _ := PCA(tensor.New(4, 2), 5, rng)
+	if c2.Cols != 2 {
+		t.Fatalf("ncomp not clamped: %d", c2.Cols)
+	}
+	// Empty input.
+	c3, _ := PCA(tensor.New(0, 3), 2, rng)
+	if c3.Rows != 0 {
+		t.Fatal("empty input mishandled")
+	}
+}
+
+func TestPCAPreservesPairwiseStructure(t *testing.T) {
+	// For data that is exactly 2-D embedded in 5-D, the top-2 PCA projection
+	// must preserve pairwise distances exactly (up to rotation).
+	rng := rand.New(rand.NewSource(4))
+	n := 60
+	pts := tensor.New(n, 5)
+	basis := [][]float64{{1, 0, 1, 0, 0}, {0, 1, 0, 1, 0}}
+	lat := tensor.New(n, 2)
+	for i := 0; i < n; i++ {
+		a, b := rng.NormFloat64()*3, rng.NormFloat64()
+		lat.Set(i, 0, a)
+		lat.Set(i, 1, b)
+		for j := 0; j < 5; j++ {
+			pts.Set(i, j, a*basis[0][j]+b*basis[1][j])
+		}
+	}
+	coords, _ := PCA(pts, 2, rng)
+	for trial := 0; trial < 50; trial++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		dOrig := tensor.SquaredDistance(pts.Row(i), pts.Row(j))
+		dProj := tensor.SquaredDistance(coords.Row(i), coords.Row(j))
+		if math.Abs(dOrig-dProj) > 1e-6*(1+dOrig) {
+			t.Fatalf("distance (%d,%d): orig %v proj %v", i, j, dOrig, dProj)
+		}
+	}
+}

@@ -1,0 +1,148 @@
+package compress
+
+import (
+	"math"
+)
+
+// AdaptiveQuantizer implements the *adaptive* message quantization idea of
+// AdaQP (the paper's quantization baseline [15]): instead of one fixed bit
+// width, each message picks its width from the payload's dynamic range, so
+// smooth low-variance payloads ship at few bits while spiky payloads keep
+// more. The allocation rule keeps the expected quantization error below
+// ErrorBudget·std(payload):
+//
+//	bits = ceil(log2(range / (2·ErrorBudget·std)))   clamped to [MinBits, MaxBits]
+//
+// This is an extension beyond the fixed-width Quantizer used by the paper's
+// Table 1 protocol; the ablation harness compares both.
+type AdaptiveQuantizer struct {
+	MinBits, MaxBits int
+	// ErrorBudget is the tolerated error as a fraction of the payload's
+	// standard deviation (default 0.05).
+	ErrorBudget float64
+	// LastBits records the width chosen by the most recent Roundtrip.
+	LastBits int
+}
+
+// NewAdaptiveQuantizer validates the range and returns the quantizer.
+func NewAdaptiveQuantizer(minBits, maxBits int, errorBudget float64) *AdaptiveQuantizer {
+	if minBits < 1 || maxBits > 16 || minBits > maxBits {
+		panic("compress: adaptive bit range must satisfy 1 ≤ min ≤ max ≤ 16")
+	}
+	if errorBudget <= 0 {
+		errorBudget = 0.05
+	}
+	return &AdaptiveQuantizer{MinBits: minBits, MaxBits: maxBits, ErrorBudget: errorBudget}
+}
+
+// Roundtrip quantizes v in place at an adaptively chosen bit width and
+// returns the wire size (payload bits + 8 bytes scale/zero + 1 byte width).
+func (q *AdaptiveQuantizer) Roundtrip(v []float64) int {
+	if len(v) == 0 {
+		q.LastBits = q.MinBits
+		return 9
+	}
+	lo, hi, std := rangeAndStd(v)
+	bits := q.MinBits
+	if std > 0 && hi > lo {
+		need := math.Log2((hi - lo) / (2 * q.ErrorBudget * std))
+		bits = int(math.Ceil(need))
+		if bits < q.MinBits {
+			bits = q.MinBits
+		}
+		if bits > q.MaxBits {
+			bits = q.MaxBits
+		}
+	}
+	q.LastBits = bits
+	if hi > lo {
+		levels := float64(int(1)<<uint(bits)) - 1
+		scale := (hi - lo) / levels
+		for i, x := range v {
+			qv := math.Round((x - lo) / scale)
+			v[i] = lo + qv*scale
+		}
+	}
+	return (len(v)*bits+7)/8 + 9
+}
+
+func rangeAndStd(v []float64) (lo, hi, std float64) {
+	lo, hi = v[0], v[0]
+	var sum float64
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+		sum += x
+	}
+	mean := sum / float64(len(v))
+	var ss float64
+	for _, x := range v {
+		d := x - mean
+		ss += d * d
+	}
+	std = math.Sqrt(ss / float64(len(v)))
+	return lo, hi, std
+}
+
+// NodeSampler implements BNS-GCN-style *boundary node* sampling: the
+// decision to transmit is made once per boundary node per round, not per
+// edge, so all of a kept node's cross edges ride one coin flip. Kept nodes
+// rescale by 1/rate to keep the aggregate unbiased.
+//
+// Compared to the per-edge Sampler, node sampling concentrates variance on
+// "the lucky few" high-degree boundary nodes — the behaviour the paper
+// blames for sampling's poor compatibility with quantization (Sec. 2.1).
+type NodeSampler struct {
+	Rate float64
+	rng  *randSource
+	// decisions memoizes the per-(round, node) coin within one round.
+	round     int
+	decisions map[int32]bool
+}
+
+// randSource is a minimal deterministic PRNG (xorshift64*) so NodeSampler
+// stays allocation-light inside the aggregate hot loop.
+type randSource struct{ state uint64 }
+
+func newRandSource(seed int64) *randSource {
+	s := uint64(seed)*2685821657736338717 + 1442695040888963407
+	return &randSource{state: s}
+}
+
+func (r *randSource) float64() float64 {
+	r.state ^= r.state >> 12
+	r.state ^= r.state << 25
+	r.state ^= r.state >> 27
+	return float64(r.state*2685821657736338717>>11) / float64(1<<53)
+}
+
+// NewNodeSampler validates the rate and returns a sampler.
+func NewNodeSampler(rate float64, seed int64) *NodeSampler {
+	if rate <= 0 || rate > 1 {
+		panic("compress: node sample rate out of (0,1]")
+	}
+	return &NodeSampler{Rate: rate, rng: newRandSource(seed), decisions: make(map[int32]bool)}
+}
+
+// StartRound clears the per-round memo; call once per aggregate round.
+func (s *NodeSampler) StartRound() {
+	s.round++
+	s.decisions = make(map[int32]bool, len(s.decisions))
+}
+
+// Keep reports whether boundary node u transmits this round. All queries
+// for the same node within a round agree.
+func (s *NodeSampler) Keep(u int32) bool {
+	if s.Rate >= 1 {
+		return true
+	}
+	if d, ok := s.decisions[u]; ok {
+		return d
+	}
+	d := s.rng.float64() < s.Rate
+	s.decisions[u] = d
+	return d
+}
+
+// Scale is the unbiasing rescale factor for kept nodes.
+func (s *NodeSampler) Scale() float64 { return 1 / s.Rate }

@@ -1,0 +1,143 @@
+// Package compress implements the three SOTA traffic-reduction baselines the
+// paper compares SC-GNN against (Sec. 2.1, Fig. 1(a)):
+//
+//   - quantization (AdaQP-style): per-message affine b-bit quantization of
+//     the payload vector, trading bit-width for traffic;
+//   - sampling (BNS-GCN-style): Bernoulli edge sampling at a configured
+//     rate, with 1/rate rescaling to keep the aggregate unbiased;
+//   - delayed transmission (Dorylus-style): stale remote contributions are
+//     cached and reused for period−1 epochs out of every period.
+//
+// Each baseline exposes both the value transformation (so accuracy effects
+// are real, not modeled) and its wire cost (so volume accounting is exact).
+package compress
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scgnn/internal/tensor"
+)
+
+// Quantizer performs affine fixed-point quantization of float64 vectors.
+type Quantizer struct {
+	Bits int // 1..16 supported; payloads are fp32-equivalent at 32
+}
+
+// NewQuantizer validates the bit-width and returns a quantizer.
+func NewQuantizer(bits int) *Quantizer {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("compress: unsupported bit width %d (want 1..16)", bits))
+	}
+	return &Quantizer{Bits: bits}
+}
+
+// Roundtrip quantizes v to Bits and dequantizes back in place, returning the
+// wire size in bytes: ceil(len·Bits/8) payload + 8 bytes for the fp32 scale
+// and zero-point pair. This mirrors torch.quantize_per_tensor: values are
+// mapped to the integer grid [0, 2^Bits−1] spanning [min, max].
+func (q *Quantizer) Roundtrip(v []float64) int {
+	if len(v) == 0 {
+		return 8
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	levels := float64(int(1)<<uint(q.Bits)) - 1
+	if hi > lo {
+		scale := (hi - lo) / levels
+		for i, x := range v {
+			qv := math.Round((x - lo) / scale)
+			v[i] = lo + qv*scale
+		}
+	}
+	return q.PayloadBytes(len(v))
+}
+
+// PayloadBytes returns the wire size of an n-value quantized payload.
+func (q *Quantizer) PayloadBytes(n int) int {
+	return (n*q.Bits+7)/8 + 8
+}
+
+// MaxError returns the worst-case absolute round-trip error for values
+// spanning [lo, hi]: half a quantization step.
+func (q *Quantizer) MaxError(lo, hi float64) float64 {
+	levels := float64(int(1)<<uint(q.Bits)) - 1
+	return (hi - lo) / levels / 2
+}
+
+// Sampler decides, per transfer unit and per round, whether the unit is
+// transmitted, and rescales kept units to keep the aggregate unbiased in
+// expectation.
+type Sampler struct {
+	Rate float64 // keep probability in (0, 1]
+	rng  *rand.Rand
+}
+
+// NewSampler validates the rate and returns a sampler.
+func NewSampler(rate float64, seed int64) *Sampler {
+	if rate <= 0 || rate > 1 {
+		panic(fmt.Sprintf("compress: sample rate %v out of (0,1]", rate))
+	}
+	return &Sampler{Rate: rate, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Keep reports whether the next unit is transmitted.
+func (s *Sampler) Keep() bool {
+	if s.Rate >= 1 {
+		return true
+	}
+	return s.rng.Float64() < s.Rate
+}
+
+// Scale is the rescale factor applied to kept units (1/rate).
+func (s *Sampler) Scale() float64 { return 1 / s.Rate }
+
+// DelayCache stores the remote-contribution matrix of each aggregate round
+// so stale values can be replayed on non-transmitting epochs. Keys are the
+// round index within an epoch (layer × direction), which is stable across
+// epochs in full-batch training.
+type DelayCache struct {
+	Period int // transmit on epochs where epoch % Period == 0
+	slots  map[int]*tensor.Matrix
+	// Touched counts values read or written since the last ResetCounters —
+	// the memory-wall traffic the cost model charges.
+	Touched int64
+}
+
+// NewDelayCache validates the period and returns a cache.
+func NewDelayCache(period int) *DelayCache {
+	if period < 1 {
+		panic(fmt.Sprintf("compress: delay period %d < 1", period))
+	}
+	return &DelayCache{Period: period, slots: make(map[int]*tensor.Matrix)}
+}
+
+// ShouldTransmit reports whether the given epoch transmits fresh values.
+// Epoch 0 always transmits (there is nothing to replay yet).
+func (d *DelayCache) ShouldTransmit(epoch int) bool {
+	return d.Period <= 1 || epoch%d.Period == 0
+}
+
+// Store saves a fresh remote-contribution matrix for a round slot.
+func (d *DelayCache) Store(round int, m *tensor.Matrix) {
+	d.slots[round] = m.Clone()
+	d.Touched += int64(len(m.Data))
+}
+
+// Load returns the stale matrix for a round slot, or nil when the slot has
+// never been filled (callers must then transmit fresh values).
+func (d *DelayCache) Load(round int) *tensor.Matrix {
+	m, ok := d.slots[round]
+	if !ok {
+		return nil
+	}
+	d.Touched += int64(len(m.Data))
+	return m
+}
+
+// ResetCounters zeroes the touched-value counter (per epoch).
+func (d *DelayCache) ResetCounters() { d.Touched = 0 }

@@ -1,0 +1,188 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scgnn/internal/tensor"
+)
+
+func TestQuantizerRoundtripError(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, bits := range []int{2, 4, 8, 16} {
+		q := NewQuantizer(bits)
+		v := make([]float64, 256)
+		orig := make([]float64, 256)
+		for i := range v {
+			v[i] = rng.NormFloat64() * 3
+			orig[i] = v[i]
+		}
+		lo, hi := v[0], v[0]
+		for _, x := range v {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		q.Roundtrip(v)
+		bound := q.MaxError(lo, hi) * (1 + 1e-9)
+		for i := range v {
+			if math.Abs(v[i]-orig[i]) > bound {
+				t.Fatalf("bits=%d: error %v exceeds bound %v", bits, math.Abs(v[i]-orig[i]), bound)
+			}
+		}
+	}
+}
+
+func TestQuantizerPayloadBytes(t *testing.T) {
+	if got := NewQuantizer(8).PayloadBytes(32); got != 40 { // 32 + 8 meta
+		t.Fatalf("8-bit payload = %d", got)
+	}
+	if got := NewQuantizer(4).PayloadBytes(32); got != 24 { // 16 + 8
+		t.Fatalf("4-bit payload = %d", got)
+	}
+	if got := NewQuantizer(1).PayloadBytes(9); got != 10 { // ceil(9/8)=2 + 8
+		t.Fatalf("1-bit payload = %d", got)
+	}
+}
+
+func TestQuantizerConstantVector(t *testing.T) {
+	q := NewQuantizer(4)
+	v := []float64{7, 7, 7}
+	q.Roundtrip(v)
+	for _, x := range v {
+		if x != 7 {
+			t.Fatalf("constant vector changed: %v", v)
+		}
+	}
+	if got := q.Roundtrip(nil); got != 8 {
+		t.Fatalf("empty payload = %d", got)
+	}
+}
+
+func TestQuantizerInvalidBits(t *testing.T) {
+	for _, bits := range []int{0, 17, -1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bits=%d did not panic", bits)
+				}
+			}()
+			NewQuantizer(bits)
+		}()
+	}
+}
+
+// Property: higher bit-width never increases round-trip error on the same
+// vector, and always preserves min/max endpoints exactly.
+func TestQuantizerMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(64)
+		base := make([]float64, n)
+		for i := range base {
+			base[i] = rng.NormFloat64()
+		}
+		var prevErr float64 = math.Inf(1)
+		for _, bits := range []int{2, 4, 8, 12} {
+			v := append([]float64(nil), base...)
+			NewQuantizer(bits).Roundtrip(v)
+			var maxErr float64
+			for i := range v {
+				maxErr = math.Max(maxErr, math.Abs(v[i]-base[i]))
+			}
+			if maxErr > prevErr*(1+1e-9) {
+				return false
+			}
+			prevErr = maxErr
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSamplerRateAndScale(t *testing.T) {
+	s := NewSampler(0.3, 1)
+	kept := 0
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		if s.Keep() {
+			kept++
+		}
+	}
+	frac := float64(kept) / trials
+	if math.Abs(frac-0.3) > 0.02 {
+		t.Fatalf("keep fraction = %v, want ≈0.3", frac)
+	}
+	if math.Abs(s.Scale()-1/0.3) > 1e-12 {
+		t.Fatalf("Scale = %v", s.Scale())
+	}
+	full := NewSampler(1, 1)
+	for i := 0; i < 100; i++ {
+		if !full.Keep() {
+			t.Fatal("rate 1 must always keep")
+		}
+	}
+}
+
+func TestSamplerInvalidRate(t *testing.T) {
+	for _, r := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("rate=%v did not panic", r)
+				}
+			}()
+			NewSampler(r, 1)
+		}()
+	}
+}
+
+func TestDelayCache(t *testing.T) {
+	d := NewDelayCache(3)
+	// Transmit epochs: 0, 3, 6, ...
+	for _, c := range []struct {
+		epoch int
+		want  bool
+	}{{0, true}, {1, false}, {2, false}, {3, true}, {4, false}} {
+		if got := d.ShouldTransmit(c.epoch); got != c.want {
+			t.Fatalf("ShouldTransmit(%d) = %v", c.epoch, got)
+		}
+	}
+	if d.Load(0) != nil {
+		t.Fatal("empty cache returned a matrix")
+	}
+	m := tensor.FromRows([][]float64{{1, 2}})
+	d.Store(0, m)
+	m.Set(0, 0, 99) // cache must have copied
+	got := d.Load(0)
+	if got == nil || got.At(0, 0) != 1 {
+		t.Fatalf("Load = %v", got)
+	}
+	// Touched: Store(2 values) + Load(2 values); the earlier nil Load adds 0.
+	if d.Touched != 4 {
+		t.Fatalf("Touched = %d, want 4", d.Touched)
+	}
+	d.ResetCounters()
+	if d.Touched != 0 {
+		t.Fatal("ResetCounters failed")
+	}
+}
+
+func TestDelayCachePeriodOne(t *testing.T) {
+	d := NewDelayCache(1)
+	for e := 0; e < 5; e++ {
+		if !d.ShouldTransmit(e) {
+			t.Fatal("period 1 must always transmit")
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("period 0 should panic")
+			}
+		}()
+		NewDelayCache(0)
+	}()
+}

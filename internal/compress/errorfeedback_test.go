@@ -1,0 +1,88 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestErrorFeedbackRoundTrip(t *testing.T) {
+	ef := NewErrorFeedback()
+	payload := []float64{1.0, 2.0}
+	// First round: no residual yet.
+	ef.PreCompress(7, payload)
+	if payload[0] != 1 || payload[1] != 2 {
+		t.Fatal("fresh unit should be untouched")
+	}
+	// Pretend compression sent [0.8, 2.1]: residual becomes [0.2, -0.1].
+	ef.PostCompress(7, []float64{1, 2}, []float64{0.8, 2.1})
+	if ef.Units() != 1 {
+		t.Fatalf("Units = %d", ef.Units())
+	}
+	// Second round: the residual is folded in.
+	payload2 := []float64{1.0, 2.0}
+	ef.PreCompress(7, payload2)
+	if diff := payload2[0] - 1.2; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("residual not applied: %v", payload2)
+	}
+	if ef.Corrected != 2 {
+		t.Fatalf("Corrected = %d", ef.Corrected)
+	}
+	// Distinct keys are independent.
+	other := []float64{5, 5}
+	ef.PreCompress(8, other)
+	if other[0] != 5 {
+		t.Fatal("unrelated key affected")
+	}
+}
+
+func TestErrorFeedbackLengthChangesPanic(t *testing.T) {
+	ef := NewErrorFeedback()
+	ef.PostCompress(1, []float64{1, 2}, []float64{1, 2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length change")
+		}
+	}()
+	ef.PreCompress(1, []float64{1})
+}
+
+func TestErrorFeedbackReset(t *testing.T) {
+	ef := NewErrorFeedback()
+	ef.PostCompress(1, []float64{1}, []float64{0})
+	ef.PreCompress(1, []float64{0})
+	ef.Reset()
+	if ef.Units() != 0 || ef.Corrected != 0 {
+		t.Fatal("Reset incomplete")
+	}
+}
+
+// TestErrorFeedbackUnbiasedOverTime: quantize a constant payload at very low
+// precision with EF; the *time average* of what was sent must converge to
+// the true value even though each round's message is coarsely quantized.
+func TestErrorFeedbackUnbiasedOverTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ef := NewErrorFeedback()
+	q := NewQuantizer(2)
+	truth := make([]float64, 16)
+	for i := range truth {
+		truth[i] = rng.NormFloat64()
+	}
+	sum := make([]float64, 16)
+	const rounds = 400
+	for r := 0; r < rounds; r++ {
+		payload := append([]float64(nil), truth...)
+		ef.PreCompress(1, payload)
+		trueVals := append([]float64(nil), payload...)
+		q.Roundtrip(payload)
+		ef.PostCompress(1, trueVals, payload)
+		for i := range sum {
+			sum[i] += payload[i]
+		}
+	}
+	for i := range sum {
+		mean := sum[i] / rounds
+		if d := mean - truth[i]; d > 0.02 || d < -0.02 {
+			t.Fatalf("time-averaged value %v drifted from truth %v", mean, truth[i])
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"scgnn/internal/graph"
+)
+
+// DropMask selects connection types to prune entirely — the differential
+// optimization of paper Sec. 5.3 ("without-O2O" is the profitable setting).
+type DropMask struct {
+	O2O, O2M, M2O, M2M bool
+}
+
+// DropNone keeps every connection type.
+var DropNone = DropMask{}
+
+// DropO2O is the paper's recommended differential optimization: prune all
+// residual one-to-one traffic.
+var DropO2O = DropMask{O2O: true}
+
+// Drops reports whether connection type t is pruned.
+func (m DropMask) Drops(t graph.ConnType) bool {
+	switch t {
+	case graph.O2O:
+		return m.O2O
+	case graph.O2M:
+		return m.O2M
+	case graph.M2O:
+		return m.M2O
+	case graph.M2M:
+		return m.M2M
+	}
+	return false
+}
+
+// String renders the mask as e.g. "drop{O2O}".
+func (m DropMask) String() string {
+	s := "drop{"
+	first := true
+	for _, t := range graph.ConnTypes {
+		if m.Drops(t) {
+			if !first {
+				s += ","
+			}
+			s += t.String()
+			first = false
+		}
+	}
+	return s + "}"
+}
+
+// PlanConfig configures semantic-compression planning.
+type PlanConfig struct {
+	Grouping GroupingConfig
+	Drop     DropMask
+	// UniformWeights replaces the L-SALSA degree weights with uniform ones
+	// (w(u) = 1/|U|, delivery D(v) = |E|/|V|) — an ablation of the paper's
+	// Sec. 3.3 weighting; mass conservation still holds but contribution is
+	// no longer redistributed by connection strength.
+	UniformWeights bool
+}
+
+// PairPlan is the complete static communication plan for one ordered
+// partition pair under semantic compression: which groups transmit one fused
+// message each, and which O2O edges (if any) transmit a raw per-node message.
+// The plan is computed once before training and reused every epoch, forward
+// (embeddings) and backward (gradients, via Group.Reverse) — the paper's key
+// point that semantics "keep transferring the interactions ... until GNN
+// models converge".
+type PairPlan struct {
+	SrcPart, DstPart int
+	Grouping         *Grouping
+	Drop             DropMask
+	// Groups are the live compression units after differential pruning.
+	Groups []*Group
+	// O2O are the live raw edges after differential pruning.
+	O2O []O2OEdge
+	// DroppedEdges counts cross-partition edges eliminated by the drop mask.
+	DroppedEdges int
+}
+
+// BuildPairPlan extracts the (src→dst) DBG, builds the grouping, applies the
+// differential drop mask, and returns the plan. Returns nil when the pair
+// has no cross edges.
+func BuildPairPlan(g *graph.Graph, part []int, src, dst int, cfg PlanConfig) *PairPlan {
+	d := graph.ExtractDBG(g, part, src, dst)
+	if d == nil {
+		return nil
+	}
+	return planFromDBG(d, cfg)
+}
+
+func planFromDBG(d *graph.DBG, cfg PlanConfig) *PairPlan {
+	gr := BuildGrouping(d, cfg.Grouping)
+	if cfg.UniformWeights {
+		for _, grp := range gr.Groups {
+			uniformWeights(grp)
+		}
+	}
+	p := &PairPlan{SrcPart: d.SrcPart, DstPart: d.DstPart, Grouping: gr, Drop: cfg.Drop}
+
+	// Natural groups come from O2M/M2O connections; clustered groups from
+	// M2M. Apply the mask accordingly.
+	for i, grp := range gr.Groups {
+		natural := i < gr.NaturalGroups
+		if natural {
+			// A natural group is O2M (one source) or M2O (one sink).
+			t := graph.O2M
+			if len(grp.SrcNodes) > 1 {
+				t = graph.M2O
+			}
+			if cfg.Drop.Drops(t) {
+				p.DroppedEdges += grp.NumEdges
+				continue
+			}
+		} else if cfg.Drop.M2M {
+			p.DroppedEdges += grp.NumEdges
+			continue
+		}
+		p.Groups = append(p.Groups, grp)
+	}
+	if cfg.Drop.O2O {
+		p.DroppedEdges += len(gr.O2O)
+	} else {
+		p.O2O = gr.O2O
+	}
+	return p
+}
+
+// BuildAllPlans builds the plan for every ordered partition pair with cross
+// edges. Pairs are independent, so they are planned concurrently (one
+// goroutine per ordered pair); seeds are perturbed per pair so k-means
+// seeding differs across DBGs while the overall result stays deterministic.
+func BuildAllPlans(g *graph.Graph, part []int, nparts int, cfg PlanConfig) []*PairPlan {
+	slots := make([]*PairPlan, nparts*nparts)
+	var wg sync.WaitGroup
+	for s := 0; s < nparts; s++ {
+		for t := 0; t < nparts; t++ {
+			if s == t {
+				continue
+			}
+			wg.Add(1)
+			go func(s, t int) {
+				defer wg.Done()
+				pairCfg := cfg
+				pairCfg.Grouping.Seed = cfg.Grouping.Seed*1000003 + int64(s*nparts+t)
+				slots[s*nparts+t] = BuildPairPlan(g, part, s, t, pairCfg)
+			}(s, t)
+		}
+	}
+	wg.Wait()
+	out := make([]*PairPlan, 0, len(slots))
+	for _, p := range slots {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VectorsPerRound returns how many payload vectors this plan transmits per
+// aggregate round: one per live group plus one per live O2O edge. The
+// vanilla aggregate would instead transmit one vector per cross edge.
+func (p *PairPlan) VectorsPerRound() int { return len(p.Groups) + len(p.O2O) }
+
+// VanillaVectorsPerRound returns the per-edge message count the uncompressed
+// aggregate of Fig. 7(a) would need for this pair.
+func (p *PairPlan) VanillaVectorsPerRound() int { return p.Grouping.DBG.NumEdges() }
+
+// CompressionRatio returns vanilla message count over compressed message
+// count (∞-safe: returns vanilla count when the plan transmits nothing but
+// covered edges exist, and 1 for an empty pair).
+func (p *PairPlan) CompressionRatio() float64 {
+	v := p.VanillaVectorsPerRound()
+	c := p.VectorsPerRound()
+	if c == 0 {
+		if v == 0 {
+			return 1
+		}
+		return float64(v)
+	}
+	return float64(v) / float64(c)
+}
+
+// String summarizes the plan.
+func (p *PairPlan) String() string {
+	return fmt.Sprintf("PairPlan(%d→%d: %d groups, %d o2o, %d dropped edges, ratio %.1fx)",
+		p.SrcPart, p.DstPart, len(p.Groups), len(p.O2O), p.DroppedEdges, p.CompressionRatio())
+}

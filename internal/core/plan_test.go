@@ -1,0 +1,196 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"scgnn/internal/graph"
+)
+
+// mixedGraph returns the graph behind mixedDBG plus its partition vector.
+func mixedGraph() (*graph.Graph, []int) {
+	g := graph.New(12, []graph.Edge{
+		{U: 0, V: 6},
+		{U: 1, V: 7}, {U: 1, V: 8},
+		{U: 2, V: 9}, {U: 3, V: 9},
+		{U: 4, V: 10}, {U: 4, V: 11}, {U: 5, V: 10}, {U: 5, V: 11},
+	})
+	part := []int{0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1}
+	return g, part
+}
+
+func TestBuildPairPlanNoDrop(t *testing.T) {
+	g, part := mixedGraph()
+	p := BuildPairPlan(g, part, 0, 1, PlanConfig{Grouping: GroupingConfig{K: 1, Seed: 1}})
+	if p == nil {
+		t.Fatal("nil plan")
+	}
+	if len(p.Groups) != 3 || len(p.O2O) != 1 || p.DroppedEdges != 0 {
+		t.Fatalf("plan = %v", p)
+	}
+	if p.VectorsPerRound() != 4 {
+		t.Fatalf("VectorsPerRound = %d", p.VectorsPerRound())
+	}
+	if p.VanillaVectorsPerRound() != 9 {
+		t.Fatalf("VanillaVectorsPerRound = %d", p.VanillaVectorsPerRound())
+	}
+	if got := p.CompressionRatio(); got != 9.0/4.0 {
+		t.Fatalf("CompressionRatio = %v", got)
+	}
+}
+
+func TestBuildPairPlanDropO2O(t *testing.T) {
+	g, part := mixedGraph()
+	p := BuildPairPlan(g, part, 0, 1, PlanConfig{
+		Grouping: GroupingConfig{K: 1, Seed: 1},
+		Drop:     DropO2O,
+	})
+	if len(p.O2O) != 0 || p.DroppedEdges != 1 {
+		t.Fatalf("O2O not dropped: %v", p)
+	}
+	if p.VectorsPerRound() != 3 {
+		t.Fatalf("VectorsPerRound = %d", p.VectorsPerRound())
+	}
+}
+
+func TestBuildPairPlanDropEachType(t *testing.T) {
+	g, part := mixedGraph()
+	cases := []struct {
+		mask        DropMask
+		wantGroups  int
+		wantO2O     int
+		wantDropped int
+	}{
+		{DropMask{O2M: true}, 2, 1, 2},
+		{DropMask{M2O: true}, 2, 1, 2},
+		{DropMask{M2M: true}, 2, 1, 4},
+		{DropMask{O2O: true, O2M: true, M2O: true, M2M: true}, 0, 0, 9},
+	}
+	for _, c := range cases {
+		p := BuildPairPlan(g, part, 0, 1, PlanConfig{
+			Grouping: GroupingConfig{K: 1, Seed: 1},
+			Drop:     c.mask,
+		})
+		if len(p.Groups) != c.wantGroups || len(p.O2O) != c.wantO2O || p.DroppedEdges != c.wantDropped {
+			t.Fatalf("%v: groups=%d o2o=%d dropped=%d, want %d/%d/%d",
+				c.mask, len(p.Groups), len(p.O2O), p.DroppedEdges,
+				c.wantGroups, c.wantO2O, c.wantDropped)
+		}
+	}
+}
+
+func TestBuildPairPlanNilWhenNoCrossEdges(t *testing.T) {
+	g := graph.New(4, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	part := []int{0, 0, 1, 1}
+	if p := BuildPairPlan(g, part, 0, 1, PlanConfig{}); p != nil {
+		t.Fatal("expected nil plan")
+	}
+}
+
+func TestBuildAllPlans(t *testing.T) {
+	g, part := mixedGraph()
+	// Add reverse traffic so both ordered pairs exist.
+	edges := append(g.Edges(), graph.Edge{U: 6, V: 0}, graph.Edge{U: 7, V: 0})
+	g2 := graph.New(12, edges)
+	plans := BuildAllPlans(g2, part, 2, PlanConfig{Grouping: GroupingConfig{K: 1, Seed: 1}})
+	if len(plans) != 2 {
+		t.Fatalf("plans = %d, want 2", len(plans))
+	}
+	dirs := map[[2]int]bool{}
+	for _, p := range plans {
+		dirs[[2]int{p.SrcPart, p.DstPart}] = true
+	}
+	if !dirs[[2]int{0, 1}] || !dirs[[2]int{1, 0}] {
+		t.Fatalf("directions = %v", dirs)
+	}
+}
+
+func TestDropMaskString(t *testing.T) {
+	if got := DropO2O.String(); got != "drop{O2O}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := DropNone.String(); got != "drop{}" {
+		t.Fatalf("String = %q", got)
+	}
+	m := DropMask{O2O: true, M2M: true}
+	if got := m.String(); got != "drop{O2O,M2M}" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	g, part := mixedGraph()
+	p := BuildPairPlan(g, part, 0, 1, PlanConfig{Grouping: GroupingConfig{K: 1, Seed: 1}})
+	if s := p.String(); !strings.Contains(s, "0→1") || !strings.Contains(s, "3 groups") {
+		t.Fatalf("String = %q", s)
+	}
+}
+
+// Property: for random graphs, plan edge accounting is exact —
+// group edges + live O2O + dropped == DBG edges, and the semantic plan never
+// transmits more vectors than vanilla.
+func TestPlanAccountingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(30)
+		nparts := 2 + rng.Intn(2)
+		part := make([]int, n)
+		for i := range part {
+			part[i] = rng.Intn(nparts)
+		}
+		var edges []graph.Edge
+		for k := 0; k < 5*n; k++ {
+			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+		}
+		g := graph.New(n, edges)
+		mask := DropMask{O2O: rng.Intn(2) == 0, M2M: rng.Intn(4) == 0}
+		plans := BuildAllPlans(g, part, nparts, PlanConfig{
+			Grouping: GroupingConfig{K: 1 + rng.Intn(3), Seed: seed},
+			Drop:     mask,
+		})
+		for _, p := range plans {
+			live := 0
+			for _, grp := range p.Groups {
+				live += grp.NumEdges
+			}
+			live += len(p.O2O)
+			if live+p.DroppedEdges != p.Grouping.DBG.NumEdges() {
+				return false
+			}
+			if p.VectorsPerRound() > p.VanillaVectorsPerRound() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformWeightsAblation(t *testing.T) {
+	g, part := mixedGraph()
+	p := BuildPairPlan(g, part, 0, 1, PlanConfig{
+		Grouping:       GroupingConfig{K: 1, Seed: 1},
+		UniformWeights: true,
+	})
+	for _, grp := range p.Groups {
+		// Uniform weights must still satisfy the group invariants
+		// (Σ w(u) = 1, Σ D(v) = |E|) and be equal across members.
+		if err := grp.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range grp.WOut {
+			if w != grp.WOut[0] {
+				t.Fatalf("WOut not uniform: %v", grp.WOut)
+			}
+		}
+		for _, d := range grp.DDst {
+			if d != grp.DDst[0] {
+				t.Fatalf("DDst not uniform: %v", grp.DDst)
+			}
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scgnn/internal/bitvec"
+	"scgnn/internal/graph"
+)
+
+// adjFromRows builds a bit matrix from explicit neighbor lists.
+func adjFromRows(cols int, rows [][]int) *bitvec.Matrix {
+	m := bitvec.NewMatrix(len(rows), cols)
+	for i, r := range rows {
+		for _, j := range r {
+			m.SetBit(i, j)
+		}
+	}
+	return m
+}
+
+func TestSemanticSimilarityEq1(t *testing.T) {
+	// N(u1) = {0,1,2}, N(u2) = {1,2,3}: inter=2, den=6 → 4/6.
+	adj := adjFromRows(4, [][]int{{0, 1, 2}, {1, 2, 3}})
+	got := SemanticSimilarity{}.Score(adj, 0, 1)
+	if want := 4.0 / 6.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("S = %v, want %v", got, want)
+	}
+}
+
+func TestJaccardSimilarity(t *testing.T) {
+	adj := adjFromRows(4, [][]int{{0, 1, 2}, {1, 2, 3}})
+	got := JaccardSimilarity{}.Score(adj, 0, 1)
+	if want := 2.0 / 4.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("J = %v, want %v", got, want)
+	}
+}
+
+// TestFullConnectedDiscrimination reproduces Fig. 3(b): Jaccard scores the
+// 2-to-2 and 2-to-3 full maps identically, the semantic measure ranks the
+// denser map strictly higher.
+func TestFullConnectedDiscrimination(t *testing.T) {
+	full22 := adjFromRows(2, [][]int{{0, 1}, {0, 1}})
+	full23 := adjFromRows(3, [][]int{{0, 1, 2}, {0, 1, 2}})
+	j22 := JaccardSimilarity{}.Score(full22, 0, 1)
+	j23 := JaccardSimilarity{}.Score(full23, 0, 1)
+	if j22 != j23 {
+		t.Fatalf("Jaccard should be indistinguishable: %v vs %v", j22, j23)
+	}
+	s22 := SemanticSimilarity{}.Score(full22, 0, 1)
+	s23 := SemanticSimilarity{}.Score(full23, 0, 1)
+	if s23 <= s22 {
+		t.Fatalf("semantic must rank 2-to-3 (%v) above 2-to-2 (%v)", s23, s22)
+	}
+	// Exact values: 2²/4 = 1 and 3²/6 = 1.5.
+	if s22 != 1 || s23 != 1.5 {
+		t.Fatalf("semantic values %v, %v; want 1, 1.5", s22, s23)
+	}
+}
+
+func TestZeroNeighborEdgeCases(t *testing.T) {
+	adj := adjFromRows(3, [][]int{{}, {}})
+	if got := (SemanticSimilarity{}).Score(adj, 0, 1); got != 0 {
+		t.Fatalf("empty rows semantic = %v", got)
+	}
+	if got := (JaccardSimilarity{}).Score(adj, 0, 1); got != 0 {
+		t.Fatalf("empty rows jaccard = %v", got)
+	}
+}
+
+func TestDisjointNeighborhoodsExcluded(t *testing.T) {
+	// Non-cohesion must score 0 under both measures (paper: "non-cohesion is
+	// still excluded as the Jaccard method").
+	adj := adjFromRows(6, [][]int{{0, 1, 2}, {3, 4, 5}})
+	if (SemanticSimilarity{}).Score(adj, 0, 1) != 0 || (JaccardSimilarity{}).Score(adj, 0, 1) != 0 {
+		t.Fatal("disjoint neighborhoods must score 0")
+	}
+}
+
+// Property: the vectorized Eq. 2 equals the set form Eq. 1; both measures
+// are symmetric, non-negative, and self-similarity dominates for equal-size
+// neighborhoods.
+func TestSimilarityProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		cols := 1 + rng.Intn(120)
+		adj := bitvec.NewMatrix(2, cols)
+		n1 := map[int]bool{}
+		n2 := map[int]bool{}
+		for j := 0; j < cols; j++ {
+			if rng.Intn(3) == 0 {
+				adj.SetBit(0, j)
+				n1[j] = true
+			}
+			if rng.Intn(3) == 0 {
+				adj.SetBit(1, j)
+				n2[j] = true
+			}
+		}
+		s := SemanticSimilarity{}
+		v12, v21 := s.Score(adj, 0, 1), s.Score(adj, 1, 0)
+		if v12 != v21 || v12 < 0 {
+			return false
+		}
+		if math.Abs(v12-SemanticScoreSets(n1, n2)) > 1e-12 {
+			return false
+		}
+		j := JaccardSimilarity{}
+		if j.Score(adj, 0, 1) != j.Score(adj, 1, 0) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCohesionHighlight verifies the "selective highlight" claim: for a
+// fixed union size, semantic similarity grows super-linearly in the overlap
+// while Jaccard grows sub-quadratically, so the ratio semantic/jaccard is
+// increasing in overlap.
+func TestCohesionHighlight(t *testing.T) {
+	width, valid := 40, 20
+	var prevRatio float64
+	for inter := 1; inter <= valid; inter++ {
+		adj := bitvec.NewMatrix(2, width)
+		for j := 0; j < valid; j++ {
+			adj.SetBit(0, j)
+			adj.SetBit(1, j+valid-inter)
+		}
+		s := SemanticSimilarity{}.Score(adj, 0, 1)
+		j := JaccardSimilarity{}.Score(adj, 0, 1)
+		ratio := s / j
+		if inter > 1 && ratio <= prevRatio {
+			t.Fatalf("amplification not increasing at overlap %d: %v <= %v", inter, ratio, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestSlidingCohesion(t *testing.T) {
+	sem := SlidingCohesion(64, 16, SemanticSimilarity{})
+	jac := SlidingCohesion(64, 16, JaccardSimilarity{})
+	if len(sem) != 49 || len(jac) != 49 {
+		t.Fatalf("lengths %d, %d", len(sem), len(jac))
+	}
+	// Peak at offset 0 (full overlap): semantic = 16²/32 = 8, jaccard = 1.
+	if sem[0] != 8 || jac[0] != 1 {
+		t.Fatalf("peaks = %v, %v", sem[0], jac[0])
+	}
+	// Zero overlap at the far end.
+	if sem[len(sem)-1] != 0 || jac[len(jac)-1] != 0 {
+		t.Fatal("tail should be 0")
+	}
+	// Semantic amplification: mid-slide ratio vs Jaccard must exceed the
+	// near-tail ratio (Fig. 4(a): middle dramatically amplified).
+	mid := sem[8] / jac[8]
+	tail := sem[14] / jac[14]
+	if mid <= tail {
+		t.Fatalf("mid amplification %v not above tail %v", mid, tail)
+	}
+}
+
+func TestSimilarityMatrix(t *testing.T) {
+	// DBG: partition 0 = {0,1}, partition 1 = {2,3}; both sources hit both sinks.
+	g := graph.New(4, []graph.Edge{{U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}})
+	part := []int{0, 0, 1, 1}
+	d := graph.ExtractDBG(g, part, 0, 1)
+	m := SimilarityMatrix(d, SemanticSimilarity{})
+	if len(m) != 2 {
+		t.Fatalf("matrix size %d", len(m))
+	}
+	if m[0][1] != m[1][0] {
+		t.Fatal("matrix not symmetric")
+	}
+	if m[0][1] != 1 { // 2²/4
+		t.Fatalf("S(0,1) = %v, want 1", m[0][1])
+	}
+	// Diagonal: S(u,u) = d²/2d = d/2 = 1.
+	if m[0][0] != 1 {
+		t.Fatalf("S(0,0) = %v", m[0][0])
+	}
+}
+
+func TestSimilarityNames(t *testing.T) {
+	if (SemanticSimilarity{}).Name() != "semantic" || (JaccardSimilarity{}).Name() != "jaccard" {
+		t.Fatal("names wrong")
+	}
+}
+
+func BenchmarkSemanticScore(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	adj := bitvec.NewMatrix(2, 4096)
+	for j := 0; j < 4096; j++ {
+		if rng.Intn(2) == 0 {
+			adj.SetBit(0, j)
+		}
+		if rng.Intn(2) == 0 {
+			adj.SetBit(1, j)
+		}
+	}
+	s := SemanticSimilarity{}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Score(adj, 0, 1)
+	}
+}

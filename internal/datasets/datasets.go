@@ -1,0 +1,235 @@
+// Package datasets generates the synthetic graph-learning datasets used
+// throughout the reproduction.
+//
+// The paper evaluates on Reddit, Yelp, Ogbn-products, and PubMed. Those
+// datasets cannot be downloaded in this offline environment, so each is
+// replaced by a generator matched to the properties the experiments actually
+// exercise (see DESIGN.md §2):
+//
+//   - relative edge density — Reddit is far denser than Yelp/Ogbn-products,
+//     which are far denser than PubMed (Fig. 12(a) hinges on exactly this
+//     ordering);
+//   - community structure with homophilous edges, which simultaneously
+//     (a) makes GCN training meaningful (accuracy tables) and (b) produces
+//     the cohesive many-to-many boundary structure semantic grouping
+//     exploits (Fig. 2(d), Fig. 10);
+//   - label-correlated Gaussian features with a controlled noise level, so
+//     test accuracy degrades smoothly under lossy aggregation;
+//   - skewed intra-community degrees (preferential attachment within the
+//     community), giving realistic hub-dominated boundary graphs.
+package datasets
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scgnn/internal/graph"
+	"scgnn/internal/tensor"
+)
+
+// Dataset is a full-batch node-classification dataset.
+type Dataset struct {
+	Name  string
+	Graph *graph.Graph // undirected: both arc directions present
+	// Features is the N×F node feature matrix.
+	Features *tensor.Matrix
+	// Labels[i] in [0, NumClasses).
+	Labels     []int
+	NumClasses int
+	// Train/Val/Test masks partition the nodes.
+	TrainMask, ValMask, TestMask []bool
+}
+
+// NumNodes returns the node count.
+func (d *Dataset) NumNodes() int { return d.Graph.NumNodes() }
+
+// FeatureDim returns F.
+func (d *Dataset) FeatureDim() int { return d.Features.Cols }
+
+// CountMask returns how many entries of mask are set.
+func CountMask(mask []bool) int {
+	n := 0
+	for _, b := range mask {
+		if b {
+			n++
+		}
+	}
+	return n
+}
+
+// Spec parameterizes the generator.
+type Spec struct {
+	Name string
+	// Nodes is the node count N.
+	Nodes int
+	// AvgDegree is the target mean undirected degree.
+	AvgDegree float64
+	// Classes is the number of node classes (== communities).
+	Classes int
+	// FeatureDim is F.
+	FeatureDim int
+	// Homophily is the probability that an edge endpoint pair shares a
+	// class (0.5 = none, 1 = perfectly assortative). Default 0.8.
+	Homophily float64
+	// FeatureNoise is the Gaussian noise σ added on top of the class mean
+	// (class means are unit-scale). Default 1.0.
+	FeatureNoise float64
+	// HubExponent skews intra-class degree: endpoint ranks are drawn with
+	// density ∝ rank^(-HubExponent). 0 disables skew. Default 0.6.
+	HubExponent float64
+	// LabelNoise replaces this fraction of recorded labels with a uniformly
+	// random class *after* features and edges are generated. It caps the
+	// attainable accuracy at ≈ 1 − LabelNoise·(C−1)/C, which is how the
+	// registry calibrates each benchmark to its paper-reported accuracy
+	// (Reddit ≈97%, Yelp ≈65%, Ogbn-products ≈79%, PubMed ≈77%). Default 0.
+	LabelNoise float64
+	// TrainFrac/ValFrac control the split (test gets the remainder).
+	// Defaults 0.6/0.2.
+	TrainFrac, ValFrac float64
+	// Seed makes generation deterministic.
+	Seed int64
+}
+
+func (s Spec) withDefaults() Spec {
+	if s.Homophily == 0 {
+		s.Homophily = 0.8
+	}
+	if s.FeatureNoise == 0 {
+		s.FeatureNoise = 1.0
+	}
+	if s.HubExponent == 0 {
+		s.HubExponent = 0.6
+	}
+	if s.TrainFrac == 0 {
+		s.TrainFrac = 0.6
+	}
+	if s.ValFrac == 0 {
+		s.ValFrac = 0.2
+	}
+	return s
+}
+
+// Generate builds a dataset from the spec. Panics on invalid parameters.
+func Generate(spec Spec) *Dataset {
+	spec = spec.withDefaults()
+	if spec.Nodes < 2 || spec.Classes < 2 || spec.FeatureDim < 1 {
+		panic(fmt.Sprintf("datasets: invalid spec %+v", spec))
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := spec.Nodes
+
+	// Labels: contiguous blocks per class (sizes as equal as possible),
+	// then shuffled node ids would lose block locality — we keep block
+	// layout because community locality is what real partitioned graphs
+	// exhibit, and the partitioners are free to split however they like.
+	labels := make([]int, n)
+	members := make([][]int32, spec.Classes)
+	for i := 0; i < n; i++ {
+		c := i * spec.Classes / n
+		labels[i] = c
+		members[c] = append(members[c], int32(i))
+	}
+
+	// Edges: E_undirected = N·d/2 target pairs.
+	target := int(float64(n) * spec.AvgDegree / 2)
+	edges := make([]graph.Edge, 0, target)
+	for len(edges) < target {
+		cu := rng.Intn(spec.Classes)
+		u := pickSkewed(members[cu], spec.HubExponent, rng)
+		var v int32
+		if rng.Float64() < spec.Homophily {
+			v = pickSkewed(members[cu], spec.HubExponent, rng)
+		} else {
+			cv := rng.Intn(spec.Classes - 1)
+			if cv >= cu {
+				cv++
+			}
+			v = pickSkewed(members[cv], spec.HubExponent, rng)
+		}
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{U: u, V: v})
+	}
+	g := graph.NewUndirected(n, edges)
+
+	// Features: x_i = μ_{y_i} + σ·N(0,I) with random ±1 class means.
+	means := tensor.New(spec.Classes, spec.FeatureDim)
+	for i := range means.Data {
+		if rng.Intn(2) == 0 {
+			means.Data[i] = 1
+		} else {
+			means.Data[i] = -1
+		}
+	}
+	feats := tensor.New(n, spec.FeatureDim)
+	for i := 0; i < n; i++ {
+		mu := means.Row(labels[i])
+		row := feats.Row(i)
+		for j := range row {
+			row[j] = mu[j] + spec.FeatureNoise*rng.NormFloat64()
+		}
+	}
+
+	// Label corruption: features/edges above reflect the *true* community;
+	// the recorded label of a LabelNoise fraction of nodes is re-rolled
+	// uniformly, capping attainable accuracy.
+	if spec.LabelNoise > 0 {
+		for i := 0; i < n; i++ {
+			if rng.Float64() < spec.LabelNoise {
+				labels[i] = rng.Intn(spec.Classes)
+			}
+		}
+	}
+
+	// Splits: per-node random assignment with fixed fractions.
+	train := make([]bool, n)
+	val := make([]bool, n)
+	test := make([]bool, n)
+	perm := rng.Perm(n)
+	nTrain := int(spec.TrainFrac * float64(n))
+	nVal := int(spec.ValFrac * float64(n))
+	for i, p := range perm {
+		switch {
+		case i < nTrain:
+			train[p] = true
+		case i < nTrain+nVal:
+			val[p] = true
+		default:
+			test[p] = true
+		}
+	}
+
+	return &Dataset{
+		Name:       spec.Name,
+		Graph:      g,
+		Features:   feats,
+		Labels:     labels,
+		NumClasses: spec.Classes,
+		TrainMask:  train,
+		ValMask:    val,
+		TestMask:   test,
+	}
+}
+
+// pickSkewed draws a member with density ∝ (rank+1)^(-alpha): rank 0 is the
+// community hub. alpha==0 degenerates to uniform.
+func pickSkewed(members []int32, alpha float64, rng *rand.Rand) int32 {
+	m := len(members)
+	if m == 1 {
+		return members[0]
+	}
+	if alpha <= 0 {
+		return members[rng.Intn(m)]
+	}
+	// Inverse-CDF sampling of rank^(−alpha) via the power transform:
+	// r = floor(m · u^(1/(1−alpha))) approximates a Zipf-like rank draw for
+	// alpha<1; clamp for safety.
+	u := rng.Float64()
+	r := int(float64(m) * math.Pow(u, 1/(1-alpha)))
+	if r >= m {
+		r = m - 1
+	}
+	return members[r]
+}

@@ -1,0 +1,219 @@
+package datasets
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateBasics(t *testing.T) {
+	d := Generate(Spec{Name: "t", Nodes: 300, AvgDegree: 8, Classes: 4, FeatureDim: 8, Seed: 1})
+	if d.NumNodes() != 300 || d.FeatureDim() != 8 || d.NumClasses != 4 {
+		t.Fatalf("shape wrong: %d nodes, %d dims, %d classes", d.NumNodes(), d.FeatureDim(), d.NumClasses)
+	}
+	if len(d.Labels) != 300 {
+		t.Fatalf("labels len %d", len(d.Labels))
+	}
+	for _, l := range d.Labels {
+		if l < 0 || l >= 4 {
+			t.Fatalf("label %d out of range", l)
+		}
+	}
+	// Average degree within 25% of target (dedup loses a few edges).
+	avg := d.Graph.AvgDegree()
+	if avg < 6 || avg > 9 {
+		t.Fatalf("avg degree = %v, want ≈8", avg)
+	}
+}
+
+func TestSplitsPartitionNodes(t *testing.T) {
+	d := Generate(Spec{Name: "t", Nodes: 500, AvgDegree: 6, Classes: 3, FeatureDim: 4, Seed: 2})
+	for i := 0; i < d.NumNodes(); i++ {
+		n := 0
+		if d.TrainMask[i] {
+			n++
+		}
+		if d.ValMask[i] {
+			n++
+		}
+		if d.TestMask[i] {
+			n++
+		}
+		if n != 1 {
+			t.Fatalf("node %d in %d splits", i, n)
+		}
+	}
+	if got := CountMask(d.TrainMask); got != 300 {
+		t.Fatalf("train size = %d, want 300", got)
+	}
+	if got := CountMask(d.ValMask); got != 100 {
+		t.Fatalf("val size = %d, want 100", got)
+	}
+}
+
+func TestHomophily(t *testing.T) {
+	d := Generate(Spec{Name: "t", Nodes: 600, AvgDegree: 10, Classes: 4, FeatureDim: 4, Homophily: 0.85, Seed: 3})
+	intra, total := 0, 0
+	for _, e := range d.Graph.Edges() {
+		total++
+		if d.Labels[e.U] == d.Labels[e.V] {
+			intra++
+		}
+	}
+	frac := float64(intra) / float64(total)
+	if frac < 0.78 || frac > 0.92 {
+		t.Fatalf("intra-class edge fraction = %v, want ≈0.85", frac)
+	}
+}
+
+func TestFeaturesCarryClassSignal(t *testing.T) {
+	d := Generate(Spec{Name: "t", Nodes: 400, AvgDegree: 6, Classes: 2, FeatureDim: 16, FeatureNoise: 0.5, Seed: 4})
+	// Class centroids must be far apart relative to within-class spread.
+	dim := d.FeatureDim()
+	cent := make([][]float64, 2)
+	count := make([]int, 2)
+	for c := range cent {
+		cent[c] = make([]float64, dim)
+	}
+	for i := 0; i < d.NumNodes(); i++ {
+		c := d.Labels[i]
+		count[c]++
+		for j, v := range d.Features.Row(i) {
+			cent[c][j] += v
+		}
+	}
+	for c := range cent {
+		for j := range cent[c] {
+			cent[c][j] /= float64(count[c])
+		}
+	}
+	var dist float64
+	for j := range cent[0] {
+		dd := cent[0][j] - cent[1][j]
+		dist += dd * dd
+	}
+	dist = math.Sqrt(dist)
+	if dist < 2 {
+		t.Fatalf("class centroid distance = %v, want > 2", dist)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a := Generate(Spec{Name: "t", Nodes: 200, AvgDegree: 5, Classes: 3, FeatureDim: 4, Seed: 9})
+	b := Generate(Spec{Name: "t", Nodes: 200, AvgDegree: 5, Classes: 3, FeatureDim: 4, Seed: 9})
+	if a.Graph.NumEdges() != b.Graph.NumEdges() {
+		t.Fatal("same seed, different edges")
+	}
+	if !a.Features.Equal(b.Features, 0) {
+		t.Fatal("same seed, different features")
+	}
+	c := Generate(Spec{Name: "t", Nodes: 200, AvgDegree: 5, Classes: 3, FeatureDim: 4, Seed: 10})
+	if a.Features.Equal(c.Features, 0) {
+		t.Fatal("different seed, same features")
+	}
+}
+
+func TestInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Generate(Spec{Nodes: 1, Classes: 2, FeatureDim: 2})
+}
+
+func TestHubSkew(t *testing.T) {
+	// With a strong hub exponent the max degree should greatly exceed the
+	// mean; with zero exponent it should stay moderate.
+	skewed := Generate(Spec{Name: "s", Nodes: 500, AvgDegree: 10, Classes: 2, FeatureDim: 2, HubExponent: 0.8, Seed: 5})
+	flat := Generate(Spec{Name: "f", Nodes: 500, AvgDegree: 10, Classes: 2, FeatureDim: 2, HubExponent: -1, Seed: 5})
+	rs := float64(skewed.Graph.MaxDegree()) / skewed.Graph.AvgDegree()
+	rf := float64(flat.Graph.MaxDegree()) / flat.Graph.AvgDegree()
+	if rs <= rf {
+		t.Fatalf("hub skew had no effect: skewed ratio %v vs flat %v", rs, rf)
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	for _, name := range Names() {
+		d, err := ByName(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, d.Name)
+		}
+		if d.NumNodes() < 500 {
+			t.Fatalf("%s too small: %d", name, d.NumNodes())
+		}
+	}
+	if _, err := ByName("nope", 1); err == nil {
+		t.Fatal("expected error for unknown name")
+	}
+}
+
+// TestDensityOrdering asserts the paper's density ranking:
+// reddit ≫ {yelp, products} ≫ pubmed.
+func TestDensityOrdering(t *testing.T) {
+	r, y, p, m := RedditSim(1), YelpSim(1), OgbnProductsSim(1), PubMedSim(1)
+	dr, dy, dp, dm := r.Graph.AvgDegree(), y.Graph.AvgDegree(), p.Graph.AvgDegree(), m.Graph.AvgDegree()
+	if !(dr > 2*dy && dr > 2*dp) {
+		t.Fatalf("reddit density %v not dominant over %v, %v", dr, dy, dp)
+	}
+	if !(dy > dm && dp > dm) {
+		t.Fatalf("pubmed %v should be sparsest (%v, %v)", dm, dy, dp)
+	}
+}
+
+func TestDegreeSweep(t *testing.T) {
+	ds := DegreeSweep([]float64{4, 16, 48}, 1)
+	if len(ds) != 3 {
+		t.Fatalf("sweep len = %d", len(ds))
+	}
+	for i := 1; i < len(ds); i++ {
+		if ds[i].Graph.AvgDegree() <= ds[i-1].Graph.AvgDegree() {
+			t.Fatalf("sweep degrees not increasing: %v vs %v",
+				ds[i].Graph.AvgDegree(), ds[i-1].Graph.AvgDegree())
+		}
+	}
+}
+
+// Property: generated datasets always have consistent shapes and labels
+// matching the block layout.
+func TestGenerateInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		spec := Spec{
+			Name:       "q",
+			Nodes:      50 + rng.Intn(200),
+			AvgDegree:  2 + rng.Float64()*10,
+			Classes:    2 + rng.Intn(4),
+			FeatureDim: 1 + rng.Intn(8),
+			Seed:       seed,
+		}
+		d := Generate(spec)
+		if d.NumNodes() != spec.Nodes || d.FeatureDim() != spec.FeatureDim {
+			return false
+		}
+		if len(d.Labels) != spec.Nodes || len(d.TrainMask) != spec.Nodes {
+			return false
+		}
+		// Labels must be non-decreasing (block layout; specs here have no
+		// label noise, which would scramble the blocks).
+		for i := 1; i < len(d.Labels); i++ {
+			if d.Labels[i] < d.Labels[i-1] {
+				return false
+			}
+		}
+		// Every class non-empty.
+		seen := make(map[int]bool)
+		for _, l := range d.Labels {
+			seen[l] = true
+		}
+		return len(seen) == spec.Classes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+package dist
+
+import (
+	"fmt"
+
+	"scgnn/internal/core"
+	"scgnn/internal/datasets"
+)
+
+// TuneResult reports the AutoTune decision.
+type TuneResult struct {
+	Config Config
+	// BytesPerEpoch is the measured volume of the chosen configuration.
+	BytesPerEpoch float64
+	// Candidates lists every configuration probed, least-lossy first, with
+	// its measured volume.
+	Candidates []TuneCandidate
+}
+
+// TuneCandidate is one probed configuration.
+type TuneCandidate struct {
+	Method        string
+	BytesPerEpoch float64
+	Fits          bool
+}
+
+// AutoTune picks the least-lossy exchange configuration whose per-epoch
+// traffic fits within budgetBytes — the paper's closing scenario of
+// "resource-constrained training". Candidates are probed cheapest-fidelity-
+// loss first:
+//
+//	vanilla → quant(8) → semantic → semantic−O2O → semantic+quant(8) →
+//	semantic+quant(4)−O2O
+//
+// Each probe measures real traffic over two epochs (volume is static per
+// configuration). If even the most aggressive candidate exceeds the budget
+// it is returned anyway, flagged by Fits=false in its candidate entry.
+func AutoTune(ds *datasets.Dataset, part []int, nparts int, budgetBytes float64, seed int64) *TuneResult {
+	plan := core.PlanConfig{Grouping: core.GroupingConfig{Seed: seed}}
+	planDrop := core.PlanConfig{Grouping: core.GroupingConfig{Seed: seed}, Drop: core.DropO2O}
+	ladder := []Config{
+		Vanilla(),
+		Quant(8),
+		Semantic(plan),
+		Semantic(planDrop),
+		{Semantic: true, Plan: plan, QuantBits: 8},
+		{Semantic: true, Plan: planDrop, QuantBits: 4},
+	}
+	probe := RunConfig{Epochs: 2, Seed: seed}
+
+	res := &TuneResult{}
+	chosen := -1
+	var volumes []float64
+	for i, cfg := range ladder {
+		r := Run(ds, part, nparts, cfg, probe)
+		fits := r.BytesPerEpoch <= budgetBytes
+		res.Candidates = append(res.Candidates, TuneCandidate{
+			Method:        cfg.MethodName(),
+			BytesPerEpoch: r.BytesPerEpoch,
+			Fits:          fits,
+		})
+		volumes = append(volumes, r.BytesPerEpoch)
+		if fits && chosen == -1 {
+			chosen = i
+			// Later rungs only lose more fidelity; stop probing.
+			break
+		}
+	}
+	if chosen == -1 {
+		chosen = len(res.Candidates) - 1
+	}
+	res.Config = ladder[chosen]
+	res.BytesPerEpoch = volumes[chosen]
+	return res
+}
+
+// String summarizes the decision.
+func (t *TuneResult) String() string {
+	return fmt.Sprintf("AutoTune → %s (%.3f MB/epoch, %d candidates probed)",
+		t.Config.MethodName(), t.BytesPerEpoch/1e6, len(t.Candidates))
+}

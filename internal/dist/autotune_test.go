@@ -1,0 +1,59 @@
+package dist
+
+import (
+	"strings"
+	"testing"
+
+	"scgnn/internal/core"
+)
+
+func TestAutoTuneGenerousBudget(t *testing.T) {
+	d, part := pubmedSetup()
+	res := AutoTune(d, part, 2, 1e12, 1)
+	if res.Config.MethodName() != "vanilla" {
+		t.Fatalf("generous budget chose %s", res.Config.MethodName())
+	}
+	if len(res.Candidates) != 1 || !res.Candidates[0].Fits {
+		t.Fatalf("candidates = %+v", res.Candidates)
+	}
+}
+
+func TestAutoTuneMidBudget(t *testing.T) {
+	d, part := pubmedSetup()
+	// Budget between semantic and vanilla volumes: must pick a compressed
+	// rung that fits.
+	van := Run(d, part, 2, Vanilla(), RunConfig{Epochs: 2, Seed: 1})
+	sem := Run(d, part, 2, Semantic(core.PlanConfig{Grouping: core.GroupingConfig{Seed: 1}}), RunConfig{Epochs: 2, Seed: 1})
+	budget := (van.BytesPerEpoch + sem.BytesPerEpoch) / 2
+	res := AutoTune(d, part, 2, budget, 1)
+	if res.BytesPerEpoch > budget {
+		t.Fatalf("chosen config %s exceeds budget: %v > %v",
+			res.Config.MethodName(), res.BytesPerEpoch, budget)
+	}
+	if res.Config.MethodName() == "vanilla" {
+		t.Fatal("vanilla cannot fit a mid budget")
+	}
+	// Ladder order respected: everything probed before the winner must not
+	// have fit.
+	for _, c := range res.Candidates[:len(res.Candidates)-1] {
+		if c.Fits {
+			t.Fatalf("earlier candidate %s already fit", c.Method)
+		}
+	}
+}
+
+func TestAutoTuneImpossibleBudget(t *testing.T) {
+	d, part := pubmedSetup()
+	res := AutoTune(d, part, 2, 1, 1) // one byte per epoch: impossible
+	last := res.Candidates[len(res.Candidates)-1]
+	if last.Fits {
+		t.Fatal("impossible budget reported as fitting")
+	}
+	// Falls back to the most aggressive rung.
+	if res.Config.MethodName() != "semantic+quant" {
+		t.Fatalf("fallback = %s", res.Config.MethodName())
+	}
+	if !strings.Contains(res.String(), "AutoTune") {
+		t.Fatal("String broken")
+	}
+}

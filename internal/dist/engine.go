@@ -1,0 +1,520 @@
+// Package dist implements the distributed full-batch GNN training runtime of
+// the reproduction: a partitioned aggregator whose cross-partition halo
+// exchange can be carried by any of the five methods the paper evaluates —
+// vanilla per-edge transfer, boundary sampling, quantization, delayed
+// transmission, and SC-GNN semantic compression — alone or in combination
+// (the compatibility study of Fig. 12(b) composes them).
+//
+// The engine performs the real computation (training accuracy is measured,
+// not modeled) while every cross-partition payload is routed through a
+// simnet.Fabric that accounts bytes and messages exactly; an analytic cost
+// model converts each epoch's traffic and per-method processing counters
+// into a modeled epoch time (see internal/simnet and DESIGN.md §5).
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"scgnn/internal/compress"
+	"scgnn/internal/core"
+	"scgnn/internal/graph"
+	"scgnn/internal/simnet"
+	"scgnn/internal/tensor"
+)
+
+// Config selects the halo-exchange method(s) for a training run.
+//
+// Feature flags compose: zero-value Config is the vanilla exchange;
+// {Semantic: true} is SC-GNN; {Semantic: true, QuantBits: 8} is the
+// "ours+quant" cell of Fig. 12(b), and so on.
+type Config struct {
+	// Semantic enables SC-GNN grouping + up-sampling compression.
+	Semantic bool
+	// Plan configures semantic grouping (group count, similarity, drop mask).
+	Plan core.PlanConfig
+	// SampleRate in (0,1) enables Bernoulli edge/unit sampling at that rate.
+	// 0 or 1 disables sampling.
+	SampleRate float64
+	// SampleNodes switches sampling from per-edge coins to per-boundary-node
+	// coins (BNS-GCN's granularity): all of a node's cross edges share one
+	// decision per round.
+	SampleNodes bool
+	// QuantBits in 1..16 enables affine quantization of payloads.
+	// 0 (or 32) disables quantization.
+	QuantBits int
+	// AdaptiveQuant switches to variance-adaptive bit allocation (AdaQP's
+	// adaptive idea): each message picks its width in [2, QuantBits].
+	AdaptiveQuant bool
+	// ErrorFeedback adds residual error feedback on top of quantization:
+	// each transfer unit's quantization error is carried into its next
+	// round, so the lossy exchange becomes unbiased over time. Only
+	// meaningful when QuantBits is set.
+	ErrorFeedback bool
+	// DelayPeriod > 1 enables delayed transmission: fresh values every
+	// DelayPeriod epochs, stale replays in between.
+	DelayPeriod int
+	// Seed drives sampling.
+	Seed int64
+	// BytesPerValue is the wire size of an unquantized value (default 4,
+	// mirroring fp32 training payloads).
+	BytesPerValue int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BytesPerValue == 0 {
+		c.BytesPerValue = 4
+	}
+	return c
+}
+
+// MethodName renders the enabled features, e.g. "vanilla", "semantic",
+// "sampling+quant".
+func (c Config) MethodName() string {
+	var parts []string
+	if c.Semantic {
+		parts = append(parts, "semantic")
+	}
+	if c.SampleRate > 0 && c.SampleRate < 1 {
+		if c.SampleNodes {
+			parts = append(parts, "nsampling")
+		} else {
+			parts = append(parts, "sampling")
+		}
+	}
+	if c.QuantBits > 0 && c.QuantBits < 32 {
+		if c.AdaptiveQuant {
+			parts = append(parts, "aquant")
+		} else {
+			parts = append(parts, "quant")
+		}
+	}
+	if c.DelayPeriod > 1 {
+		parts = append(parts, "delay")
+	}
+	if c.ErrorFeedback && c.QuantBits > 0 && c.QuantBits < 32 {
+		parts = append(parts, "ef")
+	}
+	if len(parts) == 0 {
+		return "vanilla"
+	}
+	return strings.Join(parts, "+")
+}
+
+// Vanilla returns the uncompressed baseline configuration.
+func Vanilla() Config { return Config{} }
+
+// Sampling returns the edge-sampling baseline at the given rate.
+func Sampling(rate float64, seed int64) Config { return Config{SampleRate: rate, Seed: seed} }
+
+// Quant returns the quantization baseline at the given bit width.
+func Quant(bits int) Config { return Config{QuantBits: bits} }
+
+// Delay returns the delayed-transmission baseline with the given period.
+func Delay(period int) Config { return Config{DelayPeriod: period} }
+
+// Semantic returns the SC-GNN configuration with the given plan.
+func Semantic(plan core.PlanConfig) Config { return Config{Semantic: true, Plan: plan} }
+
+// Engine orchestrates partitioned aggregation for one (graph, partition)
+// pair under one Config. It implements gnn.Aggregator, so any model from
+// internal/gnn trains on it unchanged.
+type Engine struct {
+	g      *graph.Graph
+	part   []int
+	nparts int
+	cfg    Config
+	coeff  []float64 // GCN symmetric-normalization factors
+
+	fabric *simnet.Fabric
+
+	// crossOut[s*nparts+t] lists the cross arcs u→v with part[u]=s,
+	// part[v]=t (baseline per-edge exchange).
+	crossOut [][]graph.Edge
+	// plans holds the semantic pair plans (nil entries for pairs without
+	// cross edges or when Semantic is off).
+	plans []*core.PairPlan
+	// revGroups caches the reversed groups of each plan for the backward
+	// pass (gradients flow dst→src through the same semantics).
+	revGroups [][]*core.Group
+
+	quant       *compress.Quantizer
+	adaptive    *compress.AdaptiveQuantizer
+	sampler     *compress.Sampler
+	nodeSampler *compress.NodeSampler
+	delay       *compress.DelayCache
+	ef          *compress.ErrorFeedback
+	efUnit      int64 // per-round candidate-unit counter for stable EF keys
+
+	epoch int
+	round int
+
+	// per-epoch processing counters (see simnet.Snapshot)
+	quantValues    int64
+	sampleEdges    int64
+	semanticValues int64
+	aggFlops       int64
+}
+
+// NewEngine validates the partition vector and precomputes the cross-edge
+// structures and (when enabled) the semantic plans.
+func NewEngine(g *graph.Graph, part []int, nparts int, cfg Config) *Engine {
+	cfg = cfg.withDefaults()
+	if len(part) != g.NumNodes() {
+		panic(fmt.Sprintf("dist: partition len %d, want %d", len(part), g.NumNodes()))
+	}
+	e := &Engine{
+		g:      g,
+		part:   part,
+		nparts: nparts,
+		cfg:    cfg,
+		coeff:  g.SymNormCoeffs(),
+		fabric: simnet.NewFabric(nparts),
+	}
+	e.crossOut = make([][]graph.Edge, nparts*nparts)
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		s := part[u]
+		for _, v := range g.Neighbors(u) {
+			if t := part[v]; t != s {
+				idx := s*nparts + t
+				e.crossOut[idx] = append(e.crossOut[idx], graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	if cfg.Semantic {
+		e.plans = make([]*core.PairPlan, nparts*nparts)
+		e.revGroups = make([][]*core.Group, nparts*nparts)
+		for _, p := range core.BuildAllPlans(g, part, nparts, cfg.Plan) {
+			idx := p.SrcPart*nparts + p.DstPart
+			e.plans[idx] = p
+			rev := make([]*core.Group, len(p.Groups))
+			for i, grp := range p.Groups {
+				rev[i] = grp.Reverse()
+			}
+			e.revGroups[idx] = rev
+		}
+	}
+	if cfg.QuantBits > 0 && cfg.QuantBits < 32 {
+		if cfg.AdaptiveQuant {
+			minBits := 2
+			if cfg.QuantBits < minBits {
+				minBits = cfg.QuantBits
+			}
+			e.adaptive = compress.NewAdaptiveQuantizer(minBits, cfg.QuantBits, 0)
+		} else {
+			e.quant = compress.NewQuantizer(cfg.QuantBits)
+		}
+	}
+	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
+		if cfg.SampleNodes {
+			e.nodeSampler = compress.NewNodeSampler(cfg.SampleRate, cfg.Seed)
+		} else {
+			e.sampler = compress.NewSampler(cfg.SampleRate, cfg.Seed)
+		}
+	}
+	if cfg.DelayPeriod > 1 {
+		e.delay = compress.NewDelayCache(cfg.DelayPeriod)
+	}
+	if cfg.ErrorFeedback && (e.quant != nil || e.adaptive != nil) {
+		e.ef = compress.NewErrorFeedback()
+	}
+	return e
+}
+
+// Fabric exposes the traffic accounting (read-only use intended).
+func (e *Engine) Fabric() *simnet.Fabric { return e.fabric }
+
+// Plans exposes the semantic pair plans (nil when Semantic is off).
+func (e *Engine) Plans() []*core.PairPlan {
+	var out []*core.PairPlan
+	for _, p := range e.plans {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Config returns the engine's configuration.
+func (e *Engine) Config() Config { return e.cfg }
+
+// StartEpoch resets the per-epoch counters; must be called before each
+// training epoch.
+func (e *Engine) StartEpoch(epoch int) {
+	e.epoch = epoch
+	e.round = 0
+	e.fabric.Reset()
+	e.quantValues = 0
+	e.sampleEdges = 0
+	e.semanticValues = 0
+	e.aggFlops = 0
+	if e.delay != nil {
+		e.delay.ResetCounters()
+	}
+}
+
+// CaptureEpoch freezes this epoch's traffic and processing counters.
+func (e *Engine) CaptureEpoch() simnet.Snapshot {
+	s := e.fabric.Capture()
+	s.QuantValues = e.quantValues
+	s.SampleEdges = e.sampleEdges
+	s.SemanticValues = e.semanticValues
+	s.ComputeFlops = e.aggFlops
+	if e.delay != nil {
+		s.CacheValues = e.delay.Touched
+	}
+	return s
+}
+
+// Forward implements gnn.Aggregator: out = Â·h with the cross-partition part
+// of Â carried by the configured exchange method.
+func (e *Engine) Forward(h *tensor.Matrix) *tensor.Matrix {
+	out := e.localAggregate(h)
+	e.remote(h, out, false)
+	return out
+}
+
+// Backward implements gnn.Aggregator: gradients flow along the transposed
+// edges, dst partition → src partition, through the reversed semantics.
+func (e *Engine) Backward(g *tensor.Matrix) *tensor.Matrix {
+	out := e.localAggregate(g)
+	e.remote(g, out, true)
+	return out
+}
+
+// localAggregate computes the within-partition part of Â·h (self loops plus
+// same-partition neighbors); no traffic.
+func (e *Engine) localAggregate(h *tensor.Matrix) *tensor.Matrix {
+	n := e.g.NumNodes()
+	if h.Rows != n {
+		panic(fmt.Sprintf("dist: matrix rows %d, graph nodes %d", h.Rows, n))
+	}
+	out := tensor.New(n, h.Cols)
+	for u := int32(0); int(u) < n; u++ {
+		fu := e.coeff[u]
+		orow := out.Row(int(u))
+		tensor.AXPY(fu*fu, h.Row(int(u)), orow)
+		for _, v := range e.g.Neighbors(u) {
+			if e.part[v] == e.part[u] {
+				tensor.AXPY(fu*e.coeff[v], h.Row(int(v)), orow)
+				e.aggFlops += int64(2 * h.Cols)
+			}
+		}
+	}
+	return out
+}
+
+// remote adds the cross-partition contributions into out. In the backward
+// direction the traffic flows dst→src along the same structures.
+func (e *Engine) remote(h, out *tensor.Matrix, backward bool) {
+	round := e.round
+	e.round++
+
+	// Delayed transmission replays the whole stale remote contribution.
+	if e.delay != nil && !e.delay.ShouldTransmit(e.epoch) {
+		if stale := e.delay.Load(round); stale != nil {
+			tensor.AddInPlace(out, stale)
+			return
+		}
+	}
+
+	if e.nodeSampler != nil {
+		e.nodeSampler.StartRound()
+	}
+	e.efUnit = 0
+	delta := tensor.New(out.Rows, out.Cols)
+	if e.cfg.Semantic {
+		e.remoteSemantic(h, delta, backward)
+	} else {
+		e.remoteEdges(h, delta, backward)
+	}
+	if e.delay != nil {
+		e.delay.Store(round, delta)
+	}
+	tensor.AddInPlace(out, delta)
+}
+
+// remoteEdges is the baseline per-edge exchange of Fig. 7(a), optionally
+// sampled and/or quantized.
+func (e *Engine) remoteEdges(h, delta *tensor.Matrix, backward bool) {
+	dim := h.Cols
+	payload := make([]float64, dim)
+	for s := 0; s < e.nparts; s++ {
+		for t := 0; t < e.nparts; t++ {
+			edges := e.crossOut[s*e.nparts+t]
+			if len(edges) == 0 {
+				continue
+			}
+			if e.sampler != nil || e.nodeSampler != nil {
+				e.sampleEdges += int64(len(edges))
+			}
+			for _, edge := range edges {
+				// Forward: u→v payload f[u]h_u, traffic s→t.
+				// Backward: v→u payload f[v]h_v, traffic t→s.
+				sender, receiver := edge.U, edge.V
+				from, to := s, t
+				if backward {
+					sender, receiver = edge.V, edge.U
+					from, to = t, s
+				}
+				scale := e.coeff[sender]
+				switch {
+				case e.sampler != nil:
+					if !e.sampler.Keep() {
+						e.skipUnit()
+						continue
+					}
+					scale *= e.sampler.Scale()
+				case e.nodeSampler != nil:
+					if !e.nodeSampler.Keep(sender) {
+						e.skipUnit()
+						continue
+					}
+					scale *= e.nodeSampler.Scale()
+				}
+				src := h.Row(int(sender))
+				for i, v := range src {
+					payload[i] = scale * v
+				}
+				e.sendPayload(from, to, payload)
+				tensor.AXPY(e.coeff[receiver], payload, delta.Row(int(receiver)))
+				e.aggFlops += int64(2 * dim)
+			}
+		}
+	}
+}
+
+// remoteSemantic is the SC-GNN exchange of Fig. 7(b): one fused message per
+// group plus raw O2O residuals, optionally sampled/quantized on top (the
+// compatibility combinations of Fig. 12(b)).
+func (e *Engine) remoteSemantic(h, delta *tensor.Matrix, backward bool) {
+	dim := h.Cols
+	for idx, plan := range e.plans {
+		if plan == nil {
+			continue
+		}
+		groups := plan.Groups
+		if backward {
+			groups = e.revGroups[idx]
+		}
+		from, to := plan.SrcPart, plan.DstPart
+		if backward {
+			from, to = plan.DstPart, plan.SrcPart
+		}
+		for gi, grp := range groups {
+			scale := 1.0
+			switch {
+			case e.sampler != nil:
+				if !e.sampler.Keep() {
+					e.skipUnit()
+					continue
+				}
+				scale = e.sampler.Scale()
+			case e.nodeSampler != nil:
+				// Under node-granularity sampling a group is the transfer
+				// unit: one coin per (plan, group) per round.
+				if !e.nodeSampler.Keep(int32(idx*4096 + gi)) {
+					e.skipUnit()
+					continue
+				}
+				scale = e.nodeSampler.Scale()
+			}
+			// Fuse with the GCN normalization folded into the payload:
+			// h_g = Σ w(u)·f[u]·h_u (Fig. 7(b) line 2, with Â's coefficients
+			// riding along so delivery only needs the receiver factor).
+			hg := make([]float64, dim)
+			for k, u := range grp.SrcNodes {
+				tensor.AXPY(grp.WOut[k]*e.coeff[u]*scale, h.Row(int(u)), hg)
+			}
+			e.semanticValues += int64(len(grp.SrcNodes) * dim)
+			e.sendPayload(from, to, hg)
+			for k, v := range grp.DstNodes {
+				tensor.AXPY(grp.DDst[k]*e.coeff[v], hg, delta.Row(int(v)))
+			}
+			e.semanticValues += int64(len(grp.DstNodes) * dim)
+			e.aggFlops += int64(2 * dim * (len(grp.SrcNodes) + len(grp.DstNodes)))
+		}
+		// Residual O2O edges travel raw.
+		payload := make([]float64, dim)
+		for _, o := range plan.O2O {
+			sender, receiver := o.Src, o.Dst
+			if backward {
+				sender, receiver = o.Dst, o.Src
+			}
+			scale := e.coeff[sender]
+			switch {
+			case e.sampler != nil:
+				if !e.sampler.Keep() {
+					e.skipUnit()
+					continue
+				}
+				scale *= e.sampler.Scale()
+			case e.nodeSampler != nil:
+				if !e.nodeSampler.Keep(sender) {
+					e.skipUnit()
+					continue
+				}
+				scale *= e.nodeSampler.Scale()
+			}
+			src := h.Row(int(sender))
+			for i, v := range src {
+				payload[i] = scale * v
+			}
+			e.sendPayload(from, to, payload)
+			tensor.AXPY(e.coeff[receiver], payload, delta.Row(int(receiver)))
+			e.aggFlops += int64(2 * dim)
+		}
+	}
+}
+
+// sendPayload optionally quantizes the payload in place, records the message
+// on the fabric, and returns the wire size.
+func (e *Engine) sendPayload(from, to int, payload []float64) int {
+	unit := e.efUnit
+	e.efUnit++
+	// Residual error feedback: correct the payload by last round's
+	// quantization error for this transfer unit, then record the new error.
+	var trueVals []float64
+	var efKey int64
+	if e.ef != nil {
+		efKey = int64(e.round-1)<<32 | unit
+		e.ef.PreCompress(efKey, payload)
+		trueVals = append(trueVals, payload...)
+	}
+	var bytes int
+	switch {
+	case e.quant != nil:
+		bytes = e.quant.Roundtrip(payload)
+		e.quantValues += int64(len(payload))
+	case e.adaptive != nil:
+		bytes = e.adaptive.Roundtrip(payload)
+		e.quantValues += int64(len(payload))
+	default:
+		bytes = len(payload) * e.cfg.BytesPerValue
+	}
+	if e.ef != nil {
+		e.ef.PostCompress(efKey, trueVals, payload)
+	}
+	e.fabric.Send(from, to, bytes)
+	return bytes
+}
+
+// skipUnit keeps the error-feedback unit numbering stable when sampling
+// drops a candidate transfer unit.
+func (e *Engine) skipUnit() { e.efUnit++ }
+
+// CrossEdgeCount returns the total number of cross-partition arcs.
+func (e *Engine) CrossEdgeCount() int {
+	n := 0
+	for _, edges := range e.crossOut {
+		n += len(edges)
+	}
+	return n
+}
+
+// RandSource returns a child RNG for callers needing engine-correlated
+// randomness (model init in the runner).
+func (e *Engine) RandSource() *rand.Rand {
+	return rand.New(rand.NewSource(e.cfg.Seed*7919 + 17))
+}

@@ -1,0 +1,177 @@
+// Package exp contains one builder per table and figure of the paper's
+// evaluation (Sec. 5). Each builder wires datasets → partitioner → semantic
+// plans → distributed training runs and emits text tables/figures via
+// internal/trace. The experiment ↔ module map lives in DESIGN.md §4;
+// paper-vs-measured outcomes are recorded in EXPERIMENTS.md.
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"scgnn/internal/core"
+	"scgnn/internal/datasets"
+	"scgnn/internal/dist"
+	"scgnn/internal/graph"
+	"scgnn/internal/partition"
+	"scgnn/internal/trace"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Seed drives every stochastic component; same seed → same report.
+	Seed int64
+	// Epochs per training run (default 40; Quick mode uses 12).
+	Epochs int
+	// Partitions for single-partition-count experiments (default 4).
+	Partitions int
+	// Quick shrinks sweeps and epochs so the full suite runs in seconds —
+	// used by tests; the cmd harness uses full settings.
+	Quick bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Epochs == 0 {
+		if o.Quick {
+			o.Epochs = 12
+		} else {
+			o.Epochs = 40
+		}
+	}
+	if o.Partitions == 0 {
+		o.Partitions = 4
+	}
+	return o
+}
+
+// Report is the output of one experiment.
+type Report struct {
+	ID      string
+	Tables  []*trace.Table
+	Figures []*trace.Figure
+	Notes   []string
+}
+
+// AddNote records a free-text observation in the report.
+func (r *Report) AddNote(format string, args ...interface{}) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the whole report.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "######## experiment %s ########\n", r.ID)
+	for _, t := range r.Tables {
+		b.WriteString(t.String())
+		b.WriteString("\n")
+	}
+	for _, f := range r.Figures {
+		b.WriteString(f.String())
+		b.WriteString("\n")
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Builder runs one experiment.
+type Builder func(Options) *Report
+
+// Registry maps experiment ids to builders, in the paper's order.
+var Registry = map[string]Builder{
+	"fig2b":  Fig2b,
+	"fig2d":  Fig2d,
+	"fig4a":  Fig4a,
+	"fig4b":  Fig4b,
+	"fig6":   Fig6,
+	"fig9":   Fig9,
+	"fig10":  Fig10,
+	"table1": Table1,
+	"fig11":  Fig11,
+	"fig12a": Fig12a,
+	"fig12b": Fig12b,
+	"table2": Table2,
+}
+
+// IDs returns the registered experiment ids in display order.
+func IDs() []string {
+	ids := make([]string, 0, len(Registry))
+	for id := range Registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	// Paper order beats alphabetical for readability.
+	order := []string{"fig2b", "fig2d", "fig4a", "fig4b", "fig6", "fig9", "fig10", "table1", "fig11", "fig12a", "fig12b", "table2"}
+	out := make([]string, 0, len(order))
+	for _, id := range order {
+		if _, ok := Registry[id]; ok {
+			out = append(out, id)
+		}
+	}
+	for _, id := range ids {
+		found := false
+		for _, o := range out {
+			if o == id {
+				found = true
+			}
+		}
+		if !found {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// benchDatasets returns the experiment's dataset list (all four, or a dense
+// + sparse pair in Quick mode).
+func benchDatasets(o Options) []*datasets.Dataset {
+	if o.Quick {
+		return []*datasets.Dataset{quickReddit(o.Seed), datasets.PubMedSim(o.Seed)}
+	}
+	return datasets.AllBenchmarks(o.Seed)
+}
+
+// quickReddit is a shrunken reddit-sim for Quick mode.
+func quickReddit(seed int64) *datasets.Dataset {
+	return datasets.Generate(datasets.Spec{
+		Name:       "reddit-sim",
+		Nodes:      400,
+		AvgDegree:  30,
+		Classes:    5,
+		FeatureDim: 16,
+		Homophily:  0.85,
+		Seed:       seed,
+	})
+}
+
+// partitionFor runs the default node-cut partitioner.
+func partitionFor(d *datasets.Dataset, nparts int, seed int64) []int {
+	return partition.Partition(d.Graph, nparts, partition.NodeCut, partition.Config{Seed: seed})
+}
+
+// semanticCfg is the default SC-GNN configuration (auto-EEP grouping).
+func semanticCfg(seed int64) dist.Config {
+	return dist.Semantic(core.PlanConfig{Grouping: core.GroupingConfig{Seed: seed}})
+}
+
+// largestDBG returns the cross-partition DBG with the most edges, used by
+// the grouping-analysis experiments. Returns nil when nothing crosses.
+func largestDBG(d *datasets.Dataset, part []int, nparts int) *graph.DBG {
+	var best *graph.DBG
+	for _, dbg := range graph.AllDBGs(d.Graph, part, nparts) {
+		if best == nil || dbg.NumEdges() > best.NumEdges() {
+			best = dbg
+		}
+	}
+	return best
+}
+
+// runCfg builds the shared training configuration.
+func runCfg(o Options) dist.RunConfig {
+	return dist.RunConfig{Epochs: o.Epochs, Seed: o.Seed}
+}

@@ -1,0 +1,82 @@
+package gnn
+
+import (
+	"scgnn/internal/nn"
+	"scgnn/internal/tensor"
+)
+
+// TrainConfig controls a full-batch training run.
+type TrainConfig struct {
+	Epochs int
+	LR     float64 // default 0.01
+	// WeightDecay applies L2 regularization through the optimizer.
+	WeightDecay float64
+	// Patience stops early when validation accuracy hasn't improved for
+	// this many epochs (0 disables early stopping).
+	Patience int
+}
+
+// EpochStats records one epoch of training.
+type EpochStats struct {
+	Epoch    int
+	Loss     float64
+	TrainAcc float64
+	ValAcc   float64
+}
+
+// TrainResult summarizes a run.
+type TrainResult struct {
+	Epochs  []EpochStats
+	TestAcc float64
+	// BestValAcc is the best validation accuracy observed.
+	BestValAcc float64
+}
+
+// Train runs full-batch supervised training of model on (x, labels) with the
+// given masks, evaluating test accuracy at the end. It mirrors the standard
+// full-graph GNN training loop (paper Fig. 8 right side): forward over all
+// nodes, masked loss, backward, optimizer step — every epoch.
+func Train(model Model, x *tensor.Matrix, labels []int, trainMask, valMask, testMask []bool, cfg TrainConfig) *TrainResult {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 100
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.01
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+
+	res := &TrainResult{}
+	sinceBest := 0
+	for e := 0; e < cfg.Epochs; e++ {
+		logits := model.Forward(x)
+		loss, grad := nn.MaskedCrossEntropy(logits, labels, trainMask)
+		model.ZeroGrad()
+		model.Backward(grad)
+		opt.Step(model.Params())
+
+		st := EpochStats{
+			Epoch:    e,
+			Loss:     loss,
+			TrainAcc: nn.Accuracy(logits, labels, trainMask),
+			ValAcc:   nn.Accuracy(logits, labels, valMask),
+		}
+		res.Epochs = append(res.Epochs, st)
+		if st.ValAcc > res.BestValAcc {
+			res.BestValAcc = st.ValAcc
+			sinceBest = 0
+		} else {
+			sinceBest++
+			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
+				break
+			}
+		}
+	}
+	if tm, ok := model.(TrainableMode); ok {
+		tm.SetTraining(false)
+		defer tm.SetTraining(true)
+	}
+	final := model.Forward(x)
+	res.TestAcc = nn.Accuracy(final, labels, testMask)
+	return res
+}

@@ -1,0 +1,150 @@
+package graph
+
+import (
+	"math"
+	"sort"
+)
+
+// ConnectedComponents returns, for the graph treated as undirected, the
+// component id of every node (ids are dense, ordered by first appearance)
+// and the number of components.
+func ConnectedComponents(g *Graph) ([]int, int) {
+	n := g.NumNodes()
+	comp := make([]int, n)
+	for i := range comp {
+		comp[i] = -1
+	}
+	next := 0
+	queue := make([]int32, 0, n)
+	for s := int32(0); int(s) < n; s++ {
+		if comp[s] != -1 {
+			continue
+		}
+		comp[s] = next
+		queue = append(queue[:0], s)
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			for _, v := range g.Neighbors(u) {
+				if comp[v] == -1 {
+					comp[v] = next
+					queue = append(queue, v)
+				}
+			}
+		}
+		next++
+	}
+	return comp, next
+}
+
+// BFSDistances returns the hop distance from src to every node (-1 for
+// unreachable), following arcs forward.
+func BFSDistances(g *Graph, src int32) []int {
+	n := g.NumNodes()
+	dist := make([]int, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		for _, v := range g.Neighbors(u) {
+			if dist[v] == -1 {
+				dist[v] = dist[u] + 1
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// ClusteringCoefficient returns the mean local clustering coefficient: for
+// each node, the fraction of its neighbor pairs that are themselves
+// connected. Nodes with degree < 2 contribute 0.
+func ClusteringCoefficient(g *Graph) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	var total float64
+	for u := int32(0); int(u) < n; u++ {
+		nbrs := g.Neighbors(u)
+		d := len(nbrs)
+		if d < 2 {
+			continue
+		}
+		links := 0
+		for i := 0; i < d; i++ {
+			for j := i + 1; j < d; j++ {
+				if g.HasEdge(nbrs[i], nbrs[j]) {
+					links++
+				}
+			}
+		}
+		total += 2 * float64(links) / float64(d*(d-1))
+	}
+	return total / float64(n)
+}
+
+// DegreeGini returns the Gini coefficient of the degree distribution — 0 for
+// perfectly uniform degrees, approaching 1 for extreme hub concentration.
+func DegreeGini(g *Graph) float64 {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	degs := make([]float64, n)
+	var sum float64
+	for u := 0; u < n; u++ {
+		degs[u] = float64(g.Degree(int32(u)))
+		sum += degs[u]
+	}
+	if sum == 0 {
+		return 0
+	}
+	sort.Float64s(degs)
+	var cum float64
+	for i, d := range degs {
+		cum += d * float64(2*(i+1)-n-1)
+	}
+	return cum / (float64(n) * sum)
+}
+
+// EffectiveDiameter estimates the 90th-percentile pairwise hop distance by
+// BFS from a deterministic sample of sources (every n/samples-th node).
+// Unreachable pairs are ignored. Returns 0 for graphs with < 2 nodes.
+func EffectiveDiameter(g *Graph, samples int) float64 {
+	n := g.NumNodes()
+	if n < 2 {
+		return 0
+	}
+	if samples < 1 {
+		samples = 1
+	}
+	if samples > n {
+		samples = n
+	}
+	step := n / samples
+	if step == 0 {
+		step = 1
+	}
+	var dists []int
+	for s := 0; s < n; s += step {
+		for _, d := range BFSDistances(g, int32(s)) {
+			if d > 0 {
+				dists = append(dists, d)
+			}
+		}
+	}
+	if len(dists) == 0 {
+		return 0
+	}
+	sort.Ints(dists)
+	idx := int(math.Ceil(0.9*float64(len(dists)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return float64(dists[idx])
+}

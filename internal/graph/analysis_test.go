@@ -1,0 +1,99 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	// Two triangles and an isolated node.
+	g := NewUndirected(7, []Edge{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+	})
+	comp, n := ConnectedComponents(g)
+	if n != 3 {
+		t.Fatalf("components = %d, want 3", n)
+	}
+	if comp[0] != comp[1] || comp[1] != comp[2] {
+		t.Fatal("triangle 1 split")
+	}
+	if comp[3] != comp[4] || comp[0] == comp[3] {
+		t.Fatal("triangles merged or split")
+	}
+	if comp[6] == comp[0] || comp[6] == comp[3] {
+		t.Fatal("isolated node joined a component")
+	}
+}
+
+func TestBFSDistances(t *testing.T) {
+	// Path 0-1-2-3 plus unreachable 4.
+	g := NewUndirected(5, []Edge{{0, 1}, {1, 2}, {2, 3}})
+	d := BFSDistances(g, 0)
+	want := []int{0, 1, 2, 3, -1}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("dist = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestClusteringCoefficient(t *testing.T) {
+	// Triangle: every node has coefficient 1.
+	tri := NewUndirected(3, []Edge{{0, 1}, {1, 2}, {2, 0}})
+	if got := ClusteringCoefficient(tri); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("triangle coefficient = %v", got)
+	}
+	// Star: no neighbor pairs connected → 0.
+	star := NewUndirected(4, []Edge{{0, 1}, {0, 2}, {0, 3}})
+	if got := ClusteringCoefficient(star); got != 0 {
+		t.Fatalf("star coefficient = %v", got)
+	}
+	if ClusteringCoefficient(New(0, nil)) != 0 {
+		t.Fatal("empty graph")
+	}
+}
+
+func TestDegreeGini(t *testing.T) {
+	// Regular ring: perfectly uniform degrees → Gini 0.
+	ring := NewUndirected(6, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}, {5, 0}})
+	if got := DegreeGini(ring); math.Abs(got) > 1e-12 {
+		t.Fatalf("ring Gini = %v", got)
+	}
+	// Star: highly unequal → Gini well above 0.
+	star := NewUndirected(10, []Edge{
+		{0, 1}, {0, 2}, {0, 3}, {0, 4}, {0, 5}, {0, 6}, {0, 7}, {0, 8}, {0, 9},
+	})
+	// Exact value for a 10-node star: degrees [9,1×9] give Gini = 0.4.
+	if got := DegreeGini(star); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("star Gini = %v, want 0.4", got)
+	}
+}
+
+func TestEffectiveDiameter(t *testing.T) {
+	// Path of 10 nodes: 90th percentile distance is large.
+	var edges []Edge
+	for i := int32(0); i < 9; i++ {
+		edges = append(edges, Edge{i, i + 1})
+	}
+	path := NewUndirected(10, edges)
+	dPath := EffectiveDiameter(path, 10)
+	// Clique: everything at distance 1.
+	var ce []Edge
+	for i := int32(0); i < 10; i++ {
+		for j := i + 1; j < 10; j++ {
+			ce = append(ce, Edge{i, j})
+		}
+	}
+	clique := NewUndirected(10, ce)
+	dClique := EffectiveDiameter(clique, 10)
+	if dClique != 1 {
+		t.Fatalf("clique diameter = %v", dClique)
+	}
+	if dPath <= 3 {
+		t.Fatalf("path diameter = %v, want > 3", dPath)
+	}
+	if EffectiveDiameter(New(1, nil), 1) != 0 {
+		t.Fatal("singleton diameter")
+	}
+}

@@ -1,0 +1,172 @@
+// Package graph provides the graph substrate for SC-GNN: compressed
+// sparse-row (CSR) graphs, degree statistics, symmetric normalization for GCN
+// aggregation, and — central to the paper — extraction of the directed
+// bipartite boundary graph (DBG) between a pair of partitions together with
+// the classification of its cross-partition connections into the four types
+// of Fig. 2(c): one-to-one (O2O), one-to-many (O2M), many-to-one (M2O), and
+// many-to-many (M2M).
+package graph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Graph is an immutable directed graph in CSR form. For GNN workloads the
+// graph is stored as a directed structure even when logically undirected;
+// use NewUndirected to insert both arc directions.
+type Graph struct {
+	n int
+	// CSR arrays: neighbors of node u are Adj[Off[u]:Off[u+1]], sorted.
+	Off []int32
+	Adj []int32
+}
+
+// Edge is a directed edge u→v.
+type Edge struct{ U, V int32 }
+
+// New builds a directed graph with n nodes from the given edge list.
+// Duplicate edges and self-loops are dropped; neighbor lists are sorted.
+func New(n int, edges []Edge) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	adjSets := make([][]int32, n)
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n))
+		}
+		if e.U == e.V {
+			continue
+		}
+		adjSets[e.U] = append(adjSets[e.U], e.V)
+	}
+	g := &Graph{n: n, Off: make([]int32, n+1)}
+	for u, nbrs := range adjSets {
+		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+		// Dedup in place.
+		w := 0
+		for i, v := range nbrs {
+			if i > 0 && v == nbrs[i-1] {
+				continue
+			}
+			nbrs[w] = v
+			w++
+		}
+		adjSets[u] = nbrs[:w]
+		g.Off[u+1] = g.Off[u] + int32(w)
+	}
+	g.Adj = make([]int32, g.Off[n])
+	for u, nbrs := range adjSets {
+		copy(g.Adj[g.Off[u]:], nbrs)
+	}
+	return g
+}
+
+// NewUndirected builds a graph in which every input edge is inserted in both
+// directions (the standard form for GCN datasets).
+func NewUndirected(n int, edges []Edge) *Graph {
+	both := make([]Edge, 0, 2*len(edges))
+	for _, e := range edges {
+		both = append(both, e, Edge{U: e.V, V: e.U})
+	}
+	return New(n, both)
+}
+
+// NumNodes returns the node count.
+func (g *Graph) NumNodes() int { return g.n }
+
+// NumEdges returns the number of directed arcs stored.
+func (g *Graph) NumEdges() int { return len(g.Adj) }
+
+// Neighbors returns the sorted out-neighbors of u as a shared slice.
+func (g *Graph) Neighbors(u int32) []int32 { return g.Adj[g.Off[u]:g.Off[u+1]] }
+
+// Degree returns the out-degree of u.
+func (g *Graph) Degree(u int32) int { return int(g.Off[u+1] - g.Off[u]) }
+
+// HasEdge reports whether arc u→v exists (binary search).
+func (g *Graph) HasEdge(u, v int32) bool {
+	nbrs := g.Neighbors(u)
+	i := sort.Search(len(nbrs), func(i int) bool { return nbrs[i] >= v })
+	return i < len(nbrs) && nbrs[i] == v
+}
+
+// Edges returns all directed arcs. The slice is freshly allocated.
+func (g *Graph) Edges() []Edge {
+	out := make([]Edge, 0, len(g.Adj))
+	for u := int32(0); int(u) < g.n; u++ {
+		for _, v := range g.Neighbors(u) {
+			out = append(out, Edge{U: u, V: v})
+		}
+	}
+	return out
+}
+
+// AvgDegree returns the mean out-degree.
+func (g *Graph) AvgDegree() float64 {
+	if g.n == 0 {
+		return 0
+	}
+	return float64(len(g.Adj)) / float64(g.n)
+}
+
+// MaxDegree returns the maximum out-degree.
+func (g *Graph) MaxDegree() int {
+	mx := 0
+	for u := 0; u < g.n; u++ {
+		if d := g.Degree(int32(u)); d > mx {
+			mx = d
+		}
+	}
+	return mx
+}
+
+// DegreeHistogram returns a map from degree to node count.
+func (g *Graph) DegreeHistogram() map[int]int {
+	h := make(map[int]int)
+	for u := 0; u < g.n; u++ {
+		h[g.Degree(int32(u))]++
+	}
+	return h
+}
+
+// SymNormCoeffs returns the symmetric GCN normalization coefficients with
+// self-loops: coeff(u,v) = 1/sqrt((d_u+1)(d_v+1)), returned as the per-node
+// factor 1/sqrt(d_u+1) so that coeff(u,v) = f[u]*f[v]. This matches the
+// renormalization trick of Kipf & Welling (Â = D̃^-1/2 (A+I) D̃^-1/2).
+func (g *Graph) SymNormCoeffs() []float64 {
+	f := make([]float64, g.n)
+	for u := 0; u < g.n; u++ {
+		f[u] = 1.0 / math.Sqrt(float64(g.Degree(int32(u))+1))
+	}
+	return f
+}
+
+// Subgraph returns the induced subgraph on the given nodes plus the mapping
+// from new local ids to the original global ids (in input order, after
+// dedup). Edges whose endpoints both lie in the set are kept.
+func (g *Graph) Subgraph(nodes []int32) (*Graph, []int32) {
+	idx := make(map[int32]int32, len(nodes))
+	var keep []int32
+	for _, u := range nodes {
+		if u < 0 || int(u) >= g.n {
+			panic(fmt.Sprintf("graph: subgraph node %d out of range [0,%d)", u, g.n))
+		}
+		if _, ok := idx[u]; ok {
+			continue
+		}
+		idx[u] = int32(len(keep))
+		keep = append(keep, u)
+	}
+	var edges []Edge
+	for _, u := range keep {
+		for _, v := range g.Neighbors(u) {
+			if j, ok := idx[v]; ok {
+				edges = append(edges, Edge{U: idx[u], V: j})
+			}
+		}
+	}
+	return New(len(keep), edges), keep
+}

@@ -1,0 +1,179 @@
+package minibatch
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scgnn/internal/datasets"
+	"scgnn/internal/graph"
+	"scgnn/internal/nn"
+	"scgnn/internal/tensor"
+)
+
+func chainGraph() *graph.Graph {
+	// 0-1-2-3-4 path, undirected.
+	return graph.NewUndirected(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 3}, {U: 3, V: 4}})
+}
+
+func TestSampleBlockStructure(t *testing.T) {
+	g := chainGraph()
+	s := NewSampler(g, []int{0, 0}, 1) // full fanout, 2 hops
+	b := s.Sample([]int32{2})
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Layers() != 2 {
+		t.Fatalf("Layers = %d", b.Layers())
+	}
+	if len(b.Targets()) != 1 || b.Targets()[0] != 2 {
+		t.Fatalf("Targets = %v", b.Targets())
+	}
+	// 2-hop neighborhood of node 2 on a path covers all five nodes.
+	if len(b.InputNodes()) != 5 {
+		t.Fatalf("InputNodes = %v", b.InputNodes())
+	}
+}
+
+func TestSampleFanoutBound(t *testing.T) {
+	// Star: center 0 with 20 leaves; fanout 5 must cap the neighbor count.
+	var edges []graph.Edge
+	for i := int32(1); i <= 20; i++ {
+		edges = append(edges, graph.Edge{U: 0, V: i})
+	}
+	g := graph.NewUndirected(21, edges)
+	s := NewSampler(g, []int{5}, 2)
+	b := s.Sample([]int32{0})
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(b.Neigh[0][0]); got != 5 {
+		t.Fatalf("sampled %d neighbors, want 5", got)
+	}
+	// Without replacement: all distinct.
+	seen := map[int32]bool{}
+	for _, ni := range b.Neigh[0][0] {
+		if seen[ni] {
+			t.Fatal("neighbor sampled twice")
+		}
+		seen[ni] = true
+	}
+}
+
+// Property: blocks from random graphs always validate and layer-0 supersets
+// hold (every upper node appears in the lower layer via Self).
+func TestSampleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(40)
+		var edges []graph.Edge
+		for k := 0; k < 4*n; k++ {
+			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+		}
+		g := graph.NewUndirected(n, edges)
+		fan := []int{1 + rng.Intn(5), 1 + rng.Intn(5)}
+		s := NewSampler(g, fan, seed)
+		targets := []int32{int32(rng.Intn(n)), int32(rng.Intn(n))}
+		b := s.Sample(targets)
+		return b.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSAGEGradientCheck: finite differences through the block-based SAGE.
+func TestSAGEGradientCheck(t *testing.T) {
+	g := chainGraph()
+	rng := rand.New(rand.NewSource(3))
+	model := NewSAGE([]int{3, 4, 2}, rng)
+	block := FullBlock(g, []int32{1, 3}, 2)
+	features := tensor.New(5, 3)
+	for i := range features.Data {
+		features.Data[i] = rng.NormFloat64()
+	}
+	labels := []int{0, 1}
+	mask := []bool{true, true}
+
+	loss := func() float64 {
+		l, _ := nn.MaskedCrossEntropy(model.Forward(block, features), labels, mask)
+		return l
+	}
+	logits := model.Forward(block, features)
+	_, dlogits := nn.MaskedCrossEntropy(logits, labels, mask)
+	model.ZeroGrad()
+	model.Backward(dlogits)
+
+	const eps = 1e-6
+	for _, p := range model.Params() {
+		for i := range p.Value.Data {
+			orig := p.Value.Data[i]
+			p.Value.Data[i] = orig + eps
+			fp := loss()
+			p.Value.Data[i] = orig - eps
+			fm := loss()
+			p.Value.Data[i] = orig
+			num := (fp - fm) / (2 * eps)
+			if math.Abs(num-p.Grad.Data[i]) > 1e-4*(1+math.Abs(num)) {
+				t.Fatalf("%s[%d]: analytic %v vs numeric %v", p.Name, i, p.Grad.Data[i], num)
+			}
+		}
+	}
+}
+
+// TestFullBlockForwardMatchesIntuition: with full fanout, a target's output
+// depends on its exact 2-hop neighborhood — identical features must yield
+// identical logits for symmetric nodes.
+func TestFullBlockSymmetry(t *testing.T) {
+	// Path 0-1-2-3-4: nodes 0 and 4 are symmetric, as are 1 and 3.
+	g := chainGraph()
+	rng := rand.New(rand.NewSource(4))
+	model := NewSAGE([]int{2, 3, 2}, rng)
+	features := tensor.New(5, 2)
+	features.Fill(1) // symmetric inputs
+	block := FullBlock(g, []int32{0, 4, 1, 3}, 2)
+	logits := model.Forward(block, features)
+	for j := 0; j < 2; j++ {
+		if math.Abs(logits.At(0, j)-logits.At(1, j)) > 1e-9 {
+			t.Fatal("symmetric endpoints produced different logits")
+		}
+		if math.Abs(logits.At(2, j)-logits.At(3, j)) > 1e-9 {
+			t.Fatal("symmetric inner nodes produced different logits")
+		}
+	}
+}
+
+func TestMinibatchTrainingLearns(t *testing.T) {
+	d := datasets.PubMedSim(5)
+	res := Train(d, TrainConfig{Epochs: 6, Fanouts: []int{8, 8}, Seed: 1})
+	if res.TestAcc < 0.6 {
+		t.Fatalf("minibatch SAGE accuracy = %v", res.TestAcc)
+	}
+	if res.Steps == 0 || res.InputNodes == 0 {
+		t.Fatalf("no work recorded: %+v", res)
+	}
+}
+
+func TestMinibatchSamplingBoundsWork(t *testing.T) {
+	d := datasets.RedditSim(6) // dense graph: sampling must cap the block
+	small := Train(d, TrainConfig{Epochs: 1, Fanouts: []int{3, 3}, Seed: 1})
+	big := Train(d, TrainConfig{Epochs: 1, Fanouts: []int{0, 0}, Seed: 1})
+	if small.InputNodes >= big.InputNodes {
+		t.Fatalf("fanout cap did not reduce gathered nodes: %d vs %d",
+			small.InputNodes, big.InputNodes)
+	}
+}
+
+func TestBlockMismatchedModelPanics(t *testing.T) {
+	g := chainGraph()
+	rng := rand.New(rand.NewSource(7))
+	model := NewSAGE([]int{2, 2}, rng) // 1 layer
+	block := FullBlock(g, []int32{0}, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	model.Forward(block, tensor.New(5, 2))
+}

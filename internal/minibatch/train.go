@@ -1,0 +1,132 @@
+package minibatch
+
+import (
+	"math/rand"
+
+	"scgnn/internal/datasets"
+	"scgnn/internal/nn"
+	"scgnn/internal/tensor"
+)
+
+// TrainConfig controls neighbor-sampled minibatch training.
+type TrainConfig struct {
+	// Fanouts per layer, input side first (default [10, 10] for 2 layers).
+	Fanouts []int
+	// BatchSize (default 64), Epochs (default 10), LR (default 0.01).
+	BatchSize int
+	Epochs    int
+	LR        float64
+	Hidden    int // default 32
+	Seed      int64
+}
+
+func (c TrainConfig) withDefaults() TrainConfig {
+	if len(c.Fanouts) == 0 {
+		c.Fanouts = []int{10, 10}
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 64
+	}
+	if c.Epochs == 0 {
+		c.Epochs = 10
+	}
+	if c.LR == 0 {
+		c.LR = 0.01
+	}
+	if c.Hidden == 0 {
+		c.Hidden = 32
+	}
+	return c
+}
+
+// Result reports a minibatch training run.
+type Result struct {
+	TestAcc    float64
+	FinalLoss  float64
+	Steps      int
+	InputNodes int64 // total layer-0 nodes gathered (the sampling workload)
+}
+
+// Train runs neighbor-sampled SAGE training on the dataset and evaluates on
+// exact (unsampled) blocks.
+func Train(ds *datasets.Dataset, cfg TrainConfig) *Result {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	layers := len(cfg.Fanouts)
+	dims := make([]int, 0, layers+1)
+	dims = append(dims, ds.FeatureDim())
+	for i := 1; i < layers; i++ {
+		dims = append(dims, cfg.Hidden)
+	}
+	dims = append(dims, ds.NumClasses)
+
+	model := NewSAGE(dims, rng)
+	sampler := NewSampler(ds.Graph, cfg.Fanouts, cfg.Seed+1)
+	opt := nn.NewAdam(cfg.LR)
+
+	var trainNodes []int32
+	for i, in := range ds.TrainMask {
+		if in {
+			trainNodes = append(trainNodes, int32(i))
+		}
+	}
+
+	res := &Result{}
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(trainNodes), func(i, j int) {
+			trainNodes[i], trainNodes[j] = trainNodes[j], trainNodes[i]
+		})
+		for start := 0; start < len(trainNodes); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(trainNodes) {
+				end = len(trainNodes)
+			}
+			batch := trainNodes[start:end]
+			block := sampler.Sample(batch)
+			res.InputNodes += int64(len(block.InputNodes()))
+
+			logits := model.Forward(block, ds.Features)
+			labels := make([]int, len(batch))
+			mask := make([]bool, len(batch))
+			for i, u := range batch {
+				labels[i] = ds.Labels[u]
+				mask[i] = true
+			}
+			loss, grad := nn.MaskedCrossEntropy(logits, labels, mask)
+			model.ZeroGrad()
+			model.Backward(grad)
+			opt.Step(model.Params())
+			res.FinalLoss = loss
+			res.Steps++
+		}
+	}
+
+	// Exact evaluation on the test nodes, in chunks to bound memory.
+	var testNodes []int32
+	for i, in := range ds.TestMask {
+		if in {
+			testNodes = append(testNodes, int32(i))
+		}
+	}
+	var hit, total int
+	const chunk = 256
+	for start := 0; start < len(testNodes); start += chunk {
+		end := start + chunk
+		if end > len(testNodes) {
+			end = len(testNodes)
+		}
+		block := FullBlock(ds.Graph, testNodes[start:end], layers)
+		logits := model.Forward(block, ds.Features)
+		pred := tensor.ArgmaxRows(logits)
+		for i, u := range testNodes[start:end] {
+			total++
+			if pred[i] == ds.Labels[u] {
+				hit++
+			}
+		}
+	}
+	if total > 0 {
+		res.TestAcc = float64(hit) / float64(total)
+	}
+	return res
+}

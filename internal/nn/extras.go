@@ -1,0 +1,144 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scgnn/internal/tensor"
+)
+
+// Dropout zeroes each element with probability P during training and
+// rescales the survivors by 1/(1−P) (inverted dropout), so evaluation needs
+// no correction. The mask is cached for the backward pass.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+	// Train toggles dropout; when false, Forward is the identity.
+	Train bool
+	mask  []float64
+}
+
+// NewDropout validates p and returns a layer in training mode.
+func NewDropout(p float64, seed int64) *Dropout {
+	if p < 0 || p >= 1 {
+		panic(fmt.Sprintf("nn: dropout p = %v out of [0,1)", p))
+	}
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(seed)), Train: true}
+}
+
+// Forward applies the mask (training) or passes through (evaluation).
+func (d *Dropout) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if !d.Train || d.P == 0 {
+		d.mask = nil
+		return x
+	}
+	out := tensor.New(x.Rows, x.Cols)
+	if cap(d.mask) < len(x.Data) {
+		d.mask = make([]float64, len(x.Data))
+	}
+	d.mask = d.mask[:len(x.Data)]
+	keep := 1 / (1 - d.P)
+	for i, v := range x.Data {
+		if d.rng.Float64() < d.P {
+			d.mask[i] = 0
+		} else {
+			d.mask[i] = keep
+			out.Data[i] = v * keep
+		}
+	}
+	return out
+}
+
+// Backward gates the gradient by the cached mask.
+func (d *Dropout) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if d.mask == nil {
+		return dy
+	}
+	if len(d.mask) != len(dy.Data) {
+		panic("nn: Dropout.Backward shape mismatch")
+	}
+	out := tensor.New(dy.Rows, dy.Cols)
+	for i, v := range dy.Data {
+		out.Data[i] = v * d.mask[i]
+	}
+	return out
+}
+
+// ClipGradNorm scales all gradients down so their global L2 norm does not
+// exceed maxNorm; returns the pre-clip norm.
+func ClipGradNorm(params []Param, maxNorm float64) float64 {
+	var total float64
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Scheduler maps an epoch index to a learning rate.
+type Scheduler interface {
+	LR(epoch int) float64
+}
+
+// ConstantLR always returns the same rate.
+type ConstantLR float64
+
+// LR implements Scheduler.
+func (c ConstantLR) LR(int) float64 { return float64(c) }
+
+// StepLR decays Base by Gamma every StepSize epochs.
+type StepLR struct {
+	Base     float64
+	StepSize int
+	Gamma    float64
+}
+
+// LR implements Scheduler.
+func (s StepLR) LR(epoch int) float64 {
+	if s.StepSize <= 0 {
+		return s.Base
+	}
+	return s.Base * math.Pow(s.Gamma, float64(epoch/s.StepSize))
+}
+
+// CosineLR anneals from Base to Min over Span epochs, then holds Min.
+type CosineLR struct {
+	Base, Min float64
+	Span      int
+}
+
+// LR implements Scheduler.
+func (c CosineLR) LR(epoch int) float64 {
+	if c.Span <= 0 || epoch >= c.Span {
+		return c.Min
+	}
+	frac := float64(epoch) / float64(c.Span)
+	return c.Min + (c.Base-c.Min)*(1+math.Cos(math.Pi*frac))/2
+}
+
+// WarmupLR ramps linearly from 0 to the wrapped scheduler's rate over
+// Warmup epochs.
+type WarmupLR struct {
+	Warmup int
+	Then   Scheduler
+}
+
+// LR implements Scheduler.
+func (w WarmupLR) LR(epoch int) float64 {
+	base := w.Then.LR(epoch)
+	if w.Warmup <= 0 || epoch >= w.Warmup {
+		return base
+	}
+	return base * float64(epoch+1) / float64(w.Warmup)
+}

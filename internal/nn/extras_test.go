@@ -1,0 +1,130 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"scgnn/internal/tensor"
+)
+
+func TestDropoutTrainingStats(t *testing.T) {
+	d := NewDropout(0.4, 1)
+	x := tensor.New(100, 50)
+	x.Fill(1)
+	out := d.Forward(x)
+	zeros, kept := 0, 0
+	keepScale := 1 / 0.6
+	for _, v := range out.Data {
+		switch {
+		case v == 0:
+			zeros++
+		case math.Abs(v-keepScale) < 1e-12:
+			kept++
+		default:
+			t.Fatalf("unexpected value %v", v)
+		}
+	}
+	frac := float64(zeros) / float64(len(out.Data))
+	if math.Abs(frac-0.4) > 0.03 {
+		t.Fatalf("drop fraction = %v, want ≈0.4", frac)
+	}
+	// Expectation preserved: mean ≈ 1.
+	var sum float64
+	for _, v := range out.Data {
+		sum += v
+	}
+	if mean := sum / float64(len(out.Data)); math.Abs(mean-1) > 0.05 {
+		t.Fatalf("inverted dropout mean = %v, want ≈1", mean)
+	}
+}
+
+func TestDropoutEvalIdentity(t *testing.T) {
+	d := NewDropout(0.5, 2)
+	d.Train = false
+	x := tensor.FromRows([][]float64{{1, 2, 3}})
+	if out := d.Forward(x); !out.Equal(x, 0) {
+		t.Fatal("eval-mode dropout must be identity")
+	}
+	dy := tensor.FromRows([][]float64{{4, 5, 6}})
+	if got := d.Backward(dy); !got.Equal(dy, 0) {
+		t.Fatal("eval-mode backward must be identity")
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	d := NewDropout(0.5, 3)
+	x := tensor.New(4, 4)
+	x.Fill(1)
+	out := d.Forward(x)
+	dy := tensor.New(4, 4)
+	dy.Fill(1)
+	dx := d.Backward(dy)
+	for i := range out.Data {
+		// Gradient flows exactly where the forward survived, with the same
+		// rescale.
+		if (out.Data[i] == 0) != (dx.Data[i] == 0) {
+			t.Fatal("backward mask disagrees with forward mask")
+		}
+	}
+}
+
+func TestDropoutInvalidP(t *testing.T) {
+	for _, p := range []float64{-0.1, 1, 2} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("p=%v accepted", p)
+				}
+			}()
+			NewDropout(p, 1)
+		}()
+	}
+}
+
+func TestClipGradNorm(t *testing.T) {
+	g := tensor.FromRows([][]float64{{3, 4}}) // norm 5
+	p := []Param{{Value: tensor.New(1, 2), Grad: g}}
+	norm := ClipGradNorm(p, 1)
+	if norm != 5 {
+		t.Fatalf("pre-clip norm = %v", norm)
+	}
+	if math.Abs(tensor.L2Norm(g.Data)-1) > 1e-12 {
+		t.Fatalf("post-clip norm = %v, want 1", tensor.L2Norm(g.Data))
+	}
+	// Below the cap: untouched.
+	g2 := tensor.FromRows([][]float64{{0.3, 0.4}})
+	ClipGradNorm([]Param{{Value: tensor.New(1, 2), Grad: g2}}, 1)
+	if g2.Data[0] != 0.3 {
+		t.Fatal("gradient below cap was modified")
+	}
+}
+
+func TestSchedulers(t *testing.T) {
+	if ConstantLR(0.1).LR(50) != 0.1 {
+		t.Fatal("ConstantLR wrong")
+	}
+	s := StepLR{Base: 1, StepSize: 10, Gamma: 0.5}
+	if s.LR(0) != 1 || s.LR(9) != 1 || s.LR(10) != 0.5 || s.LR(25) != 0.25 {
+		t.Fatalf("StepLR sequence wrong: %v %v %v %v", s.LR(0), s.LR(9), s.LR(10), s.LR(25))
+	}
+	c := CosineLR{Base: 1, Min: 0.1, Span: 100}
+	if c.LR(0) != 1 {
+		t.Fatalf("cosine start = %v", c.LR(0))
+	}
+	if got := c.LR(50); math.Abs(got-0.55) > 1e-9 {
+		t.Fatalf("cosine midpoint = %v, want 0.55", got)
+	}
+	if c.LR(100) != 0.1 || c.LR(500) != 0.1 {
+		t.Fatal("cosine tail wrong")
+	}
+	// Monotone decrease over the span.
+	for e := 1; e < 100; e++ {
+		if c.LR(e) > c.LR(e-1)+1e-12 {
+			t.Fatalf("cosine not monotone at %d", e)
+		}
+	}
+	w := WarmupLR{Warmup: 10, Then: ConstantLR(1)}
+	if w.LR(0) != 0.1 || math.Abs(w.LR(4)-0.5) > 1e-12 || w.LR(10) != 1 || w.LR(50) != 1 {
+		t.Fatalf("warmup sequence wrong: %v %v %v %v", w.LR(0), w.LR(4), w.LR(10), w.LR(50))
+	}
+}

@@ -1,0 +1,91 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"scgnn/internal/tensor"
+)
+
+// ConfusionMatrix counts masked predictions: cm[true][predicted].
+func ConfusionMatrix(logits *tensor.Matrix, labels []int, mask []bool, classes int) [][]int {
+	if len(labels) != logits.Rows || len(mask) != logits.Rows {
+		panic(fmt.Sprintf("nn: ConfusionMatrix rows %d, labels %d, mask %d",
+			logits.Rows, len(labels), len(mask)))
+	}
+	cm := make([][]int, classes)
+	for i := range cm {
+		cm[i] = make([]int, classes)
+	}
+	pred := tensor.ArgmaxRows(logits)
+	for i, p := range pred {
+		if !mask[i] {
+			continue
+		}
+		if labels[i] < 0 || labels[i] >= classes || p < 0 || p >= classes {
+			panic(fmt.Sprintf("nn: label/prediction %d/%d out of %d classes", labels[i], p, classes))
+		}
+		cm[labels[i]][p]++
+	}
+	return cm
+}
+
+// ClassScores holds per-class precision/recall/F1.
+type ClassScores struct {
+	Precision, Recall, F1 []float64
+	MacroF1               float64
+}
+
+// Scores computes per-class precision, recall, and F1 from a confusion
+// matrix, plus the macro-averaged F1. Classes with no true or predicted
+// members score 0.
+func Scores(cm [][]int) ClassScores {
+	classes := len(cm)
+	s := ClassScores{
+		Precision: make([]float64, classes),
+		Recall:    make([]float64, classes),
+		F1:        make([]float64, classes),
+	}
+	for c := 0; c < classes; c++ {
+		tp := cm[c][c]
+		var fp, fn int
+		for o := 0; o < classes; o++ {
+			if o != c {
+				fp += cm[o][c]
+				fn += cm[c][o]
+			}
+		}
+		if tp+fp > 0 {
+			s.Precision[c] = float64(tp) / float64(tp+fp)
+		}
+		if tp+fn > 0 {
+			s.Recall[c] = float64(tp) / float64(tp+fn)
+		}
+		if s.Precision[c]+s.Recall[c] > 0 {
+			s.F1[c] = 2 * s.Precision[c] * s.Recall[c] / (s.Precision[c] + s.Recall[c])
+		}
+		s.MacroF1 += s.F1[c]
+	}
+	if classes > 0 {
+		s.MacroF1 /= float64(classes)
+	}
+	return s
+}
+
+// FormatConfusion renders the matrix with row/column labels for reports.
+func FormatConfusion(cm [][]int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "true\\pred")
+	for c := range cm {
+		fmt.Fprintf(&b, "%8d", c)
+	}
+	b.WriteString("\n")
+	for r, row := range cm {
+		fmt.Fprintf(&b, "%9d", r)
+		for _, v := range row {
+			fmt.Fprintf(&b, "%8d", v)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

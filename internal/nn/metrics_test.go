@@ -1,0 +1,85 @@
+package nn
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"scgnn/internal/tensor"
+)
+
+func TestConfusionMatrix(t *testing.T) {
+	logits := tensor.FromRows([][]float64{
+		{5, 0}, // pred 0, true 0 → tp for class 0
+		{0, 5}, // pred 1, true 0 → confusion
+		{0, 5}, // pred 1, true 1
+		{5, 0}, // masked out
+	})
+	labels := []int{0, 0, 1, 1}
+	mask := []bool{true, true, true, false}
+	cm := ConfusionMatrix(logits, labels, mask, 2)
+	if cm[0][0] != 1 || cm[0][1] != 1 || cm[1][1] != 1 || cm[1][0] != 0 {
+		t.Fatalf("cm = %v", cm)
+	}
+}
+
+func TestScoresPerfect(t *testing.T) {
+	cm := [][]int{{10, 0}, {0, 5}}
+	s := Scores(cm)
+	for c := 0; c < 2; c++ {
+		if s.Precision[c] != 1 || s.Recall[c] != 1 || s.F1[c] != 1 {
+			t.Fatalf("perfect cm scored %+v", s)
+		}
+	}
+	if s.MacroF1 != 1 {
+		t.Fatalf("MacroF1 = %v", s.MacroF1)
+	}
+}
+
+func TestScoresKnownValues(t *testing.T) {
+	// Class 0: tp=8, fn=2, fp=1 → P=8/9, R=0.8.
+	cm := [][]int{{8, 2}, {1, 9}}
+	s := Scores(cm)
+	if math.Abs(s.Precision[0]-8.0/9.0) > 1e-12 {
+		t.Fatalf("P0 = %v", s.Precision[0])
+	}
+	if math.Abs(s.Recall[0]-0.8) > 1e-12 {
+		t.Fatalf("R0 = %v", s.Recall[0])
+	}
+	wantF1 := 2 * (8.0 / 9.0) * 0.8 / (8.0/9.0 + 0.8)
+	if math.Abs(s.F1[0]-wantF1) > 1e-12 {
+		t.Fatalf("F1_0 = %v, want %v", s.F1[0], wantF1)
+	}
+}
+
+func TestScoresEmptyClass(t *testing.T) {
+	// Class 1 never occurs and is never predicted: all scores 0, no NaN.
+	cm := [][]int{{5, 0}, {0, 0}}
+	s := Scores(cm)
+	if s.Precision[1] != 0 || s.Recall[1] != 0 || s.F1[1] != 0 {
+		t.Fatalf("empty class scored %+v", s)
+	}
+	if math.IsNaN(s.MacroF1) {
+		t.Fatal("MacroF1 is NaN")
+	}
+}
+
+func TestFormatConfusion(t *testing.T) {
+	out := FormatConfusion([][]int{{1, 2}, {3, 4}})
+	if !strings.Contains(out, "true\\pred") || !strings.Contains(out, "3") {
+		t.Fatalf("format:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Fatalf("line count:\n%s", out)
+	}
+}
+
+func TestConfusionMatrixPanics(t *testing.T) {
+	logits := tensor.FromRows([][]float64{{1, 0}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range label")
+		}
+	}()
+	ConfusionMatrix(logits, []int{5}, []bool{true}, 2)
+}

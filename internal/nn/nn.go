@@ -1,0 +1,244 @@
+// Package nn provides the minimal neural-network toolkit the GNN models
+// need: linear layers and ReLU with hand-derived backward passes, a masked
+// softmax cross-entropy loss for full-batch node classification, Glorot
+// initialization, and SGD/Adam optimizers. No autograd — every backward is
+// explicit and verified against finite differences in the tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"scgnn/internal/tensor"
+)
+
+// Param couples a parameter matrix with its gradient accumulator.
+type Param struct {
+	Name  string
+	Value *tensor.Matrix
+	Grad  *tensor.Matrix
+}
+
+// Linear is a fully connected layer Y = XW + b.
+type Linear struct {
+	W, B   *tensor.Matrix // W: in×out, B: 1×out
+	GW, GB *tensor.Matrix
+	x      *tensor.Matrix // cached input for backward
+}
+
+// NewLinear allocates a layer with Glorot-uniform weights and zero bias.
+func NewLinear(in, out int, rng *rand.Rand) *Linear {
+	l := &Linear{
+		W:  tensor.New(in, out),
+		B:  tensor.New(1, out),
+		GW: tensor.New(in, out),
+		GB: tensor.New(1, out),
+	}
+	limit := math.Sqrt(6.0 / float64(in+out))
+	for i := range l.W.Data {
+		l.W.Data[i] = (2*rng.Float64() - 1) * limit
+	}
+	return l
+}
+
+// Forward computes XW + b, caching X for the backward pass.
+func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
+	if x.Cols != l.W.Rows {
+		panic(fmt.Sprintf("nn: Linear input dim %d, want %d", x.Cols, l.W.Rows))
+	}
+	l.x = x
+	y := tensor.MatMul(x, l.W)
+	y.AddRowVector(l.B.Row(0))
+	return y
+}
+
+// Backward accumulates dW += Xᵀ·dY and db += Σ dY rows, and returns
+// dX = dY·Wᵀ. Must be called after Forward.
+func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if l.x == nil {
+		panic("nn: Linear.Backward before Forward")
+	}
+	tensor.AddInPlace(l.GW, tensor.MatMulATB(l.x, dy))
+	gb := dy.ColSums()
+	for j, v := range gb {
+		l.GB.Data[j] += v
+	}
+	return tensor.MatMulABT(dy, l.W)
+}
+
+// Params exposes the layer's parameters for the optimizer.
+func (l *Linear) Params() []Param {
+	return []Param{
+		{Name: "W", Value: l.W, Grad: l.GW},
+		{Name: "b", Value: l.B, Grad: l.GB},
+	}
+}
+
+// ZeroGrad clears accumulated gradients.
+func (l *Linear) ZeroGrad() {
+	l.GW.Zero()
+	l.GB.Zero()
+}
+
+// ReLU is the elementwise rectifier with cached mask.
+type ReLU struct {
+	mask []bool
+}
+
+// Forward returns max(x, 0) and caches the activation mask.
+func (r *ReLU) Forward(x *tensor.Matrix) *tensor.Matrix {
+	out := tensor.New(x.Rows, x.Cols)
+	if cap(r.mask) < len(x.Data) {
+		r.mask = make([]bool, len(x.Data))
+	}
+	r.mask = r.mask[:len(x.Data)]
+	for i, v := range x.Data {
+		if v > 0 {
+			out.Data[i] = v
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+		}
+	}
+	return out
+}
+
+// Backward gates the incoming gradient by the cached mask.
+func (r *ReLU) Backward(dy *tensor.Matrix) *tensor.Matrix {
+	if len(r.mask) != len(dy.Data) {
+		panic("nn: ReLU.Backward shape mismatch or called before Forward")
+	}
+	out := tensor.New(dy.Rows, dy.Cols)
+	for i, v := range dy.Data {
+		if r.mask[i] {
+			out.Data[i] = v
+		}
+	}
+	return out
+}
+
+// MaskedCrossEntropy computes mean softmax cross-entropy over the rows where
+// mask is true, plus the gradient w.r.t. the logits (zero on unmasked rows).
+// labels[i] is the target class of row i.
+func MaskedCrossEntropy(logits *tensor.Matrix, labels []int, mask []bool) (float64, *tensor.Matrix) {
+	if len(labels) != logits.Rows || len(mask) != logits.Rows {
+		panic(fmt.Sprintf("nn: MaskedCrossEntropy rows %d, labels %d, mask %d",
+			logits.Rows, len(labels), len(mask)))
+	}
+	ls := tensor.LogSoftmaxRows(logits)
+	grad := tensor.New(logits.Rows, logits.Cols)
+	var loss float64
+	var count int
+	for i := 0; i < logits.Rows; i++ {
+		if !mask[i] {
+			continue
+		}
+		count++
+		loss -= ls.At(i, labels[i])
+	}
+	if count == 0 {
+		return 0, grad
+	}
+	inv := 1.0 / float64(count)
+	for i := 0; i < logits.Rows; i++ {
+		if !mask[i] {
+			continue
+		}
+		lrow := ls.Row(i)
+		grow := grad.Row(i)
+		for j := range grow {
+			grow[j] = math.Exp(lrow[j]) * inv
+		}
+		grow[labels[i]] -= inv
+	}
+	return loss * inv, grad
+}
+
+// Accuracy returns the fraction of masked rows whose argmax matches labels.
+func Accuracy(logits *tensor.Matrix, labels []int, mask []bool) float64 {
+	pred := tensor.ArgmaxRows(logits)
+	var hit, count int
+	for i, p := range pred {
+		if !mask[i] {
+			continue
+		}
+		count++
+		if p == labels[i] {
+			hit++
+		}
+	}
+	if count == 0 {
+		return 0
+	}
+	return float64(hit) / float64(count)
+}
+
+// Optimizer updates parameters from their gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients untouched (callers zero
+	// them explicitly so accumulation patterns stay possible).
+	Step(params []Param)
+}
+
+// SGD is plain gradient descent with optional L2 weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// Step implements Optimizer.
+func (s *SGD) Step(params []Param) {
+	for _, p := range params {
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i] + s.WeightDecay*p.Value.Data[i]
+			p.Value.Data[i] -= s.LR * g
+		}
+	}
+}
+
+// Adam is the Adam optimizer (Kingma & Ba) with bias correction.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	WeightDecay           float64
+
+	t int
+	m map[*tensor.Matrix][]float64
+	v map[*tensor.Matrix][]float64
+}
+
+// NewAdam returns Adam with the conventional defaults (β1=0.9, β2=0.999).
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*tensor.Matrix][]float64),
+		v: make(map[*tensor.Matrix][]float64),
+	}
+}
+
+// Step implements Optimizer.
+func (a *Adam) Step(params []Param) {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		m, ok := a.m[p.Value]
+		if !ok {
+			m = make([]float64, len(p.Value.Data))
+			a.m[p.Value] = m
+		}
+		v, ok := a.v[p.Value]
+		if !ok {
+			v = make([]float64, len(p.Value.Data))
+			a.v[p.Value] = v
+		}
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i] + a.WeightDecay*p.Value.Data[i]
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			mhat := m[i] / bc1
+			vhat := v[i] / bc2
+			p.Value.Data[i] -= a.LR * mhat / (math.Sqrt(vhat) + a.Eps)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package persist
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"scgnn/internal/nn"
+)
+
+// checkpointWire serializes named parameter tensors.
+type checkpointWire struct {
+	Names  []string
+	Shapes [][2]int
+	Data   [][]float64
+}
+
+// SaveParams writes a model's parameters (as returned by Model.Params) to w.
+// Gradients are not saved.
+func SaveParams(w io.Writer, params []nn.Param) error {
+	cw := checkpointWire{}
+	for _, p := range params {
+		cw.Names = append(cw.Names, p.Name)
+		cw.Shapes = append(cw.Shapes, [2]int{p.Value.Rows, p.Value.Cols})
+		cw.Data = append(cw.Data, append([]float64(nil), p.Value.Data...))
+	}
+	if err := gob.NewEncoder(w).Encode(&cw); err != nil {
+		return fmt.Errorf("persist: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadParams restores a checkpoint into an existing model's parameters.
+// Names and shapes must match exactly — a mismatch means the checkpoint was
+// written by a different architecture.
+func LoadParams(r io.Reader, params []nn.Param) error {
+	var cw checkpointWire
+	if err := gob.NewDecoder(r).Decode(&cw); err != nil {
+		return fmt.Errorf("persist: decode checkpoint: %w", err)
+	}
+	if len(cw.Names) != len(params) {
+		return fmt.Errorf("persist: checkpoint has %d tensors, model has %d", len(cw.Names), len(params))
+	}
+	byName := make(map[string]int, len(cw.Names))
+	for i, n := range cw.Names {
+		byName[n] = i
+	}
+	for _, p := range params {
+		i, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("persist: checkpoint missing tensor %q", p.Name)
+		}
+		if cw.Shapes[i][0] != p.Value.Rows || cw.Shapes[i][1] != p.Value.Cols {
+			return fmt.Errorf("persist: tensor %q shape %v, model wants %dx%d",
+				p.Name, cw.Shapes[i], p.Value.Rows, p.Value.Cols)
+		}
+		if len(cw.Data[i]) != len(p.Value.Data) {
+			return fmt.Errorf("persist: tensor %q data length %d, want %d",
+				p.Name, len(cw.Data[i]), len(p.Value.Data))
+		}
+		copy(p.Value.Data, cw.Data[i])
+	}
+	return nil
+}

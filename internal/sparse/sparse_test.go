@@ -1,0 +1,173 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"scgnn/internal/datasets"
+	"scgnn/internal/gnn"
+	"scgnn/internal/graph"
+	"scgnn/internal/tensor"
+)
+
+func TestNewAndAccess(t *testing.T) {
+	m := New(3, 4, []Entry{
+		{0, 1, 2}, {0, 3, 5}, {2, 0, -1},
+		{0, 1, 3}, // duplicate: summed to 5
+	})
+	if m.Rows() != 3 || m.Cols() != 4 || m.NNZ() != 3 {
+		t.Fatalf("shape/nnz = %dx%d/%d", m.Rows(), m.Cols(), m.NNZ())
+	}
+	if m.At(0, 1) != 5 || m.At(0, 3) != 5 || m.At(2, 0) != -1 || m.At(1, 1) != 0 {
+		t.Fatal("At wrong")
+	}
+	cols, ws := m.Row(0)
+	if len(cols) != 2 || cols[0] != 1 || ws[1] != 5 {
+		t.Fatalf("Row(0) = %v %v", cols, ws)
+	}
+}
+
+func TestZeroSumDuplicatesDropped(t *testing.T) {
+	m := New(2, 2, []Entry{{0, 0, 1}, {0, 0, -1}})
+	if m.NNZ() != 0 {
+		t.Fatalf("cancelled entry kept: nnz=%d", m.NNZ())
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2, 2, []Entry{{0, 5, 1}})
+}
+
+func TestMulDenseSmall(t *testing.T) {
+	// [[1 0],[0 2]] × [[1 2],[3 4]] = [[1 2],[6 8]]
+	m := New(2, 2, []Entry{{0, 0, 1}, {1, 1, 2}})
+	b := tensor.FromRows([][]float64{{1, 2}, {3, 4}})
+	got := m.MulDense(b)
+	want := tensor.FromRows([][]float64{{1, 2}, {6, 8}})
+	if !got.Equal(want, 0) {
+		t.Fatalf("MulDense = %v", got)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := New(2, 3, []Entry{{0, 0, 1}, {0, 2, 2}, {1, 1, -1}})
+	got := m.MulVec([]float64{10, 20, 30})
+	if got[0] != 70 || got[1] != -20 {
+		t.Fatalf("MulVec = %v", got)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var entries []Entry
+	for k := 0; k < 50; k++ {
+		entries = append(entries, Entry{Row: int32(rng.Intn(6)), Col: int32(rng.Intn(9)), W: rng.NormFloat64()})
+	}
+	m := New(6, 9, entries)
+	tt := m.Transpose().Transpose()
+	if tt.Rows() != m.Rows() || tt.NNZ() != m.NNZ() {
+		t.Fatal("transpose changed shape/nnz")
+	}
+	for r := int32(0); r < 6; r++ {
+		for c := int32(0); c < 9; c++ {
+			if math.Abs(m.At(r, c)-tt.At(r, c)) > 1e-12 {
+				t.Fatal("(Aᵀ)ᵀ != A")
+			}
+		}
+	}
+}
+
+func TestRowSumsAndScale(t *testing.T) {
+	m := New(2, 2, []Entry{{0, 0, 1}, {0, 1, 2}, {1, 0, 3}})
+	rs := m.RowSums()
+	if rs[0] != 3 || rs[1] != 3 {
+		t.Fatalf("RowSums = %v", rs)
+	}
+	m.Scale(2)
+	if m.At(0, 1) != 4 {
+		t.Fatal("Scale failed")
+	}
+}
+
+// TestNormalizedAdjacencyMatchesAggregator: SpMM over Â must equal the
+// traversal-based LocalAggregator exactly.
+func TestNormalizedAdjacencyMatchesAggregator(t *testing.T) {
+	d := datasets.PubMedSim(1)
+	A := NormalizedAdjacency(d.Graph)
+	agg := gnn.NewLocalAggregator(d.Graph)
+	rng := rand.New(rand.NewSource(2))
+	h := tensor.New(d.NumNodes(), 7)
+	for i := range h.Data {
+		h.Data[i] = rng.NormFloat64()
+	}
+	got := A.MulDense(h)
+	want := agg.Forward(h)
+	if !got.Equal(want, 1e-9) {
+		t.Fatal("SpMM aggregate != traversal aggregate")
+	}
+	// Â is symmetric.
+	At := A.Transpose()
+	got2 := At.MulDense(h)
+	if !got2.Equal(want, 1e-9) {
+		t.Fatal("Âᵀ != Â")
+	}
+}
+
+// Property: MulDense distributes over dense addition and commutes with
+// scalar scaling.
+func TestMulDenseLinearity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows, cols, k := 1+rng.Intn(8), 1+rng.Intn(8), 1+rng.Intn(4)
+		var entries []Entry
+		for e := 0; e < rng.Intn(30); e++ {
+			entries = append(entries, Entry{Row: int32(rng.Intn(rows)), Col: int32(rng.Intn(cols)), W: rng.NormFloat64()})
+		}
+		m := New(rows, cols, entries)
+		a, b := tensor.New(cols, k), tensor.New(cols, k)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+			b.Data[i] = rng.NormFloat64()
+		}
+		lhs := m.MulDense(tensor.Add(a, b))
+		rhs := tensor.Add(m.MulDense(a), m.MulDense(b))
+		return lhs.Equal(rhs, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyMatrix(t *testing.T) {
+	m := New(0, 0, nil)
+	if m.NNZ() != 0 {
+		t.Fatal("empty matrix has entries")
+	}
+	g := graph.New(1, nil)
+	A := NormalizedAdjacency(g)
+	if A.NNZ() != 1 || A.At(0, 0) != 1 { // lone node: self loop 1/sqrt(1)²
+		t.Fatalf("singleton Â = %v nnz %d", A.At(0, 0), A.NNZ())
+	}
+}
+
+func BenchmarkSpMMPubMed(b *testing.B) {
+	d := datasets.PubMedSim(1)
+	A := NormalizedAdjacency(d.Graph)
+	h := tensor.New(d.NumNodes(), 32)
+	rng := rand.New(rand.NewSource(3))
+	for i := range h.Data {
+		h.Data[i] = rng.NormFloat64()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		A.MulDense(h)
+	}
+}

@@ -1,0 +1,82 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func demoFigure() *Figure {
+	f := NewFigure("demo", "x", "y")
+	a := f.AddSeries("alpha")
+	a.Add(1, 10)
+	a.Add(2, 20)
+	a.Add(3, 15)
+	b := f.AddSeries("beta")
+	b.Add(1, 5)
+	b.Add(3, 25)
+	return f
+}
+
+func TestWriteSVGBasics(t *testing.T) {
+	var buf strings.Builder
+	if err := demoFigure().WriteSVG(&buf, 640, 400, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "demo", "alpha", "beta", "circle"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("SVG missing %q:\n%s", want, out[:200])
+		}
+	}
+	// Two polylines (one per series).
+	if strings.Count(out, "<polyline") != 2 {
+		t.Fatalf("polyline count = %d", strings.Count(out, "<polyline"))
+	}
+	// Five markers total.
+	if strings.Count(out, "<circle") != 5 {
+		t.Fatalf("marker count = %d", strings.Count(out, "<circle"))
+	}
+}
+
+func TestWriteSVGLogScale(t *testing.T) {
+	f := NewFigure("log", "d", "ratio")
+	s := f.AddSeries("semantic")
+	s.Add(1, 0.3)
+	s.Add(2, 0.01)
+	s.Add(3, 0.001)
+	s.Add(4, 0) // must be skipped on a log axis, not crash
+	var buf strings.Builder
+	if err := f.WriteSVG(&buf, 0, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(buf.String(), "<circle") != 3 {
+		t.Fatalf("log scale kept %d points, want 3", strings.Count(buf.String(), "<circle"))
+	}
+}
+
+func TestWriteSVGEmpty(t *testing.T) {
+	f := NewFigure("empty", "x", "y")
+	f.AddSeries("nothing")
+	var buf strings.Builder
+	if err := f.WriteSVG(&buf, 100, 100, false); err == nil {
+		t.Fatal("empty figure should error")
+	}
+}
+
+func TestWriteSVGEscapes(t *testing.T) {
+	f := NewFigure(`a<b&"c"`, "x", "y")
+	s := f.AddSeries("s<1>")
+	s.Add(1, 1)
+	s.Add(2, 2)
+	var buf strings.Builder
+	if err := f.WriteSVG(&buf, 200, 200, false); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Contains(out, `a<b&"c"`) || strings.Contains(out, "s<1>") {
+		t.Fatal("unescaped markup in SVG")
+	}
+	if !strings.Contains(out, "a&lt;b&amp;&quot;c&quot;") {
+		t.Fatalf("escape wrong:\n%s", out[:300])
+	}
+}

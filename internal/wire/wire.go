@@ -1,0 +1,227 @@
+// Package wire defines the binary message format the goroutine-based
+// distributed runtime (internal/worker) exchanges between workers: a fixed
+// header followed by an fp32 payload vector, mirroring the fp32 tensors a
+// gloo/NCCL transport would carry.
+//
+// The sequential engine in internal/dist *accounts* bytes analytically; this
+// package makes them real — every cross-partition value is serialized into a
+// byte slice and parsed again on the receiving worker, and the byte sizes
+// are asserted equal to the analytic accounting in tests.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Kind discriminates message semantics at the receiver.
+type Kind uint8
+
+const (
+	// KindNode carries one node's payload (vanilla / O2O traffic).
+	// Target is the global destination node id.
+	KindNode Kind = iota + 1
+	// KindGroup carries one fused semantic message. Target is the group's
+	// index within the (src→dst) plan.
+	KindGroup
+)
+
+// HeaderBytes is the encoded header size: kind(1) + pad(3) + src(4) +
+// target(4) + length(4).
+const HeaderBytes = 16
+
+// Message is one unit of cross-partition traffic.
+type Message struct {
+	Kind    Kind
+	SrcPart int32 // sending worker
+	Target  int32 // node id (KindNode) or plan-group index (KindGroup)
+	Payload []float64
+}
+
+// EncodedSize returns the wire size of a message with n payload values.
+func EncodedSize(n int) int { return HeaderBytes + 4*n }
+
+// Encode serializes m, appending to dst (which may be nil) and returning the
+// extended slice. Payload values are truncated to fp32 — the same precision
+// the paper's training exchanges.
+func Encode(dst []byte, m *Message) []byte {
+	var hdr [HeaderBytes]byte
+	hdr[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.SrcPart))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Target))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(m.Payload)))
+	dst = append(dst, hdr[:]...)
+	var buf [4]byte
+	for _, v := range m.Payload {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(float32(v)))
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// Decode parses one message from the front of b, returning the message and
+// the remaining bytes. The payload slice is freshly allocated.
+func Decode(b []byte) (*Message, []byte, error) {
+	if len(b) < HeaderBytes {
+		return nil, b, fmt.Errorf("wire: short header (%d bytes)", len(b))
+	}
+	kind := Kind(b[0])
+	if kind != KindNode && kind != KindGroup {
+		return nil, b, fmt.Errorf("wire: unknown kind %d", b[0])
+	}
+	src := int32(binary.LittleEndian.Uint32(b[4:]))
+	target := int32(binary.LittleEndian.Uint32(b[8:]))
+	n := int(binary.LittleEndian.Uint32(b[12:]))
+	if bits := int(b[1]); bits > 0 {
+		return decodeQuantized(b, kind, bits, src, target, n)
+	}
+	total := EncodedSize(n)
+	if len(b) < total {
+		return nil, b, fmt.Errorf("wire: truncated payload: have %d bytes, need %d", len(b), total)
+	}
+	payload := make([]float64, n)
+	off := HeaderBytes
+	for i := range payload {
+		bits := binary.LittleEndian.Uint32(b[off:])
+		payload[i] = float64(math.Float32frombits(bits))
+		off += 4
+	}
+	return &Message{Kind: kind, SrcPart: src, Target: target, Payload: payload}, b[total:], nil
+}
+
+// Batch accumulates encoded messages bound for one destination worker so a
+// round's traffic ships as a single framed buffer (the transport-level
+// batching gloo performs).
+type Batch struct {
+	buf   []byte
+	count int
+}
+
+// Add encodes m into the batch.
+func (b *Batch) Add(m *Message) {
+	b.buf = Encode(b.buf, m)
+	b.count++
+}
+
+// Len returns the number of messages in the batch.
+func (b *Batch) Len() int { return b.count }
+
+// Bytes returns the encoded buffer (nil when empty).
+func (b *Batch) Bytes() []byte { return b.buf }
+
+// DecodeAll parses every message in an encoded batch buffer.
+func DecodeAll(buf []byte) ([]*Message, error) {
+	var out []*Message
+	for len(buf) > 0 {
+		m, rest, err := Decode(buf)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+		buf = rest
+	}
+	return out, nil
+}
+
+// Quantized payload support: header byte 1 carries the bit width (0 means
+// fp32). A quantized message stores the value range as two fp32s (lo, step)
+// followed by the bit-packed little-endian payload.
+
+// EncodedSizeQuantized returns the wire size of an n-value payload at the
+// given bit width.
+func EncodedSizeQuantized(n, bits int) int {
+	return HeaderBytes + 8 + (n*bits+7)/8
+}
+
+// EncodeQuantized serializes m with b-bit affine quantization of the
+// payload (1 ≤ bits ≤ 16). The caller's payload is not modified; the
+// receiver reconstructs the dequantized values.
+func EncodeQuantized(dst []byte, m *Message, bits int) []byte {
+	if bits < 1 || bits > 16 {
+		panic(fmt.Sprintf("wire: quantized bits %d out of 1..16", bits))
+	}
+	var hdr [HeaderBytes]byte
+	hdr[0] = byte(m.Kind)
+	hdr[1] = byte(bits)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.SrcPart))
+	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Target))
+	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(m.Payload)))
+	dst = append(dst, hdr[:]...)
+
+	lo, hi := 0.0, 0.0
+	if len(m.Payload) > 0 {
+		lo, hi = m.Payload[0], m.Payload[0]
+		for _, v := range m.Payload {
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+	}
+	levels := float64(int(1)<<uint(bits)) - 1
+	step := 0.0
+	if hi > lo {
+		step = (hi - lo) / levels
+	}
+	var meta [8]byte
+	binary.LittleEndian.PutUint32(meta[0:], math.Float32bits(float32(lo)))
+	binary.LittleEndian.PutUint32(meta[4:], math.Float32bits(float32(step)))
+	dst = append(dst, meta[:]...)
+
+	// Bit-pack the level indices little-endian.
+	var acc uint64
+	var accBits uint
+	for _, v := range m.Payload {
+		var q uint64
+		if step > 0 {
+			q = uint64(math.Round((v - lo) / step))
+			if q > uint64(levels) {
+				q = uint64(levels)
+			}
+		}
+		acc |= q << accBits
+		accBits += uint(bits)
+		for accBits >= 8 {
+			dst = append(dst, byte(acc))
+			acc >>= 8
+			accBits -= 8
+		}
+	}
+	if accBits > 0 {
+		dst = append(dst, byte(acc))
+	}
+	return dst
+}
+
+// decodeQuantized parses a quantized message body (header already parsed).
+func decodeQuantized(b []byte, kind Kind, bits int, src, target int32, n int) (*Message, []byte, error) {
+	total := EncodedSizeQuantized(n, bits)
+	if len(b) < total {
+		return nil, b, fmt.Errorf("wire: truncated quantized payload: have %d, need %d", len(b), total)
+	}
+	lo := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes:])))
+	step := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes+4:])))
+	payload := make([]float64, n)
+	data := b[HeaderBytes+8 : total]
+	var acc uint64
+	var accBits uint
+	di := 0
+	mask := uint64(1)<<uint(bits) - 1
+	for i := 0; i < n; i++ {
+		for accBits < uint(bits) {
+			acc |= uint64(data[di]) << accBits
+			di++
+			accBits += 8
+		}
+		q := acc & mask
+		acc >>= uint(bits)
+		accBits -= uint(bits)
+		payload[i] = lo + float64(q)*step
+	}
+	return &Message{Kind: kind, SrcPart: src, Target: target, Payload: payload}, b[total:], nil
+}
+
+// AddQuantized encodes m into the batch with b-bit quantization.
+func (b *Batch) AddQuantized(m *Message, bits int) {
+	b.buf = EncodeQuantized(b.buf, m, bits)
+	b.count++
+}

@@ -1,0 +1,283 @@
+package wire
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := &Message{Kind: KindGroup, SrcPart: 3, Target: 42, Payload: []float64{1.5, -2.25, 0}}
+	buf := Encode(nil, m)
+	if len(buf) != EncodedSize(3) {
+		t.Fatalf("encoded size = %d, want %d", len(buf), EncodedSize(3))
+	}
+	got, rest, err := Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("rest = %d bytes", len(rest))
+	}
+	if got.Kind != m.Kind || got.SrcPart != 3 || got.Target != 42 {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	for i, v := range m.Payload {
+		if got.Payload[i] != v { // exactly representable values
+			t.Fatalf("payload[%d] = %v, want %v", i, got.Payload[i], v)
+		}
+	}
+}
+
+func TestFp32Truncation(t *testing.T) {
+	v := 1.0 + 1e-12 // not representable in fp32
+	m := &Message{Kind: KindNode, Payload: []float64{v}}
+	got, _, err := Decode(Encode(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Payload[0] == v {
+		t.Fatal("expected fp32 truncation")
+	}
+	if math.Abs(got.Payload[0]-v) > 1e-6 {
+		t.Fatalf("truncation error too large: %v", got.Payload[0]-v)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := Decode([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short header accepted")
+	}
+	// Unknown kind.
+	buf := Encode(nil, &Message{Kind: KindNode, Payload: []float64{1}})
+	buf[0] = 99
+	if _, _, err := Decode(buf); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	// Truncated payload.
+	buf = Encode(nil, &Message{Kind: KindNode, Payload: []float64{1, 2, 3}})
+	if _, _, err := Decode(buf[:len(buf)-2]); err == nil {
+		t.Fatal("truncated payload accepted")
+	}
+}
+
+func TestBatch(t *testing.T) {
+	var b Batch
+	if b.Bytes() != nil || b.Len() != 0 {
+		t.Fatal("empty batch not empty")
+	}
+	b.Add(&Message{Kind: KindNode, SrcPart: 0, Target: 7, Payload: []float64{1}})
+	b.Add(&Message{Kind: KindGroup, SrcPart: 0, Target: 2, Payload: []float64{2, 3}})
+	msgs, err := DecodeAll(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 2 || b.Len() != 2 {
+		t.Fatalf("batch decoded %d messages", len(msgs))
+	}
+	if msgs[0].Target != 7 || msgs[1].Kind != KindGroup || len(msgs[1].Payload) != 2 {
+		t.Fatalf("batch contents wrong: %+v %+v", msgs[0], msgs[1])
+	}
+}
+
+func TestDecodeAllCorrupt(t *testing.T) {
+	var b Batch
+	b.Add(&Message{Kind: KindNode, Payload: []float64{1}})
+	buf := append([]byte{}, b.Bytes()...)
+	buf = append(buf, 0xFF) // trailing garbage → short header error
+	if _, err := DecodeAll(buf); err == nil {
+		t.Fatal("corrupt batch accepted")
+	}
+}
+
+// Property: any message round-trips with fp32 precision, and batches of
+// random messages decode to the same sequence.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var batch Batch
+		var want []*Message
+		for k := 0; k < 1+rng.Intn(10); k++ {
+			kind := KindNode
+			if rng.Intn(2) == 0 {
+				kind = KindGroup
+			}
+			payload := make([]float64, rng.Intn(20))
+			for i := range payload {
+				payload[i] = float64(float32(rng.NormFloat64())) // pre-truncate
+			}
+			m := &Message{
+				Kind:    kind,
+				SrcPart: int32(rng.Intn(16)),
+				Target:  int32(rng.Intn(1 << 20)),
+				Payload: payload,
+			}
+			batch.Add(m)
+			want = append(want, m)
+		}
+		got, err := DecodeAll(batch.Bytes())
+		if err != nil || len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i].Kind != want[i].Kind || got[i].SrcPart != want[i].SrcPart || got[i].Target != want[i].Target {
+				return false
+			}
+			if len(got[i].Payload) != len(want[i].Payload) {
+				return false
+			}
+			for j := range want[i].Payload {
+				if got[i].Payload[j] != want[i].Payload[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkEncode32(b *testing.B) {
+	m := &Message{Kind: KindNode, Target: 1, Payload: make([]float64, 32)}
+	buf := make([]byte, 0, EncodedSize(32))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = Encode(buf[:0], m)
+	}
+}
+
+func BenchmarkDecode32(b *testing.B) {
+	buf := Encode(nil, &Message{Kind: KindNode, Target: 1, Payload: make([]float64, 32)})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Decode(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestQuantizedRoundTrip(t *testing.T) {
+	m := &Message{Kind: KindGroup, SrcPart: 2, Target: 9, Payload: []float64{-1, 0, 0.5, 1}}
+	for _, bits := range []int{2, 4, 8, 12} {
+		buf := EncodeQuantized(nil, m, bits)
+		if len(buf) != EncodedSizeQuantized(4, bits) {
+			t.Fatalf("bits=%d: size %d, want %d", bits, len(buf), EncodedSizeQuantized(4, bits))
+		}
+		got, rest, err := Decode(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rest) != 0 || got.Kind != KindGroup || got.SrcPart != 2 || got.Target != 9 {
+			t.Fatalf("bits=%d: header mismatch %+v", bits, got)
+		}
+		// Error bounded by half a quantization step.
+		levels := float64(int(1)<<uint(bits)) - 1
+		bound := 2.0/levels/2 + 1e-6
+		for i := range m.Payload {
+			if d := got.Payload[i] - m.Payload[i]; d > bound || d < -bound {
+				t.Fatalf("bits=%d: payload[%d] error %v > %v", bits, i, d, bound)
+			}
+		}
+	}
+}
+
+func TestQuantizedVolumeSavings(t *testing.T) {
+	n := 64
+	if q4, fp := EncodedSizeQuantized(n, 4), EncodedSize(n); q4*4 > fp+3*HeaderBytes {
+		t.Fatalf("4-bit size %d not ≈1/8 of fp32 %d", q4, fp)
+	}
+}
+
+func TestQuantizedMixedBatch(t *testing.T) {
+	var b Batch
+	b.Add(&Message{Kind: KindNode, Target: 1, Payload: []float64{1, 2}})
+	b.AddQuantized(&Message{Kind: KindGroup, Target: 2, Payload: []float64{0, 1, 2, 3}}, 4)
+	b.Add(&Message{Kind: KindNode, Target: 3, Payload: []float64{5}})
+	msgs, err := DecodeAll(b.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(msgs) != 3 || msgs[0].Target != 1 || msgs[1].Target != 2 || msgs[2].Target != 3 {
+		t.Fatalf("mixed batch decode wrong: %+v", msgs)
+	}
+	if msgs[1].Payload[3] < 2.9 || msgs[1].Payload[3] > 3.1 {
+		t.Fatalf("quantized value in mixed batch: %v", msgs[1].Payload)
+	}
+}
+
+func TestQuantizedConstantPayload(t *testing.T) {
+	m := &Message{Kind: KindNode, Payload: []float64{7, 7, 7}}
+	got, _, err := Decode(EncodeQuantized(nil, m, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range got.Payload {
+		if v != 7 {
+			t.Fatalf("constant payload changed: %v", got.Payload)
+		}
+	}
+}
+
+func TestQuantizedBadBitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	EncodeQuantized(nil, &Message{Kind: KindNode}, 17)
+}
+
+// Property: DecodeAll never panics on arbitrary corrupted buffers — it must
+// return an error or a valid message list.
+func TestDecodeRobustnessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Start from a valid batch, then corrupt random bytes.
+		var b Batch
+		for k := 0; k < 1+rng.Intn(5); k++ {
+			payload := make([]float64, rng.Intn(10))
+			for i := range payload {
+				payload[i] = rng.NormFloat64()
+			}
+			if rng.Intn(2) == 0 {
+				b.Add(&Message{Kind: KindNode, Target: int32(rng.Intn(100)), Payload: payload})
+			} else {
+				b.AddQuantized(&Message{Kind: KindGroup, Target: int32(rng.Intn(100)), Payload: payload}, 1+rng.Intn(16))
+			}
+		}
+		buf := append([]byte(nil), b.Bytes()...)
+		for k := 0; k < 1+rng.Intn(8); k++ {
+			if len(buf) == 0 {
+				break
+			}
+			buf[rng.Intn(len(buf))] = byte(rng.Intn(256))
+		}
+		// Also try random truncation.
+		if len(buf) > 0 && rng.Intn(2) == 0 {
+			buf = buf[:rng.Intn(len(buf))]
+		}
+		defer func() {
+			if recover() != nil {
+				t.Fatal("DecodeAll panicked on corrupt input")
+			}
+		}()
+		msgs, err := DecodeAll(buf)
+		// Either an error, or every decoded message is structurally sane.
+		if err == nil {
+			for _, m := range msgs {
+				if m.Kind != KindNode && m.Kind != KindGroup {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,319 @@
+// Package worker is the concurrent distributed runtime of the reproduction:
+// P goroutine workers, one per partition, that exchange *real* serialized
+// messages (internal/wire) over channels during every aggregate round —
+// the closest laptop-scale analogue of the paper's multi-GPU deployment.
+//
+// It complements internal/dist: the sequential engine supports every method
+// and accounts traffic analytically; the worker cluster executes the two
+// paths that matter most — vanilla per-edge exchange and SC-GNN semantic
+// compression — with actual concurrency, actual fp32 wire encoding, and
+// bytes measured off the encoded buffers. Tests assert that the cluster's
+// aggregates match the sequential engine to fp32 precision and that its
+// measured bytes equal the engine's analytic accounting exactly.
+package worker
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"scgnn/internal/compress"
+	"scgnn/internal/core"
+	"scgnn/internal/graph"
+	"scgnn/internal/tensor"
+	"scgnn/internal/wire"
+)
+
+// Cluster is a set of goroutine workers jointly computing the partitioned
+// GCN aggregate Â·h. It implements gnn.Aggregator, so models train on it
+// unchanged.
+type Cluster struct {
+	g      *graph.Graph
+	part   []int
+	nparts int
+	coeff  []float64
+
+	semantic  bool
+	plans     []*core.PairPlan // index s*nparts+t; nil when no cross edges
+	revGroups [][]*core.Group
+
+	// crossOut[s*nparts+t] lists arcs u→v with part[u]=s, part[v]=t.
+	crossOut [][]graph.Edge
+	// own[p] lists the nodes owned by worker p.
+	own [][]int32
+
+	// quantBits > 0 quantizes every payload before encoding (per-worker
+	// quantizers avoid contention); bytes reflect the reduced wire size:
+	// ceil(n·bits/8) + 8 metadata in place of 4n.
+	quantBits int
+
+	bytes int64 // real encoded bytes since last Reset
+	msgs  int64
+}
+
+// SetQuantization enables b-bit payload quantization on the wire (0
+// disables). Call before training starts.
+func (c *Cluster) SetQuantization(bits int) {
+	if bits != 0 {
+		compress.NewQuantizer(bits) // validate range, panics on bad input
+	}
+	c.quantBits = bits
+}
+
+// NewCluster builds the worker runtime. When semantic is true, planCfg
+// drives grouping; otherwise the vanilla per-edge exchange is used.
+func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg core.PlanConfig) *Cluster {
+	if len(part) != g.NumNodes() {
+		panic(fmt.Sprintf("worker: partition len %d, want %d", len(part), g.NumNodes()))
+	}
+	c := &Cluster{
+		g:        g,
+		part:     part,
+		nparts:   nparts,
+		coeff:    g.SymNormCoeffs(),
+		semantic: semantic,
+		crossOut: make([][]graph.Edge, nparts*nparts),
+		own:      make([][]int32, nparts),
+	}
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		s := part[u]
+		c.own[s] = append(c.own[s], u)
+		for _, v := range g.Neighbors(u) {
+			if t := part[v]; t != s {
+				c.crossOut[s*nparts+t] = append(c.crossOut[s*nparts+t], graph.Edge{U: u, V: v})
+			}
+		}
+	}
+	if semantic {
+		c.plans = make([]*core.PairPlan, nparts*nparts)
+		c.revGroups = make([][]*core.Group, nparts*nparts)
+		for _, p := range core.BuildAllPlans(g, part, nparts, planCfg) {
+			idx := p.SrcPart*nparts + p.DstPart
+			c.plans[idx] = p
+			rev := make([]*core.Group, len(p.Groups))
+			for i, grp := range p.Groups {
+				rev[i] = grp.Reverse()
+			}
+			c.revGroups[idx] = rev
+		}
+	}
+	return c
+}
+
+// ResetTraffic clears the byte/message counters.
+func (c *Cluster) ResetTraffic() {
+	atomic.StoreInt64(&c.bytes, 0)
+	atomic.StoreInt64(&c.msgs, 0)
+}
+
+// Traffic returns the real encoded bytes and message count since the last
+// reset.
+func (c *Cluster) Traffic() (bytes, msgs int64) {
+	return atomic.LoadInt64(&c.bytes), atomic.LoadInt64(&c.msgs)
+}
+
+// Forward implements gnn.Aggregator with a concurrent halo exchange.
+func (c *Cluster) Forward(h *tensor.Matrix) *tensor.Matrix { return c.aggregate(h, false) }
+
+// Backward implements gnn.Aggregator; gradients flow along transposed edges.
+func (c *Cluster) Backward(g *tensor.Matrix) *tensor.Matrix { return c.aggregate(g, true) }
+
+// aggregate runs one concurrent round: every worker computes its local
+// aggregate, encodes its outgoing halo as wire batches, exchanges them over
+// channels, and accumulates the decoded remote contributions into the rows
+// it owns.
+func (c *Cluster) aggregate(h *tensor.Matrix, backward bool) *tensor.Matrix {
+	n := c.g.NumNodes()
+	if h.Rows != n {
+		panic(fmt.Sprintf("worker: matrix rows %d, graph nodes %d", h.Rows, n))
+	}
+	out := tensor.New(n, h.Cols)
+
+	// inbox[t] receives exactly nparts-1 batches (one per peer, possibly
+	// empty) each round.
+	inbox := make([]chan []byte, c.nparts)
+	for t := range inbox {
+		inbox[t] = make(chan []byte, c.nparts)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(c.nparts)
+	for p := 0; p < c.nparts; p++ {
+		go func(me int) {
+			defer wg.Done()
+			c.localPhase(me, h, out)
+			c.sendPhase(me, h, backward, inbox)
+			c.receivePhase(me, backward, out, inbox[me])
+		}(p)
+	}
+	wg.Wait()
+	return out
+}
+
+// localPhase computes the within-partition part of Â·h for the rows worker
+// me owns.
+func (c *Cluster) localPhase(me int, h, out *tensor.Matrix) {
+	for _, u := range c.own[me] {
+		fu := c.coeff[u]
+		orow := out.Row(int(u))
+		tensor.AXPY(fu*fu, h.Row(int(u)), orow)
+		for _, v := range c.g.Neighbors(u) {
+			if c.part[v] == me {
+				tensor.AXPY(fu*c.coeff[v], h.Row(int(v)), orow)
+			}
+		}
+	}
+}
+
+// sendPhase encodes worker me's outgoing halo for this round and delivers
+// one batch (possibly empty) to every peer's inbox.
+func (c *Cluster) sendPhase(me int, h *tensor.Matrix, backward bool, inbox []chan []byte) {
+	dim := h.Cols
+	for peer := 0; peer < c.nparts; peer++ {
+		if peer == me {
+			continue
+		}
+		var batch wire.Batch
+		if c.semantic {
+			c.encodeSemantic(&batch, me, peer, h, backward)
+		} else {
+			c.encodeVanilla(&batch, me, peer, h, backward, dim)
+		}
+		buf := batch.Bytes()
+		atomic.AddInt64(&c.bytes, int64(len(buf)))
+		atomic.AddInt64(&c.msgs, int64(batch.Len()))
+		inbox[peer] <- buf
+	}
+}
+
+// addMsg appends a message to the batch, quantized when configured.
+func (c *Cluster) addMsg(batch *wire.Batch, m *wire.Message) {
+	if c.quantBits > 0 {
+		batch.AddQuantized(m, c.quantBits)
+	} else {
+		batch.Add(m)
+	}
+}
+
+// encodeVanilla emits one KindNode message per cross edge (Fig. 7(a)).
+func (c *Cluster) encodeVanilla(batch *wire.Batch, me, peer int, h *tensor.Matrix, backward bool, dim int) {
+	// Forward: my arcs me→peer carry f[u]h_u addressed to v.
+	// Backward: arcs peer→me reverse — I own the sinks v and send f[v]h_v
+	// addressed to u.
+	var edges []graph.Edge
+	if backward {
+		edges = c.crossOut[peer*c.nparts+me]
+	} else {
+		edges = c.crossOut[me*c.nparts+peer]
+	}
+	payload := make([]float64, dim)
+	for _, e := range edges {
+		sender, receiver := e.U, e.V
+		if backward {
+			sender, receiver = e.V, e.U
+		}
+		src := h.Row(int(sender))
+		fs := c.coeff[sender]
+		for i, v := range src {
+			payload[i] = fs * v
+		}
+		c.addMsg(batch, &wire.Message{
+			Kind:    wire.KindNode,
+			SrcPart: int32(me),
+			Target:  receiver,
+			Payload: payload,
+		})
+	}
+}
+
+// encodeSemantic emits one KindGroup message per live group plus KindNode
+// messages for O2O residuals (Fig. 7(b)).
+func (c *Cluster) encodeSemantic(batch *wire.Batch, me, peer int, h *tensor.Matrix, backward bool) {
+	// Forward: plan(me→peer), fuse over SrcNodes.
+	// Backward: plan(peer→me) reversed — I own its DstNodes and fuse them.
+	var plan *core.PairPlan
+	var groups []*core.Group
+	if backward {
+		idx := peer*c.nparts + me
+		plan = c.plans[idx]
+		if plan != nil {
+			groups = c.revGroups[idx]
+		}
+	} else {
+		idx := me*c.nparts + peer
+		plan = c.plans[idx]
+		if plan != nil {
+			groups = plan.Groups
+		}
+	}
+	if plan == nil {
+		return
+	}
+	dim := h.Cols
+	for gi, grp := range groups {
+		hg := make([]float64, dim)
+		for k, u := range grp.SrcNodes {
+			tensor.AXPY(grp.WOut[k]*c.coeff[u], h.Row(int(u)), hg)
+		}
+		c.addMsg(batch, &wire.Message{
+			Kind:    wire.KindGroup,
+			SrcPart: int32(me),
+			Target:  int32(gi),
+			Payload: hg,
+		})
+	}
+	payload := make([]float64, dim)
+	for _, o := range plan.O2O {
+		sender, receiver := o.Src, o.Dst
+		if backward {
+			sender, receiver = o.Dst, o.Src
+		}
+		src := h.Row(int(sender))
+		fs := c.coeff[sender]
+		for i, v := range src {
+			payload[i] = fs * v
+		}
+		c.addMsg(batch, &wire.Message{
+			Kind:    wire.KindNode,
+			SrcPart: int32(me),
+			Target:  receiver,
+			Payload: payload,
+		})
+	}
+}
+
+// receivePhase decodes the nparts-1 batches addressed to worker me and
+// accumulates their contributions into the rows me owns.
+func (c *Cluster) receivePhase(me int, backward bool, out *tensor.Matrix, inbox <-chan []byte) {
+	for k := 0; k < c.nparts-1; k++ {
+		buf := <-inbox
+		msgs, err := wire.DecodeAll(buf)
+		if err != nil {
+			panic(fmt.Sprintf("worker %d: corrupt batch: %v", me, err))
+		}
+		for _, m := range msgs {
+			switch m.Kind {
+			case wire.KindNode:
+				v := m.Target
+				if c.part[v] != me {
+					panic(fmt.Sprintf("worker %d: received node %d owned by %d", me, v, c.part[v]))
+				}
+				tensor.AXPY(c.coeff[v], m.Payload, out.Row(int(v)))
+			case wire.KindGroup:
+				grp := c.groupFor(int(m.SrcPart), me, int(m.Target), backward)
+				for k2, v := range grp.DstNodes {
+					tensor.AXPY(grp.DDst[k2]*c.coeff[v], m.Payload, out.Row(int(v)))
+				}
+			}
+		}
+	}
+}
+
+// groupFor resolves a received group reference: forward groups live in the
+// (from→me) plan; backward groups are the reversed (me→from) plan groups.
+func (c *Cluster) groupFor(from, me, gi int, backward bool) *core.Group {
+	if backward {
+		return c.revGroups[me*c.nparts+from][gi]
+	}
+	return c.plans[from*c.nparts+me].Groups[gi]
+}

@@ -1,0 +1,241 @@
+package worker
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"scgnn/internal/core"
+	"scgnn/internal/datasets"
+	"scgnn/internal/dist"
+	"scgnn/internal/gnn"
+	"scgnn/internal/partition"
+	"scgnn/internal/tensor"
+)
+
+func setup(t *testing.T, nparts int) (*datasets.Dataset, []int) {
+	t.Helper()
+	d := datasets.Generate(datasets.Spec{
+		Name: "w", Nodes: 150, AvgDegree: 10, Classes: 3, FeatureDim: 5, Seed: 1,
+	})
+	part := partition.Partition(d.Graph, nparts, partition.NodeCut, partition.Config{Seed: 2})
+	return d, part
+}
+
+func randMat(r, c int, seed int64) *tensor.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := tensor.New(r, c)
+	for i := range m.Data {
+		// Pre-truncate to fp32 so exact comparisons below are meaningful.
+		m.Data[i] = float64(float32(rng.NormFloat64()))
+	}
+	return m
+}
+
+// TestVanillaClusterMatchesExact: the concurrent per-edge exchange must
+// reproduce Â·h up to fp32 wire precision.
+func TestVanillaClusterMatchesExact(t *testing.T) {
+	d, part := setup(t, 3)
+	c := NewCluster(d.Graph, part, 3, false, core.PlanConfig{})
+	local := gnn.NewLocalAggregator(d.Graph)
+	h := randMat(d.NumNodes(), 5, 3)
+	got := c.Forward(h)
+	want := local.Forward(h)
+	if !got.Equal(want, 1e-4) {
+		t.Fatal("cluster forward != exact aggregate")
+	}
+	gotB := c.Backward(h)
+	wantB := local.Backward(h)
+	if !gotB.Equal(wantB, 1e-4) {
+		t.Fatal("cluster backward != exact aggregate")
+	}
+}
+
+// TestClusterBytesMatchEngineAccounting: the real encoded bytes must equal
+// the sequential engine's analytic accounting exactly (same 16-byte header,
+// same 4-byte values).
+func TestClusterBytesMatchEngineAccounting(t *testing.T) {
+	d, part := setup(t, 3)
+	h := randMat(d.NumNodes(), 5, 4)
+	for _, semantic := range []bool{false, true} {
+		plan := core.PlanConfig{Grouping: core.GroupingConfig{K: 2, Seed: 7}}
+		c := NewCluster(d.Graph, part, 3, semantic, plan)
+		c.ResetTraffic()
+		c.Forward(h)
+		cb, cm := c.Traffic()
+
+		var engCfg dist.Config
+		if semantic {
+			engCfg = dist.Semantic(plan)
+		} else {
+			engCfg = dist.Vanilla()
+		}
+		eng := dist.NewEngine(d.Graph, part, 3, engCfg)
+		eng.StartEpoch(0)
+		eng.Forward(h)
+		snap := eng.CaptureEpoch()
+		if cb != snap.TotalBytes || cm != snap.TotalMessages {
+			t.Fatalf("semantic=%v: cluster %d B/%d msgs vs engine %d B/%d msgs",
+				semantic, cb, cm, snap.TotalBytes, snap.TotalMessages)
+		}
+	}
+}
+
+// TestSemanticClusterMatchesEngine: the concurrent semantic aggregate must
+// match the sequential engine's semantic aggregate to fp32 precision.
+func TestSemanticClusterMatchesEngine(t *testing.T) {
+	d, part := setup(t, 4)
+	plan := core.PlanConfig{Grouping: core.GroupingConfig{K: 3, Seed: 9}}
+	c := NewCluster(d.Graph, part, 4, true, plan)
+	eng := dist.NewEngine(d.Graph, part, 4, dist.Semantic(plan))
+	h := randMat(d.NumNodes(), 6, 5)
+
+	got := c.Forward(h)
+	eng.StartEpoch(0)
+	want := eng.Forward(h)
+	if !got.Equal(want, 1e-3*(1+want.MaxAbs())) {
+		t.Fatal("cluster semantic forward != engine semantic forward")
+	}
+
+	gotB := c.Backward(h)
+	wantB := eng.Backward(h)
+	if !gotB.Equal(wantB, 1e-3*(1+wantB.MaxAbs())) {
+		t.Fatal("cluster semantic backward != engine semantic backward")
+	}
+}
+
+// TestClusterDeterministicUnderConcurrency: repeated rounds on the same
+// input produce identical outputs regardless of goroutine scheduling
+// (each worker writes only rows it owns; accumulation order within a row is
+// fixed by the per-peer receive loop... which is NOT ordered — so we require
+// results to be equal only up to fp64 summation reordering tolerance).
+func TestClusterDeterministicUnderConcurrency(t *testing.T) {
+	d, part := setup(t, 4)
+	c := NewCluster(d.Graph, part, 4, false, core.PlanConfig{})
+	h := randMat(d.NumNodes(), 4, 6)
+	ref := c.Forward(h)
+	for trial := 0; trial < 10; trial++ {
+		got := c.Forward(h)
+		if !got.Equal(ref, 1e-9) {
+			t.Fatal("concurrent aggregate not reproducible")
+		}
+	}
+}
+
+// TestClusterTrainsGCN: end-to-end training over the goroutine runtime.
+func TestClusterTrainsGCN(t *testing.T) {
+	d := datasets.PubMedSim(5)
+	part := partition.Partition(d.Graph, 4, partition.NodeCut, partition.Config{Seed: 3})
+	plan := core.PlanConfig{Grouping: core.GroupingConfig{Seed: 4}}
+	c := NewCluster(d.Graph, part, 4, true, plan)
+	rng := rand.New(rand.NewSource(8))
+	model := gnn.NewGCN(c, []int{d.FeatureDim(), 32, d.NumClasses}, rng)
+	res := gnn.Train(model, d.Features, d.Labels, d.TrainMask, d.ValMask, d.TestMask,
+		gnn.TrainConfig{Epochs: 50, LR: 0.02})
+	if res.TestAcc < 0.65 {
+		t.Fatalf("cluster-trained GCN accuracy = %v", res.TestAcc)
+	}
+	bytes, msgs := c.Traffic()
+	if bytes == 0 || msgs == 0 {
+		t.Fatal("no traffic recorded during training")
+	}
+}
+
+// TestSemanticClusterCompresses: semantic traffic ≪ vanilla traffic on the
+// same rounds.
+func TestSemanticClusterCompresses(t *testing.T) {
+	d, part := setup(t, 3)
+	h := randMat(d.NumNodes(), 8, 7)
+	van := NewCluster(d.Graph, part, 3, false, core.PlanConfig{})
+	sem := NewCluster(d.Graph, part, 3, true, core.PlanConfig{Grouping: core.GroupingConfig{Seed: 1}})
+	van.Forward(h)
+	sem.Forward(h)
+	vb, _ := van.Traffic()
+	sb, _ := sem.Traffic()
+	if sb*2 > vb {
+		t.Fatalf("semantic cluster traffic %d not well below vanilla %d", sb, vb)
+	}
+}
+
+func TestBadPartitionPanics(t *testing.T) {
+	d, _ := setup(t, 2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCluster(d.Graph, []int{0, 1}, 2, false, core.PlanConfig{})
+}
+
+// TestSelfAdjointSemantic: ⟨A x, y⟩ == ⟨x, Aᵀ y⟩ through real message
+// passing, fp32 tolerance.
+func TestSelfAdjointSemantic(t *testing.T) {
+	d, part := setup(t, 3)
+	c := NewCluster(d.Graph, part, 3, true, core.PlanConfig{Grouping: core.GroupingConfig{K: 2, Seed: 11}})
+	n := d.NumNodes()
+	x, y := randMat(n, 3, 12), randMat(n, 3, 13)
+	ax := c.Forward(x)
+	aty := c.Backward(y)
+	var lhs, rhs float64
+	for i := range ax.Data {
+		lhs += ax.Data[i] * y.Data[i]
+		rhs += x.Data[i] * aty.Data[i]
+	}
+	if math.Abs(lhs-rhs) > 1e-3*(1+math.Abs(lhs)) {
+		t.Fatalf("cluster aggregate not self-adjoint: %v vs %v", lhs, rhs)
+	}
+}
+
+func BenchmarkClusterRoundVanilla(b *testing.B) {
+	d := datasets.PubMedSim(1)
+	part := partition.Partition(d.Graph, 4, partition.NodeCut, partition.Config{Seed: 1})
+	c := NewCluster(d.Graph, part, 4, false, core.PlanConfig{})
+	h := randMat(d.NumNodes(), 16, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(h)
+	}
+}
+
+func BenchmarkClusterRoundSemantic(b *testing.B) {
+	d := datasets.PubMedSim(1)
+	part := partition.Partition(d.Graph, 4, partition.NodeCut, partition.Config{Seed: 1})
+	c := NewCluster(d.Graph, part, 4, true, core.PlanConfig{Grouping: core.GroupingConfig{Seed: 1}})
+	h := randMat(d.NumNodes(), 16, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Forward(h)
+	}
+}
+
+// TestQuantizedClusterWire: enabling wire quantization must shrink the real
+// byte count substantially while keeping the aggregate close to exact.
+func TestQuantizedClusterWire(t *testing.T) {
+	d, part := setup(t, 3)
+	// Realistic hidden width: headers amortize, so 4-bit packing shows its
+	// ~3.5x savings (16B header + 8B meta + dim/2 vs 16B header + 4·dim).
+	h := randMat(d.NumNodes(), 32, 40)
+	fp := NewCluster(d.Graph, part, 3, true, core.PlanConfig{Grouping: core.GroupingConfig{Seed: 2}})
+	q := NewCluster(d.Graph, part, 3, true, core.PlanConfig{Grouping: core.GroupingConfig{Seed: 2}})
+	q.SetQuantization(4)
+	outFP := fp.Forward(h)
+	outQ := q.Forward(h)
+	fb, _ := fp.Traffic()
+	qb, _ := q.Traffic()
+	if float64(qb)*2.5 >= float64(fb) {
+		t.Fatalf("4-bit wire bytes %d not well below fp32 %d", qb, fb)
+	}
+	diff := tensor.Sub(outFP, outQ).MaxAbs()
+	if diff > 0.25*(1+outFP.MaxAbs()) {
+		t.Fatalf("quantized aggregate error too large: %v", diff)
+	}
+	// Invalid bits must panic via the validator.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bits=40")
+		}
+	}()
+	q.SetQuantization(40)
+}
