@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench experiments quick-experiments clean
+.PHONY: all build vet test race verify bench experiments quick-experiments clean
 
-all: build vet test
+all: build vet test race
 
 build:
 	$(GO) build ./...
@@ -15,8 +15,14 @@ vet:
 test:
 	$(GO) test ./...
 
+# The concurrent surfaces: the worker runtime and the receiver-sharded
+# parallel engine (plus anything they pull in transitively).
 race:
-	$(GO) test -race ./internal/worker/ ./internal/dist/
+	$(GO) test -race ./internal/dist/... ./internal/worker/...
+
+# Tier-1 verification gate (ROADMAP.md): everything must build, pass tests,
+# and survive the race detector on the concurrent packages.
+verify: build vet test race
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

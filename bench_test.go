@@ -17,6 +17,7 @@ import (
 	"scgnn/internal/dist"
 	"scgnn/internal/exp"
 	"scgnn/internal/partition"
+	"scgnn/internal/tensor"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -107,5 +108,63 @@ func benchEpoch(b *testing.B, cfg dist.Config) {
 		if res.TestAcc < 0 {
 			b.Fatal("impossible")
 		}
+	}
+}
+
+// BenchmarkEngineExchange8P* isolates the receiver-sharded halo exchange at
+// 8 partitions: one epoch of aggregate Forward+Backward (no model compute)
+// on the dense Reddit-like graph, sequential schedule vs the full 8-way
+// fan-out (pinned to Workers:8 rather than the GOMAXPROCS default so the
+// goroutine machinery is exercised even on small hosts). The two schedules
+// are bit-identical (see dist.TestSequentialParallelEquivalence); on a
+// host with ≥8 cores the parallel lane shows the speedup, on a single-core
+// host it shows the scheduling overhead floor.
+func BenchmarkEngineExchange8PSequential(b *testing.B) { benchExchange8P(b, 1) }
+func BenchmarkEngineExchange8PParallel(b *testing.B)   { benchExchange8P(b, 8) }
+
+func BenchmarkEngineExchange8PSemanticSequential(b *testing.B) {
+	benchExchange8PSemantic(b, 1)
+}
+func BenchmarkEngineExchange8PSemanticParallel(b *testing.B) {
+	benchExchange8PSemantic(b, 8)
+}
+
+func exchangeSetup(b *testing.B, cfg dist.Config) (*dist.Engine, *tensor.Matrix) {
+	b.Helper()
+	ds := datasets.RedditSim(1)
+	part := partition.Partition(ds.Graph, 8, partition.NodeCut, partition.Config{Seed: 1})
+	eng := dist.NewEngine(ds.Graph, part, 8, cfg)
+	h := tensor.New(ds.NumNodes(), 32)
+	rng := eng.RandSource()
+	for i := range h.Data {
+		h.Data[i] = rng.NormFloat64()
+	}
+	return eng, h
+}
+
+func benchExchange8P(b *testing.B, workers int) {
+	eng, h := exchangeSetup(b, dist.Config{Workers: workers, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StartEpoch(i)
+		eng.Forward(h)
+		eng.Backward(h)
+	}
+}
+
+func benchExchange8PSemantic(b *testing.B, workers int) {
+	eng, h := exchangeSetup(b, dist.Config{
+		Semantic: true,
+		Plan:     core.PlanConfig{Grouping: core.GroupingConfig{K: 8, Seed: 1}},
+		Workers:  workers,
+		Seed:     1,
+	})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eng.StartEpoch(i)
+		eng.Forward(h)
+		eng.Backward(h)
 	}
 }

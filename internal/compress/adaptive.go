@@ -92,6 +92,12 @@ func rangeAndStd(v []float64) (lo, hi, std float64) {
 // Compared to the per-edge Sampler, node sampling concentrates variance on
 // "the lucky few" high-degree boundary nodes — the behaviour the paper
 // blames for sampling's poor compatibility with quantization (Sec. 2.1).
+//
+// Keys are an opaque int32 namespace: callers pass boundary-node ids
+// (always ≥ 0) for per-node coins, and may carve out the negative range for
+// other transfer-unit kinds (the semantic engine keys group coins as
+// -1-groupIndex) — the two key spaces are disjoint by construction, so a
+// group's drop decision can never be accidentally memo-shared with a node's.
 type NodeSampler struct {
 	Rate float64
 	rng  *randSource

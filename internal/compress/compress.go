@@ -69,6 +69,20 @@ func (q *Quantizer) MaxError(lo, hi float64) float64 {
 	return (hi - lo) / levels / 2
 }
 
+// DeriveSeed maps a base seed and a stream index to a decorrelated child
+// seed. The distributed engine gives every ordered partition pair its own
+// sampler stream seeded this way, so the drop decisions of a pair depend
+// only on (base seed, pair) — not on which goroutine processed the pair or
+// in what order, which is what makes the parallel exchange deterministic.
+// The mixer is splitmix64, whose avalanche keeps adjacent stream indices
+// uncorrelated.
+func DeriveSeed(base int64, stream int) int64 {
+	z := uint64(base) + 0x9e3779b97f4a7c15*uint64(stream+1)
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
 // Sampler decides, per transfer unit and per round, whether the unit is
 // transmitted, and rescales kept units to keep the aggregate unbiased in
 // expectation.

@@ -16,6 +16,12 @@ import (
 //
 // Units are identified by an opaque integer key (group index, edge index…);
 // payload length per key must stay constant.
+//
+// A single store is not safe for concurrent use. The parallel engine shards
+// instead of locking: it keeps one ErrorFeedback per ordered partition pair,
+// and a pair is only ever touched by the one goroutine that owns its
+// receiver rows in a round — so residual state stays race-free and the
+// correction a unit sees is independent of goroutine scheduling.
 type ErrorFeedback struct {
 	residual map[int64][]float64
 	// Corrected counts payload values corrected since the last reset (for
@@ -26,6 +32,15 @@ type ErrorFeedback struct {
 // NewErrorFeedback returns an empty residual store.
 func NewErrorFeedback() *ErrorFeedback {
 	return &ErrorFeedback{residual: make(map[int64][]float64)}
+}
+
+// RoundUnitKey builds the canonical transfer-unit key from the aggregate
+// round slot (layer × direction, stable across epochs in full-batch
+// training) and the unit's candidate index within that round. Dropped
+// candidates must still consume an index so keys stay aligned epoch over
+// epoch.
+func RoundUnitKey(round int, unit int64) int64 {
+	return int64(round)<<32 | unit
 }
 
 // PreCompress adds the stored residual of unit key into payload (in place),

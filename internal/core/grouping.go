@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"scgnn/internal/cluster"
 	"scgnn/internal/graph"
@@ -181,7 +182,7 @@ func groupFromSources(d *graph.DBG, srcIdx []int) *Group {
 	for vi := range dstSet {
 		dstIdx = append(dstIdx, vi)
 	}
-	sortInts(dstIdx)
+	sort.Ints(dstIdx)
 	return buildGroup(d, srcIdx, dstIdx)
 }
 
@@ -222,14 +223,6 @@ func pickPivots(pool []int, maxPivots int) []int {
 		out[i] = pool[int(float64(i)*step)]
 	}
 	return out
-}
-
-func sortInts(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }
 
 // Stats summarizes a grouping for reporting (Fig. 10's group-size study).

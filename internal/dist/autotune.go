@@ -52,7 +52,12 @@ func AutoTune(ds *datasets.Dataset, part []int, nparts int, budgetBytes float64,
 	chosen := -1
 	var volumes []float64
 	for i, cfg := range ladder {
-		r := Run(ds, part, nparts, cfg, probe)
+		// Probe on the sequential schedule: two epochs on a small graph
+		// never amortize goroutine fan-out, and traffic is identical either
+		// way. The returned Config leaves Workers at its parallel default.
+		probeCfg := cfg
+		probeCfg.Workers = 1
+		r := Run(ds, part, nparts, probeCfg, probe)
 		fits := r.BytesPerEpoch <= budgetBytes
 		res.Candidates = append(res.Candidates, TuneCandidate{
 			Method:        cfg.MethodName(),

@@ -10,12 +10,23 @@
 // simnet.Fabric that accounts bytes and messages exactly; an analytic cost
 // model converts each epoch's traffic and per-method processing counters
 // into a modeled epoch time (see internal/simnet and DESIGN.md §5).
+//
+// Both the local aggregate and the halo exchange are parallelized by
+// receiver partition: every row of the output is owned by exactly one
+// partition, so one goroutine per receiver accumulates into disjoint rows,
+// with per-ordered-pair RNG streams, per-pair error-feedback stores, and
+// per-shard traffic counters merged after the barrier. The schedule is
+// bit-deterministic: for any Config.Workers value the results, bytes, and
+// messages are identical (see TestSequentialParallelEquivalence).
 package dist
 
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"scgnn/internal/compress"
 	"scgnn/internal/core"
@@ -38,8 +49,10 @@ type Config struct {
 	// 0 or 1 disables sampling.
 	SampleRate float64
 	// SampleNodes switches sampling from per-edge coins to per-boundary-node
-	// coins (BNS-GCN's granularity): all of a node's cross edges share one
-	// decision per round.
+	// coins (BNS-GCN's granularity): all of a node's cross edges toward one
+	// partition share one decision per round. Coins are drawn from a
+	// per-ordered-pair stream, so a node with cross edges into several
+	// partitions flips one coin per (node, destination) pair.
 	SampleNodes bool
 	// QuantBits in 1..16 enables affine quantization of payloads.
 	// 0 (or 32) disables quantization.
@@ -55,11 +68,18 @@ type Config struct {
 	// DelayPeriod > 1 enables delayed transmission: fresh values every
 	// DelayPeriod epochs, stale replays in between.
 	DelayPeriod int
-	// Seed drives sampling.
+	// Seed drives sampling. Every ordered partition pair derives its own
+	// decorrelated child stream from this seed.
 	Seed int64
 	// BytesPerValue is the wire size of an unquantized value (default 4,
 	// mirroring fp32 training payloads).
 	BytesPerValue int
+	// Workers caps the goroutines driving the local aggregate and the
+	// cross-partition exchange. 0 uses GOMAXPROCS; 1 forces the sequential
+	// schedule. Results are bit-identical for every value: work is sharded
+	// by receiver partition, and each shard owns disjoint output rows, RNG
+	// streams, compression state, and traffic counters.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +137,41 @@ func Delay(period int) Config { return Config{DelayPeriod: period} }
 // Semantic returns the SC-GNN configuration with the given plan.
 func Semantic(plan core.PlanConfig) Config { return Config{Semantic: true, Plan: plan} }
 
+// pairState is the per-ordered-partition-pair compression state. A pair is
+// touched by exactly one receiver goroutine per round (its DstPart forward,
+// its SrcPart backward), so none of this needs locking, and because each
+// pair consumes its own RNG stream and residual store, drop decisions and
+// error feedback are independent of the parallel schedule.
+type pairState struct {
+	sampler     *compress.Sampler
+	nodeSampler *compress.NodeSampler
+	adaptive    *compress.AdaptiveQuantizer
+	ef          *compress.ErrorFeedback
+}
+
+// shard is the per-receiver-partition accumulator for one parallel phase:
+// traffic and processing counters land here and are merged into the engine
+// totals after the barrier.
+type shard struct {
+	traffic *simnet.ShardCounter
+
+	quantValues    int64
+	sampleEdges    int64
+	semanticValues int64
+	aggFlops       int64
+
+	// payload/fuse are scratch vectors reused across this shard's pairs.
+	payload []float64
+}
+
+// groupCoinKey maps a plan-group index into the dedicated negative key
+// space of the per-pair node sampler. Boundary-node ids are always ≥ 0, so
+// a group coin can never share a memo entry with the O2O residual path's
+// per-node coins — the key-collision bug this replaces used
+// idx*4096+gi, which aliased real node ids (and other plans' groups for
+// gi ≥ 4096).
+func groupCoinKey(gi int) int32 { return int32(-1 - gi) }
+
 // Engine orchestrates partitioned aggregation for one (graph, partition)
 // pair under one Config. It implements gnn.Aggregator, so any model from
 // internal/gnn trains on it unchanged.
@@ -132,6 +187,8 @@ type Engine struct {
 	// crossOut[s*nparts+t] lists the cross arcs u→v with part[u]=s,
 	// part[v]=t (baseline per-edge exchange).
 	crossOut [][]graph.Edge
+	// own[p] lists the nodes owned by partition p, ascending.
+	own [][]int32
 	// plans holds the semantic pair plans (nil entries for pairs without
 	// cross edges or when Semantic is off).
 	plans []*core.PairPlan
@@ -139,16 +196,24 @@ type Engine struct {
 	// pass (gradients flow dst→src through the same semantics).
 	revGroups [][]*core.Group
 
-	quant       *compress.Quantizer
-	adaptive    *compress.AdaptiveQuantizer
-	sampler     *compress.Sampler
-	nodeSampler *compress.NodeSampler
-	delay       *compress.DelayCache
-	ef          *compress.ErrorFeedback
-	efUnit      int64 // per-round candidate-unit counter for stable EF keys
+	// quant is stateless (bit width only) and shared across shards; all
+	// stateful compression lives in pairs.
+	quant *compress.Quantizer
+	// pairs[s*nparts+t] holds per-pair samplers, adaptive quantizers, and
+	// error-feedback stores.
+	pairs []pairState
+
+	delay *compress.DelayCache
+	// freshEval forces the next rounds to bypass delayed transmission —
+	// the final evaluation pass must see current values, not stale replays.
+	freshEval bool
 
 	epoch int
 	round int
+
+	// shards[r] is receiver partition r's accumulator, merged after every
+	// parallel phase.
+	shards []*shard
 
 	// per-epoch processing counters (see simnet.Snapshot)
 	quantValues    int64
@@ -173,8 +238,10 @@ func NewEngine(g *graph.Graph, part []int, nparts int, cfg Config) *Engine {
 		fabric: simnet.NewFabric(nparts),
 	}
 	e.crossOut = make([][]graph.Edge, nparts*nparts)
+	e.own = make([][]int32, nparts)
 	for u := int32(0); int(u) < g.NumNodes(); u++ {
 		s := part[u]
+		e.own[s] = append(e.own[s], u)
 		for _, v := range g.Neighbors(u) {
 			if t := part[v]; t != s {
 				idx := s*nparts + t
@@ -195,29 +262,44 @@ func NewEngine(g *graph.Graph, part []int, nparts int, cfg Config) *Engine {
 			e.revGroups[idx] = rev
 		}
 	}
-	if cfg.QuantBits > 0 && cfg.QuantBits < 32 {
-		if cfg.AdaptiveQuant {
+	if cfg.QuantBits > 0 && cfg.QuantBits < 32 && !cfg.AdaptiveQuant {
+		e.quant = compress.NewQuantizer(cfg.QuantBits)
+	}
+	e.pairs = make([]pairState, nparts*nparts)
+	samplingOn := cfg.SampleRate > 0 && cfg.SampleRate < 1
+	adaptiveOn := cfg.QuantBits > 0 && cfg.QuantBits < 32 && cfg.AdaptiveQuant
+	efOn := cfg.ErrorFeedback && cfg.QuantBits > 0 && cfg.QuantBits < 32
+	for idx := range e.pairs {
+		s, t := idx/nparts, idx%nparts
+		if s == t {
+			continue
+		}
+		ps := &e.pairs[idx]
+		if samplingOn {
+			pairSeed := compress.DeriveSeed(cfg.Seed, idx)
+			if cfg.SampleNodes {
+				ps.nodeSampler = compress.NewNodeSampler(cfg.SampleRate, pairSeed)
+			} else {
+				ps.sampler = compress.NewSampler(cfg.SampleRate, pairSeed)
+			}
+		}
+		if adaptiveOn {
 			minBits := 2
 			if cfg.QuantBits < minBits {
 				minBits = cfg.QuantBits
 			}
-			e.adaptive = compress.NewAdaptiveQuantizer(minBits, cfg.QuantBits, 0)
-		} else {
-			e.quant = compress.NewQuantizer(cfg.QuantBits)
+			ps.adaptive = compress.NewAdaptiveQuantizer(minBits, cfg.QuantBits, 0)
 		}
-	}
-	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
-		if cfg.SampleNodes {
-			e.nodeSampler = compress.NewNodeSampler(cfg.SampleRate, cfg.Seed)
-		} else {
-			e.sampler = compress.NewSampler(cfg.SampleRate, cfg.Seed)
+		if efOn {
+			ps.ef = compress.NewErrorFeedback()
 		}
 	}
 	if cfg.DelayPeriod > 1 {
 		e.delay = compress.NewDelayCache(cfg.DelayPeriod)
 	}
-	if cfg.ErrorFeedback && (e.quant != nil || e.adaptive != nil) {
-		e.ef = compress.NewErrorFeedback()
+	e.shards = make([]*shard, nparts)
+	for r := range e.shards {
+		e.shards[r] = &shard{traffic: simnet.NewShardCounter(nparts)}
 	}
 	return e
 }
@@ -244,6 +326,7 @@ func (e *Engine) Config() Config { return e.cfg }
 func (e *Engine) StartEpoch(epoch int) {
 	e.epoch = epoch
 	e.round = 0
+	e.freshEval = false
 	e.fabric.Reset()
 	e.quantValues = 0
 	e.sampleEdges = 0
@@ -252,6 +335,15 @@ func (e *Engine) StartEpoch(epoch int) {
 	if e.delay != nil {
 		e.delay.ResetCounters()
 	}
+}
+
+// StartEvalEpoch prepares a measurement-only forward pass: counters reset as
+// in StartEpoch, and delayed transmission is bypassed — the pass computes
+// fresh remote contributions without reading or writing the delay cache, so
+// a final evaluation never scores the model against stale replays.
+func (e *Engine) StartEvalEpoch(epoch int) {
+	e.StartEpoch(epoch)
+	e.freshEval = true
 }
 
 // CaptureEpoch freezes this epoch's traffic and processing counters.
@@ -283,114 +375,205 @@ func (e *Engine) Backward(g *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
+// runShards executes fn(r, shard[r]) for every receiver partition r, fanning
+// out across Config.Workers goroutines, then merges every shard's counters
+// into the engine totals. The merge happens after the barrier and in fixed
+// r-order; counters are exact integer sums, so totals are schedule-free.
+func (e *Engine) runShards(fn func(r int, sh *shard)) {
+	workers := e.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > e.nparts {
+		workers = e.nparts
+	}
+	if workers <= 1 {
+		for r := 0; r < e.nparts; r++ {
+			fn(r, e.shards[r])
+		}
+	} else {
+		var next int32
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				for {
+					r := int(atomic.AddInt32(&next, 1)) - 1
+					if r >= e.nparts {
+						return
+					}
+					fn(r, e.shards[r])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for r := 0; r < e.nparts; r++ {
+		sh := e.shards[r]
+		e.fabric.Merge(sh.traffic)
+		sh.traffic.Reset()
+		e.quantValues += sh.quantValues
+		e.sampleEdges += sh.sampleEdges
+		e.semanticValues += sh.semanticValues
+		e.aggFlops += sh.aggFlops
+		sh.quantValues, sh.sampleEdges, sh.semanticValues, sh.aggFlops = 0, 0, 0, 0
+	}
+}
+
+// scratch returns the shard's reusable payload buffer, sized to dim.
+func (sh *shard) scratch(dim int) []float64 {
+	if cap(sh.payload) < dim {
+		sh.payload = make([]float64, dim)
+	}
+	return sh.payload[:dim]
+}
+
 // localAggregate computes the within-partition part of Â·h (self loops plus
-// same-partition neighbors); no traffic.
+// same-partition neighbors); no traffic. Rows are sharded by their owner
+// partition: each goroutine writes only rows it owns, and each row's sum is
+// accumulated in the same neighbor order as the sequential schedule.
 func (e *Engine) localAggregate(h *tensor.Matrix) *tensor.Matrix {
 	n := e.g.NumNodes()
 	if h.Rows != n {
 		panic(fmt.Sprintf("dist: matrix rows %d, graph nodes %d", h.Rows, n))
 	}
 	out := tensor.New(n, h.Cols)
-	for u := int32(0); int(u) < n; u++ {
-		fu := e.coeff[u]
-		orow := out.Row(int(u))
-		tensor.AXPY(fu*fu, h.Row(int(u)), orow)
-		for _, v := range e.g.Neighbors(u) {
-			if e.part[v] == e.part[u] {
-				tensor.AXPY(fu*e.coeff[v], h.Row(int(v)), orow)
-				e.aggFlops += int64(2 * h.Cols)
+	e.runShards(func(r int, sh *shard) {
+		for _, u := range e.own[r] {
+			fu := e.coeff[u]
+			orow := out.Row(int(u))
+			tensor.AXPY(fu*fu, h.Row(int(u)), orow)
+			for _, v := range e.g.Neighbors(u) {
+				if e.part[v] == r {
+					tensor.AXPY(fu*e.coeff[v], h.Row(int(v)), orow)
+					sh.aggFlops += int64(2 * h.Cols)
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
 // remote adds the cross-partition contributions into out. In the backward
 // direction the traffic flows dst→src along the same structures.
+//
+// The exchange is sharded by receiver partition: receiver r's goroutine
+// walks its peers in fixed order and accumulates into the rows partition r
+// owns, so every output row sees its additions in the exact sequential
+// order regardless of Workers.
 func (e *Engine) remote(h, out *tensor.Matrix, backward bool) {
 	round := e.round
 	e.round++
 
-	// Delayed transmission replays the whole stale remote contribution.
-	if e.delay != nil && !e.delay.ShouldTransmit(e.epoch) {
+	// Delayed transmission replays the whole stale remote contribution
+	// (bypassed entirely during a forced-fresh evaluation pass).
+	if e.delay != nil && !e.freshEval && !e.delay.ShouldTransmit(e.epoch) {
 		if stale := e.delay.Load(round); stale != nil {
 			tensor.AddInPlace(out, stale)
 			return
 		}
 	}
 
-	if e.nodeSampler != nil {
-		e.nodeSampler.StartRound()
+	// Without a delay cache the contributions accumulate straight into out
+	// — no per-round delta matrix allocation on the hot path.
+	target := out
+	if e.delay != nil && !e.freshEval {
+		target = tensor.New(out.Rows, out.Cols)
 	}
-	e.efUnit = 0
-	delta := tensor.New(out.Rows, out.Cols)
-	if e.cfg.Semantic {
-		e.remoteSemantic(h, delta, backward)
-	} else {
-		e.remoteEdges(h, delta, backward)
+	e.runShards(func(r int, sh *shard) {
+		if e.cfg.Semantic {
+			e.receiveSemantic(r, h, target, backward, round, sh)
+		} else {
+			e.receiveEdges(r, h, target, backward, round, sh)
+		}
+	})
+	if target != out {
+		e.delay.Store(round, target)
+		tensor.AddInPlace(out, target)
 	}
-	if e.delay != nil {
-		e.delay.Store(round, delta)
-	}
-	tensor.AddInPlace(out, delta)
 }
 
-// remoteEdges is the baseline per-edge exchange of Fig. 7(a), optionally
-// sampled and/or quantized.
-func (e *Engine) remoteEdges(h, delta *tensor.Matrix, backward bool) {
+// pairFor resolves the structural pair index whose traffic receiver r
+// consumes from peer in this direction, plus the (from, to) link it rides.
+// Forward: pair (peer→r) delivers into r's rows. Backward: pair (r→peer)
+// reversed — its sinks live in peer, its sources (the gradient receivers)
+// in r — so traffic still flows peer→r.
+func (e *Engine) pairFor(r, peer int, backward bool) (idx, from, to int) {
+	if backward {
+		return r*e.nparts + peer, peer, r
+	}
+	return peer*e.nparts + r, peer, r
+}
+
+// receiveEdges is the baseline per-edge exchange of Fig. 7(a), optionally
+// sampled and/or quantized, for the rows receiver partition r owns.
+func (e *Engine) receiveEdges(r int, h, delta *tensor.Matrix, backward bool, round int, sh *shard) {
 	dim := h.Cols
-	payload := make([]float64, dim)
-	for s := 0; s < e.nparts; s++ {
-		for t := 0; t < e.nparts; t++ {
-			edges := e.crossOut[s*e.nparts+t]
-			if len(edges) == 0 {
-				continue
+	payload := sh.scratch(dim)
+	for peer := 0; peer < e.nparts; peer++ {
+		if peer == r {
+			continue
+		}
+		idx, from, to := e.pairFor(r, peer, backward)
+		edges := e.crossOut[idx]
+		if len(edges) == 0 {
+			continue
+		}
+		ps := &e.pairs[idx]
+		if ps.nodeSampler != nil {
+			ps.nodeSampler.StartRound()
+		}
+		if ps.sampler != nil || ps.nodeSampler != nil {
+			sh.sampleEdges += int64(len(edges))
+		}
+		var unit int64
+		for _, edge := range edges {
+			// Forward: u→v payload f[u]h_u. Backward: v→u payload f[v]h_v.
+			sender, receiver := edge.U, edge.V
+			if backward {
+				sender, receiver = edge.V, edge.U
 			}
-			if e.sampler != nil || e.nodeSampler != nil {
-				e.sampleEdges += int64(len(edges))
+			scale := e.coeff[sender]
+			switch {
+			case ps.sampler != nil:
+				if !ps.sampler.Keep() {
+					unit++
+					continue
+				}
+				scale *= ps.sampler.Scale()
+			case ps.nodeSampler != nil:
+				if !ps.nodeSampler.Keep(sender) {
+					unit++
+					continue
+				}
+				scale *= ps.nodeSampler.Scale()
 			}
-			for _, edge := range edges {
-				// Forward: u→v payload f[u]h_u, traffic s→t.
-				// Backward: v→u payload f[v]h_v, traffic t→s.
-				sender, receiver := edge.U, edge.V
-				from, to := s, t
-				if backward {
-					sender, receiver = edge.V, edge.U
-					from, to = t, s
-				}
-				scale := e.coeff[sender]
-				switch {
-				case e.sampler != nil:
-					if !e.sampler.Keep() {
-						e.skipUnit()
-						continue
-					}
-					scale *= e.sampler.Scale()
-				case e.nodeSampler != nil:
-					if !e.nodeSampler.Keep(sender) {
-						e.skipUnit()
-						continue
-					}
-					scale *= e.nodeSampler.Scale()
-				}
-				src := h.Row(int(sender))
-				for i, v := range src {
-					payload[i] = scale * v
-				}
-				e.sendPayload(from, to, payload)
-				tensor.AXPY(e.coeff[receiver], payload, delta.Row(int(receiver)))
-				e.aggFlops += int64(2 * dim)
+			src := h.Row(int(sender))
+			for i, v := range src {
+				payload[i] = scale * v
 			}
+			e.sendPayload(ps, sh, from, to, round, unit, payload)
+			unit++
+			tensor.AXPY(e.coeff[receiver], payload, delta.Row(int(receiver)))
+			sh.aggFlops += int64(2 * dim)
 		}
 	}
 }
 
-// remoteSemantic is the SC-GNN exchange of Fig. 7(b): one fused message per
+// receiveSemantic is the SC-GNN exchange of Fig. 7(b): one fused message per
 // group plus raw O2O residuals, optionally sampled/quantized on top (the
-// compatibility combinations of Fig. 12(b)).
-func (e *Engine) remoteSemantic(h, delta *tensor.Matrix, backward bool) {
+// compatibility combinations of Fig. 12(b)), for the rows receiver
+// partition r owns.
+func (e *Engine) receiveSemantic(r int, h, delta *tensor.Matrix, backward bool, round int, sh *shard) {
 	dim := h.Cols
-	for idx, plan := range e.plans {
+	payload := sh.scratch(dim)
+	for peer := 0; peer < e.nparts; peer++ {
+		if peer == r {
+			continue
+		}
+		idx, from, to := e.pairFor(r, peer, backward)
+		plan := e.plans[idx]
 		if plan == nil {
 			continue
 		}
@@ -398,27 +581,30 @@ func (e *Engine) remoteSemantic(h, delta *tensor.Matrix, backward bool) {
 		if backward {
 			groups = e.revGroups[idx]
 		}
-		from, to := plan.SrcPart, plan.DstPart
-		if backward {
-			from, to = plan.DstPart, plan.SrcPart
+		ps := &e.pairs[idx]
+		if ps.nodeSampler != nil {
+			ps.nodeSampler.StartRound()
 		}
+		var unit int64
 		for gi, grp := range groups {
 			scale := 1.0
 			switch {
-			case e.sampler != nil:
-				if !e.sampler.Keep() {
-					e.skipUnit()
+			case ps.sampler != nil:
+				if !ps.sampler.Keep() {
+					unit++
 					continue
 				}
-				scale = e.sampler.Scale()
-			case e.nodeSampler != nil:
+				scale = ps.sampler.Scale()
+			case ps.nodeSampler != nil:
 				// Under node-granularity sampling a group is the transfer
-				// unit: one coin per (plan, group) per round.
-				if !e.nodeSampler.Keep(int32(idx*4096 + gi)) {
-					e.skipUnit()
+				// unit: one coin per (pair, group) per round, keyed in the
+				// negative key space so it can never collide with the
+				// boundary-node coins of the O2O path below.
+				if !ps.nodeSampler.Keep(groupCoinKey(gi)) {
+					unit++
 					continue
 				}
-				scale = e.nodeSampler.Scale()
+				scale = ps.nodeSampler.Scale()
 			}
 			// Fuse with the GCN normalization folded into the payload:
 			// h_g = Σ w(u)·f[u]·h_u (Fig. 7(b) line 2, with Â's coefficients
@@ -427,16 +613,16 @@ func (e *Engine) remoteSemantic(h, delta *tensor.Matrix, backward bool) {
 			for k, u := range grp.SrcNodes {
 				tensor.AXPY(grp.WOut[k]*e.coeff[u]*scale, h.Row(int(u)), hg)
 			}
-			e.semanticValues += int64(len(grp.SrcNodes) * dim)
-			e.sendPayload(from, to, hg)
+			sh.semanticValues += int64(len(grp.SrcNodes) * dim)
+			e.sendPayload(ps, sh, from, to, round, unit, hg)
+			unit++
 			for k, v := range grp.DstNodes {
 				tensor.AXPY(grp.DDst[k]*e.coeff[v], hg, delta.Row(int(v)))
 			}
-			e.semanticValues += int64(len(grp.DstNodes) * dim)
-			e.aggFlops += int64(2 * dim * (len(grp.SrcNodes) + len(grp.DstNodes)))
+			sh.semanticValues += int64(len(grp.DstNodes) * dim)
+			sh.aggFlops += int64(2 * dim * (len(grp.SrcNodes) + len(grp.DstNodes)))
 		}
 		// Residual O2O edges travel raw.
-		payload := make([]float64, dim)
 		for _, o := range plan.O2O {
 			sender, receiver := o.Src, o.Dst
 			if backward {
@@ -444,65 +630,62 @@ func (e *Engine) remoteSemantic(h, delta *tensor.Matrix, backward bool) {
 			}
 			scale := e.coeff[sender]
 			switch {
-			case e.sampler != nil:
-				if !e.sampler.Keep() {
-					e.skipUnit()
+			case ps.sampler != nil:
+				if !ps.sampler.Keep() {
+					unit++
 					continue
 				}
-				scale *= e.sampler.Scale()
-			case e.nodeSampler != nil:
-				if !e.nodeSampler.Keep(sender) {
-					e.skipUnit()
+				scale *= ps.sampler.Scale()
+			case ps.nodeSampler != nil:
+				if !ps.nodeSampler.Keep(sender) {
+					unit++
 					continue
 				}
-				scale *= e.nodeSampler.Scale()
+				scale *= ps.nodeSampler.Scale()
 			}
 			src := h.Row(int(sender))
 			for i, v := range src {
 				payload[i] = scale * v
 			}
-			e.sendPayload(from, to, payload)
+			e.sendPayload(ps, sh, from, to, round, unit, payload)
+			unit++
 			tensor.AXPY(e.coeff[receiver], payload, delta.Row(int(receiver)))
-			e.aggFlops += int64(2 * dim)
+			sh.aggFlops += int64(2 * dim)
 		}
 	}
 }
 
 // sendPayload optionally quantizes the payload in place, records the message
-// on the fabric, and returns the wire size.
-func (e *Engine) sendPayload(from, to int, payload []float64) int {
-	unit := e.efUnit
-	e.efUnit++
+// on the shard's traffic counter, and returns the wire size. unit is the
+// candidate-unit index within (pair, round); dropped candidates consume an
+// index too, so error-feedback keys stay aligned across epochs.
+func (e *Engine) sendPayload(ps *pairState, sh *shard, from, to, round int, unit int64, payload []float64) int {
 	// Residual error feedback: correct the payload by last round's
 	// quantization error for this transfer unit, then record the new error.
 	var trueVals []float64
 	var efKey int64
-	if e.ef != nil {
-		efKey = int64(e.round-1)<<32 | unit
-		e.ef.PreCompress(efKey, payload)
+	if ps.ef != nil {
+		efKey = compress.RoundUnitKey(round, unit)
+		ps.ef.PreCompress(efKey, payload)
 		trueVals = append(trueVals, payload...)
 	}
 	var bytes int
 	switch {
 	case e.quant != nil:
 		bytes = e.quant.Roundtrip(payload)
-		e.quantValues += int64(len(payload))
-	case e.adaptive != nil:
-		bytes = e.adaptive.Roundtrip(payload)
-		e.quantValues += int64(len(payload))
+		sh.quantValues += int64(len(payload))
+	case ps.adaptive != nil:
+		bytes = ps.adaptive.Roundtrip(payload)
+		sh.quantValues += int64(len(payload))
 	default:
 		bytes = len(payload) * e.cfg.BytesPerValue
 	}
-	if e.ef != nil {
-		e.ef.PostCompress(efKey, trueVals, payload)
+	if ps.ef != nil {
+		ps.ef.PostCompress(efKey, trueVals, payload)
 	}
-	e.fabric.Send(from, to, bytes)
+	sh.traffic.Send(from, to, bytes)
 	return bytes
 }
-
-// skipUnit keeps the error-feedback unit numbering stable when sampling
-// drops a candidate transfer unit.
-func (e *Engine) skipUnit() { e.efUnit++ }
 
 // CrossEdgeCount returns the total number of cross-partition arcs.
 func (e *Engine) CrossEdgeCount() int {

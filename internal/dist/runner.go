@@ -147,7 +147,9 @@ func Run(ds *datasets.Dataset, part []int, nparts int, engCfg Config, runCfg Run
 	var totalBytes, totalMsgs int64
 	var totalTime float64
 	sinceBest := 0
+	nextEpoch := 0
 	for e := 0; e < runCfg.Epochs; e++ {
+		nextEpoch = e + 1
 		eng.StartEpoch(e)
 		logits := model.Forward(ds.Features)
 		loss, grad := nn.MaskedCrossEntropy(logits, ds.Labels, ds.TrainMask)
@@ -187,7 +189,11 @@ func Run(ds *datasets.Dataset, part []int, nparts int, engCfg Config, runCfg Run
 	}
 
 	// Final evaluation epoch (forward only, not counted in traffic means).
-	eng.StartEpoch(runCfg.Epochs)
+	// Use the epoch index that actually follows training — early stopping
+	// can exit well before runCfg.Epochs — and force a fresh exchange: under
+	// delayed transmission, StartEpoch at an arbitrary index would replay
+	// stale cached contributions into the accuracy measurement.
+	eng.StartEvalEpoch(nextEpoch)
 	final := model.Forward(ds.Features)
 	res.TestAcc = nn.Accuracy(final, ds.Labels, ds.TestMask)
 

@@ -137,6 +137,82 @@ func (f *Fabric) MaxOutbound() (int64, int64) {
 	return mb, mm
 }
 
+// ShardCounter accumulates link traffic privately on one goroutine so a
+// parallel halo exchange never contends on the shared fabric: each shard
+// records its own sends and the coordinator folds every shard into the
+// fabric with Merge after the round's barrier. Counters are plain int64
+// sums, so the merge order cannot change any total — parallel accounting
+// stays bit-identical to sequential accounting.
+type ShardCounter struct {
+	nparts int
+	// bytes/msgs are flattened [src*nparts+dst] link counters.
+	bytes, msgs []int64
+}
+
+// NewShardCounter returns an empty shard for an nparts-worker fabric.
+func NewShardCounter(nparts int) *ShardCounter {
+	if nparts < 1 {
+		panic(fmt.Sprintf("simnet: nparts = %d", nparts))
+	}
+	return &ShardCounter{
+		nparts: nparts,
+		bytes:  make([]int64, nparts*nparts),
+		msgs:   make([]int64, nparts*nparts),
+	}
+}
+
+// Send records one message of payloadBytes from src to dst on the shard,
+// with the same header framing as Fabric.Send.
+func (s *ShardCounter) Send(src, dst int, payloadBytes int) {
+	if src == dst {
+		panic("simnet: self-send")
+	}
+	s.bytes[src*s.nparts+dst] += int64(payloadBytes) + MsgHeaderBytes
+	s.msgs[src*s.nparts+dst]++
+}
+
+// Add records pre-framed traffic (bytes already include any headers) — the
+// accounting mode used by runtimes that measure encoded wire buffers
+// directly.
+func (s *ShardCounter) Add(src, dst int, bytes, msgs int64) {
+	if src == dst {
+		panic("simnet: self-send")
+	}
+	s.bytes[src*s.nparts+dst] += bytes
+	s.msgs[src*s.nparts+dst] += msgs
+}
+
+// TotalBytes returns the sum of the shard's link bytes.
+func (s *ShardCounter) TotalBytes() int64 {
+	var t int64
+	for _, b := range s.bytes {
+		t += b
+	}
+	return t
+}
+
+// Reset zeroes the shard so it can be reused next round.
+func (s *ShardCounter) Reset() {
+	for i := range s.bytes {
+		s.bytes[i] = 0
+		s.msgs[i] = 0
+	}
+}
+
+// Merge folds a shard's counters into the fabric. Call only after the
+// barrier that ends the parallel phase which filled the shard.
+func (f *Fabric) Merge(s *ShardCounter) {
+	if s.nparts != f.nparts {
+		panic(fmt.Sprintf("simnet: merge shard for %d parts into %d-part fabric", s.nparts, f.nparts))
+	}
+	for src := 0; src < f.nparts; src++ {
+		for dst := 0; dst < f.nparts; dst++ {
+			f.bytes[src][dst] += s.bytes[src*s.nparts+dst]
+			f.msgs[src][dst] += s.msgs[src*s.nparts+dst]
+		}
+	}
+}
+
 // Snapshot is a frozen copy of the fabric counters plus the processing
 // counters a method accumulated during one epoch.
 type Snapshot struct {

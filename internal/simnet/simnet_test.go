@@ -181,3 +181,92 @@ func TestFabricProfiles(t *testing.T) {
 		t.Fatalf("ethernet/pcie ratio only %v", eth/pc)
 	}
 }
+
+// TestShardCounterMergeMatchesDirectSends is the accounting half of the
+// deterministic-parallelism contract: routing traffic through per-receiver
+// shards and merging after the barrier must reproduce the exact per-link
+// counters of sending on the fabric directly, in any merge order.
+func TestShardCounterMergeMatchesDirectSends(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nparts := 2 + rng.Intn(5)
+		direct := NewFabric(nparts)
+		sharded := NewFabric(nparts)
+		shards := make([]*ShardCounter, nparts)
+		for i := range shards {
+			shards[i] = NewShardCounter(nparts)
+		}
+		for k := 0; k < 50; k++ {
+			src := rng.Intn(nparts)
+			dst := rng.Intn(nparts)
+			if src == dst {
+				continue
+			}
+			payload := rng.Intn(4096)
+			direct.Send(src, dst, payload)
+			// The receiver's goroutine records the send on its own shard.
+			shards[dst].Send(src, dst, payload)
+		}
+		// Merge in a random order: totals are plain sums, order-free.
+		for _, i := range rng.Perm(nparts) {
+			sharded.Merge(shards[i])
+			shards[i].Reset()
+		}
+		if direct.Capture() != sharded.Capture() {
+			return false
+		}
+		for s := 0; s < nparts; s++ {
+			for d := 0; d < nparts; d++ {
+				if direct.LinkBytes(s, d) != sharded.LinkBytes(s, d) ||
+					direct.LinkMessages(s, d) != sharded.LinkMessages(s, d) {
+					return false
+				}
+			}
+		}
+		// Reset emptied the shards: a second merge adds nothing.
+		for _, sc := range shards {
+			sharded.Merge(sc)
+		}
+		return direct.Capture() == sharded.Capture()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardCounterAddPreFramed(t *testing.T) {
+	sc := NewShardCounter(2)
+	// Add records bytes as-is (the caller already measured framed buffers),
+	// unlike Send which applies the per-message header.
+	sc.Add(0, 1, 100, 3)
+	if got := sc.TotalBytes(); got != 100 {
+		t.Fatalf("pre-framed bytes = %d, want 100", got)
+	}
+	sc.Send(0, 1, 100)
+	if got := sc.TotalBytes(); got != 200+MsgHeaderBytes {
+		t.Fatalf("mixed bytes = %d, want %d", got, 200+MsgHeaderBytes)
+	}
+	f := NewFabric(2)
+	f.Merge(sc)
+	if f.TotalMessages() != 4 {
+		t.Fatalf("messages = %d, want 4", f.TotalMessages())
+	}
+}
+
+func TestShardCounterPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"self-send":      func() { NewShardCounter(2).Send(1, 1, 10) },
+		"self-add":       func() { NewShardCounter(2).Add(0, 0, 10, 1) },
+		"merge-mismatch": func() { NewFabric(3).Merge(NewShardCounter(2)) },
+		"zero-parts":     func() { NewShardCounter(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

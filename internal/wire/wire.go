@@ -62,6 +62,13 @@ func Encode(dst []byte, m *Message) []byte {
 
 // Decode parses one message from the front of b, returning the message and
 // the remaining bytes. The payload slice is freshly allocated.
+//
+// Decode never trusts the length or bit-width fields: the declared payload
+// size is validated against the remaining buffer (with the arithmetic done
+// in int64, so a hostile length cannot overflow the check) before any
+// allocation, and bit widths outside the encoder's 1..16 range are rejected
+// — so a corrupt or truncated buffer yields an error, never a panic or an
+// attacker-sized allocation.
 func Decode(b []byte) (*Message, []byte, error) {
 	if len(b) < HeaderBytes {
 		return nil, b, fmt.Errorf("wire: short header (%d bytes)", len(b))
@@ -74,12 +81,19 @@ func Decode(b []byte) (*Message, []byte, error) {
 	target := int32(binary.LittleEndian.Uint32(b[8:]))
 	n := int(binary.LittleEndian.Uint32(b[12:]))
 	if bits := int(b[1]); bits > 0 {
+		if bits > 16 {
+			return nil, b, fmt.Errorf("wire: quantized bits %d out of 1..16", bits)
+		}
+		need := int64(HeaderBytes) + 8 + (int64(n)*int64(bits)+7)/8
+		if int64(len(b)) < need {
+			return nil, b, fmt.Errorf("wire: truncated quantized payload: have %d bytes, need %d", len(b), need)
+		}
 		return decodeQuantized(b, kind, bits, src, target, n)
 	}
-	total := EncodedSize(n)
-	if len(b) < total {
-		return nil, b, fmt.Errorf("wire: truncated payload: have %d bytes, need %d", len(b), total)
+	if need := int64(HeaderBytes) + 4*int64(n); int64(len(b)) < need {
+		return nil, b, fmt.Errorf("wire: truncated payload: have %d bytes, need %d", len(b), need)
 	}
+	total := EncodedSize(n)
 	payload := make([]float64, n)
 	off := HeaderBytes
 	for i := range payload {
@@ -192,12 +206,10 @@ func EncodeQuantized(dst []byte, m *Message, bits int) []byte {
 	return dst
 }
 
-// decodeQuantized parses a quantized message body (header already parsed).
+// decodeQuantized parses a quantized message body. The caller (Decode) has
+// already validated bits ∈ 1..16 and that b holds the full declared payload.
 func decodeQuantized(b []byte, kind Kind, bits int, src, target int32, n int) (*Message, []byte, error) {
 	total := EncodedSizeQuantized(n, bits)
-	if len(b) < total {
-		return nil, b, fmt.Errorf("wire: truncated quantized payload: have %d, need %d", len(b), total)
-	}
 	lo := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes:])))
 	step := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes+4:])))
 	payload := make([]float64, n)

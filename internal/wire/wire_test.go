@@ -281,3 +281,78 @@ func TestDecodeRobustnessProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestDecodeHostileLengths feeds headers whose length/bit-width fields are
+// attacker-controlled: Decode must validate them against the remaining
+// buffer before allocating anything, and must reject bit widths the encoder
+// can never produce — errors, never panics or giant allocations.
+func TestDecodeHostileLengths(t *testing.T) {
+	hdr := func(kind Kind, bits byte, n uint32) []byte {
+		b := make([]byte, HeaderBytes)
+		b[0] = byte(kind)
+		b[1] = bits
+		b[12] = byte(n)
+		b[13] = byte(n >> 8)
+		b[14] = byte(n >> 16)
+		b[15] = byte(n >> 24)
+		return b
+	}
+
+	// Huge fp32 length with an empty body: the int64 need-check must reject
+	// it without calling make([]float64, 4294967295).
+	if _, _, err := Decode(hdr(KindNode, 0, math.MaxUint32)); err == nil {
+		t.Fatal("huge fp32 length accepted")
+	}
+	// Same for the quantized path.
+	if _, _, err := Decode(hdr(KindGroup, 8, math.MaxUint32)); err == nil {
+		t.Fatal("huge quantized length accepted")
+	}
+	// Bit widths outside the encoder's 1..16 range are rejected up front —
+	// 255-bit "payloads" used to walk the bit-unpacker off the buffer.
+	for _, bits := range []byte{17, 32, 64, 200, 255} {
+		b := append(hdr(KindNode, bits, 1), make([]byte, 64)...)
+		_, _, err := Decode(b)
+		if err == nil {
+			t.Fatalf("bits=%d accepted", bits)
+		}
+	}
+	// Quantized body one byte short of its declared size.
+	msg := &Message{Kind: KindGroup, Target: 7, Payload: []float64{1, 2, 3, 4, 5}}
+	qbuf := EncodeQuantized(nil, msg, 3)
+	if _, _, err := Decode(qbuf[:len(qbuf)-1]); err == nil {
+		t.Fatal("truncated quantized payload accepted")
+	}
+	// Every in-range width on a valid buffer still decodes.
+	for bits := 1; bits <= 16; bits++ {
+		buf := EncodeQuantized(nil, msg, bits)
+		m, rest, err := Decode(buf)
+		if err != nil {
+			t.Fatalf("bits=%d: %v", bits, err)
+		}
+		if len(rest) != 0 || len(m.Payload) != 5 {
+			t.Fatalf("bits=%d: bad decode shape", bits)
+		}
+	}
+}
+
+// TestDecodeHeaderFieldSweep brute-forces every value of the two untrusted
+// single-byte header fields (kind, bits) over a small valid body: Decode
+// must classify each as ok or error without panicking.
+func TestDecodeHeaderFieldSweep(t *testing.T) {
+	base := EncodeQuantized(nil, &Message{Kind: KindNode, Target: 1, Payload: []float64{1, 2}}, 4)
+	for kind := 0; kind < 256; kind++ {
+		for bits := 0; bits < 256; bits++ {
+			buf := append([]byte(nil), base...)
+			buf[0] = byte(kind)
+			buf[1] = byte(bits)
+			func() {
+				defer func() {
+					if recover() != nil {
+						t.Fatalf("Decode panicked at kind=%d bits=%d", kind, bits)
+					}
+				}()
+				Decode(buf)
+			}()
+		}
+	}
+}

@@ -15,11 +15,11 @@ package worker
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
 	"scgnn/internal/compress"
 	"scgnn/internal/core"
 	"scgnn/internal/graph"
+	"scgnn/internal/simnet"
 	"scgnn/internal/tensor"
 	"scgnn/internal/wire"
 )
@@ -47,8 +47,14 @@ type Cluster struct {
 	// ceil(n·bits/8) + 8 metadata in place of 4n.
 	quantBits int
 
-	bytes int64 // real encoded bytes since last Reset
-	msgs  int64
+	// Traffic accounting mirrors the engine's shard-and-merge scheme instead
+	// of hot-loop atomics: each worker records its sends on its own
+	// ShardCounter (no cross-core contention during the round) and the
+	// counters are merged into the fabric after the round barrier, in worker
+	// order, so per-link totals are exact and schedule-free.
+	trafficMu sync.Mutex
+	fabric    *simnet.Fabric
+	counters  []*simnet.ShardCounter // one per worker
 }
 
 // SetQuantization enables b-bit payload quantization on the wire (0
@@ -74,6 +80,11 @@ func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg c
 		semantic: semantic,
 		crossOut: make([][]graph.Edge, nparts*nparts),
 		own:      make([][]int32, nparts),
+		fabric:   simnet.NewFabric(nparts),
+		counters: make([]*simnet.ShardCounter, nparts),
+	}
+	for p := range c.counters {
+		c.counters[p] = simnet.NewShardCounter(nparts)
 	}
 	for u := int32(0); int(u) < g.NumNodes(); u++ {
 		s := part[u]
@@ -102,14 +113,25 @@ func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg c
 
 // ResetTraffic clears the byte/message counters.
 func (c *Cluster) ResetTraffic() {
-	atomic.StoreInt64(&c.bytes, 0)
-	atomic.StoreInt64(&c.msgs, 0)
+	c.trafficMu.Lock()
+	defer c.trafficMu.Unlock()
+	c.fabric.Reset()
 }
 
 // Traffic returns the real encoded bytes and message count since the last
 // reset.
 func (c *Cluster) Traffic() (bytes, msgs int64) {
-	return atomic.LoadInt64(&c.bytes), atomic.LoadInt64(&c.msgs)
+	c.trafficMu.Lock()
+	defer c.trafficMu.Unlock()
+	return c.fabric.TotalBytes(), c.fabric.TotalMessages()
+}
+
+// Snapshot freezes the per-link traffic accumulated since the last reset
+// (same shape the analytic engine reports), for cost-model consumers.
+func (c *Cluster) Snapshot() simnet.Snapshot {
+	c.trafficMu.Lock()
+	defer c.trafficMu.Unlock()
+	return c.fabric.Capture()
 }
 
 // Forward implements gnn.Aggregator with a concurrent halo exchange.
@@ -147,6 +169,14 @@ func (c *Cluster) aggregate(h *tensor.Matrix, backward bool) *tensor.Matrix {
 		}(p)
 	}
 	wg.Wait()
+	// Merge each worker's round traffic into the fabric after the barrier,
+	// in worker order — totals are independent of goroutine scheduling.
+	c.trafficMu.Lock()
+	for _, sc := range c.counters {
+		c.fabric.Merge(sc)
+		sc.Reset()
+	}
+	c.trafficMu.Unlock()
 	return out
 }
 
@@ -180,8 +210,9 @@ func (c *Cluster) sendPhase(me int, h *tensor.Matrix, backward bool, inbox []cha
 			c.encodeVanilla(&batch, me, peer, h, backward, dim)
 		}
 		buf := batch.Bytes()
-		atomic.AddInt64(&c.bytes, int64(len(buf)))
-		atomic.AddInt64(&c.msgs, int64(batch.Len()))
+		// Wire framing is already inside buf (each message carries its own
+		// header), so record pre-framed bytes rather than ShardCounter.Send.
+		c.counters[me].Add(me, peer, int64(len(buf)), int64(batch.Len()))
 		inbox[peer] <- buf
 	}
 }

@@ -239,3 +239,45 @@ func TestQuantizedClusterWire(t *testing.T) {
 	}()
 	q.SetQuantization(40)
 }
+
+// TestClusterPerLinkAccounting: the shard-and-merge plumbing must agree with
+// the engine's analytic fabric on every individual link, not just the
+// totals, and the Snapshot view must stay consistent with Traffic across
+// rounds and resets.
+func TestClusterPerLinkAccounting(t *testing.T) {
+	d, part := setup(t, 3)
+	h := randMat(d.NumNodes(), 5, 9)
+	c := NewCluster(d.Graph, part, 3, false, core.PlanConfig{})
+	eng := dist.NewEngine(d.Graph, part, 3, dist.Vanilla())
+
+	c.Forward(h)
+	c.Backward(h)
+	eng.StartEpoch(0)
+	eng.Forward(h)
+	eng.Backward(h)
+
+	snap := c.Snapshot()
+	engSnap := eng.CaptureEpoch()
+	if snap.TotalBytes != engSnap.TotalBytes || snap.TotalMessages != engSnap.TotalMessages ||
+		snap.MaxInboundBytes != engSnap.MaxInboundBytes || snap.MaxOutboundBytes != engSnap.MaxOutboundBytes {
+		t.Fatalf("cluster snapshot %+v vs engine %+v", snap, engSnap)
+	}
+	cb, cm := c.Traffic()
+	if cb != snap.TotalBytes || cm != snap.TotalMessages {
+		t.Fatalf("Traffic (%d, %d) disagrees with Snapshot (%d, %d)", cb, cm, snap.TotalBytes, snap.TotalMessages)
+	}
+
+	c.ResetTraffic()
+	if cb, cm = c.Traffic(); cb != 0 || cm != 0 {
+		t.Fatalf("traffic after reset = (%d, %d)", cb, cm)
+	}
+	// Counters accumulate again after a reset (shards were drained, not
+	// carried over).
+	c.Forward(h)
+	eng.StartEpoch(1)
+	eng.Forward(h)
+	cb, _ = c.Traffic()
+	if cb != eng.CaptureEpoch().TotalBytes {
+		t.Fatalf("post-reset round: cluster %d B vs engine %d B", cb, eng.CaptureEpoch().TotalBytes)
+	}
+}
