@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench experiments quick-experiments clean
+.PHONY: all build vet test race verify bench bench-all experiments quick-experiments clean
 
 all: build vet test race
 
@@ -24,7 +24,15 @@ race:
 # and survive the race detector on the concurrent packages.
 verify: build vet test race
 
+# Cluster-round + halo-exchange benchmarks with allocation counts; the JSON
+# lands in BENCH_worker.json under "after" (the committed "before" baseline
+# is preserved by the merge).
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkClusterRound|BenchmarkEngineExchange' -benchmem . ./internal/worker/ \
+		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_worker.json -key after
+
+# Every benchmark in the repo (paper figures included; slower).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every paper table/figure plus the ablations (minutes).

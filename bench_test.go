@@ -129,6 +129,15 @@ func BenchmarkEngineExchange8PSemanticParallel(b *testing.B) {
 	benchExchange8PSemantic(b, 8)
 }
 
+// The RowSharded lanes pin Workers:32 > nparts, engaging the two-stage
+// intra-partition row sharding (per-pair encode, per-row-chunk delivery) —
+// still bit-identical to the sequential schedule, with a speedup ceiling of
+// min(cores, rows) instead of min(cores, 8).
+func BenchmarkEngineExchange8PRowSharded(b *testing.B) { benchExchange8P(b, 32) }
+func BenchmarkEngineExchange8PSemanticRowSharded(b *testing.B) {
+	benchExchange8PSemantic(b, 32)
+}
+
 func exchangeSetup(b *testing.B, cfg dist.Config) (*dist.Engine, *tensor.Matrix) {
 	b.Helper()
 	ds := datasets.RedditSim(1)

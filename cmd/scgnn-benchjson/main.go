@@ -1,0 +1,112 @@
+// Command scgnn-benchjson converts `go test -bench -benchmem` output (stdin)
+// into a JSON record, so benchmark numbers live next to the code they
+// measure (BENCH_worker.json). It merges into an existing file: the parsed
+// run is stored under -key, other keys (e.g. a committed "before" baseline)
+// are preserved — `make bench` refreshes "after" without erasing history.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+type benchmark struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type run struct {
+	GoVersion  string      `json:"go_version"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Benchmarks []benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_worker.json", "output JSON file (merged in place)")
+	key := flag.String("key", "after", "top-level key to store this run under")
+	flag.Parse()
+
+	var r run
+	r.GoVersion = runtime.Version()
+	r.GoMaxProcs = runtime.GOMAXPROCS(0)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // pass the raw output through for the operator
+		if b, ok := parseLine(line); ok {
+			r.Benchmarks = append(r.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fatal(err)
+	}
+	if len(r.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found on stdin"))
+	}
+
+	doc := map[string]json.RawMessage{}
+	if prev, err := os.ReadFile(*out); err == nil {
+		if err := json.Unmarshal(prev, &doc); err != nil {
+			fatal(fmt.Errorf("existing %s is not a JSON object: %w", *out, err))
+		}
+	}
+	enc, err := json.MarshalIndent(r, "  ", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	doc[*key] = enc
+	final, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(final, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d benchmarks to %s (key %q)\n", len(r.Benchmarks), *out, *key)
+}
+
+// parseLine handles one benchmark result line, e.g.
+//
+//	BenchmarkClusterRoundVanilla-4  3548  359159 ns/op  859520 B/op  2920 allocs/op
+func parseLine(line string) (benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return benchmark{}, false
+	}
+	b := benchmark{Name: fields[0], Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		val, unit := fields[i], fields[i+1]
+		switch unit {
+		case "ns/op":
+			b.NsPerOp, _ = strconv.ParseFloat(val, 64)
+		case "B/op":
+			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+		case "allocs/op":
+			b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		}
+	}
+	return b, true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scgnn-benchjson:", err)
+	os.Exit(1)
+}

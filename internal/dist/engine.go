@@ -15,9 +15,14 @@
 // receiver partition: every row of the output is owned by exactly one
 // partition, so one goroutine per receiver accumulates into disjoint rows,
 // with per-ordered-pair RNG streams, per-pair error-feedback stores, and
-// per-shard traffic counters merged after the barrier. The schedule is
-// bit-deterministic: for any Config.Workers value the results, bytes, and
-// messages are identical (see TestSequentialParallelEquivalence).
+// per-shard traffic counters merged after the barrier. When Config.Workers
+// exceeds the partition count, each receiver's owned-row range is further
+// split into contiguous sub-shards and the exchange runs in two stages —
+// stateful per-pair encoding, then stateless per-row-chunk delivery — so the
+// speedup ceiling is min(cores, total rows) rather than min(cores, nparts).
+// The schedule is bit-deterministic: for any Config.Workers value the
+// results, bytes, and messages are identical (see
+// TestSequentialParallelEquivalence and TestRowShardedEquivalence).
 package dist
 
 import (
@@ -76,9 +81,13 @@ type Config struct {
 	BytesPerValue int
 	// Workers caps the goroutines driving the local aggregate and the
 	// cross-partition exchange. 0 uses GOMAXPROCS; 1 forces the sequential
-	// schedule. Results are bit-identical for every value: work is sharded
-	// by receiver partition, and each shard owns disjoint output rows, RNG
-	// streams, compression state, and traffic counters.
+	// schedule; values above the partition count engage intra-partition row
+	// sharding (each receiver's owned rows split into contiguous chunks, the
+	// exchange run as per-pair encode then per-chunk delivery), lifting the
+	// speedup ceiling to min(cores, total rows). Results are bit-identical
+	// for every value: each unit of work owns disjoint output rows, RNG
+	// streams, compression state, and traffic counters, and every row
+	// accumulates its contributions in the sequential order.
 	Workers int
 }
 
@@ -160,8 +169,39 @@ type shard struct {
 	semanticValues int64
 	aggFlops       int64
 
-	// payload/fuse are scratch vectors reused across this shard's pairs.
+	// payload, group, and efTrue are scratch vectors reused across this
+	// shard's pairs (outgoing payload, group fusion, error-feedback staging).
 	payload []float64
+	group   []float64
+	efTrue  []float64
+}
+
+// unitRef identifies one transmitted unit buffered for deferred delivery:
+// gi ≥ 0 is a plan-group index, gi < 0 marks a per-node payload addressed to
+// node recv.
+type unitRef struct {
+	gi   int32
+	recv int32
+}
+
+// pairBuf is an ordered pair's retained staging arena for the two-stage
+// (row-sharded) exchange: stage 1 appends each surviving unit's
+// receiver-visible payload here, stage 2 delivers them to row chunks. Unit i
+// occupies vals[i·dim : (i+1)·dim]. Buffers keep their capacity across
+// rounds, so steady-state rounds don't allocate.
+type pairBuf struct {
+	units []unitRef
+	vals  []float64
+}
+
+func (b *pairBuf) reset() {
+	b.units = b.units[:0]
+	b.vals = b.vals[:0]
+}
+
+func (b *pairBuf) push(ref unitRef, payload []float64) {
+	b.units = append(b.units, ref)
+	b.vals = append(b.vals, payload...)
 }
 
 // groupCoinKey maps a plan-group index into the dedicated negative key
@@ -211,9 +251,13 @@ type Engine struct {
 	epoch int
 	round int
 
-	// shards[r] is receiver partition r's accumulator, merged after every
-	// parallel phase.
+	// shards[i] is parallel task i's accumulator, merged after every
+	// parallel phase (task i is receiver partition i when Workers ≤ nparts;
+	// the slice grows lazily for the finer-grained row-sharded schedule).
 	shards []*shard
+	// pairBufs[s*nparts+t], allocated on the first row-sharded round, stages
+	// pair (s→t)'s encoded units between the two exchange stages.
+	pairBufs []pairBuf
 
 	// per-epoch processing counters (see simnet.Snapshot)
 	quantValues    int64
@@ -375,21 +419,31 @@ func (e *Engine) Backward(g *tensor.Matrix) *tensor.Matrix {
 	return out
 }
 
-// runShards executes fn(r, shard[r]) for every receiver partition r, fanning
-// out across Config.Workers goroutines, then merges every shard's counters
-// into the engine totals. The merge happens after the barrier and in fixed
-// r-order; counters are exact integer sums, so totals are schedule-free.
-func (e *Engine) runShards(fn func(r int, sh *shard)) {
-	workers := e.cfg.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+// workerCount resolves Config.Workers (0 → GOMAXPROCS).
+func (e *Engine) workerCount() int {
+	if e.cfg.Workers > 0 {
+		return e.cfg.Workers
 	}
-	if workers > e.nparts {
-		workers = e.nparts
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachTask executes fn(i, shard[i]) for tasks 0..ntasks-1, fanning out
+// across at most workers goroutines, then merges every task shard's counters
+// into the engine totals. The merge happens after the barrier and in fixed
+// i-order; counters are exact integer sums, so totals are schedule-free.
+func (e *Engine) forEachTask(ntasks, workers int, fn func(i int, sh *shard)) {
+	if ntasks == 0 {
+		return
+	}
+	if workers > ntasks {
+		workers = ntasks
+	}
+	for len(e.shards) < ntasks {
+		e.shards = append(e.shards, &shard{traffic: simnet.NewShardCounter(e.nparts)})
 	}
 	if workers <= 1 {
-		for r := 0; r < e.nparts; r++ {
-			fn(r, e.shards[r])
+		for i := 0; i < ntasks; i++ {
+			fn(i, e.shards[i])
 		}
 	} else {
 		var next int32
@@ -399,18 +453,18 @@ func (e *Engine) runShards(fn func(r int, sh *shard)) {
 			go func() {
 				defer wg.Done()
 				for {
-					r := int(atomic.AddInt32(&next, 1)) - 1
-					if r >= e.nparts {
+					i := int(atomic.AddInt32(&next, 1)) - 1
+					if i >= ntasks {
 						return
 					}
-					fn(r, e.shards[r])
+					fn(i, e.shards[i])
 				}
 			}()
 		}
 		wg.Wait()
 	}
-	for r := 0; r < e.nparts; r++ {
-		sh := e.shards[r]
+	for i := 0; i < ntasks; i++ {
+		sh := e.shards[i]
 		e.fabric.Merge(sh.traffic)
 		sh.traffic.Reset()
 		e.quantValues += sh.quantValues
@@ -421,6 +475,30 @@ func (e *Engine) runShards(fn func(r int, sh *shard)) {
 	}
 }
 
+// runShards is the coarse schedule: one task per receiver partition.
+func (e *Engine) runShards(fn func(r int, sh *shard)) {
+	e.forEachTask(e.nparts, e.workerCount(), fn)
+}
+
+// chunksPerPart sizes the row-sharded schedule: each partition's owned rows
+// split into this many contiguous chunks so ~workers tasks exist in total.
+func (e *Engine) chunksPerPart(workers int) int {
+	return (workers + e.nparts - 1) / e.nparts
+}
+
+// chunkRows maps row-sharded task i to its receiver partition and the
+// contiguous slice of that partition's owned rows (ascending node ids) it is
+// responsible for. The split depends only on (workers, nparts, |own[r]|), so
+// the task→rows mapping is deterministic.
+func (e *Engine) chunkRows(i, chunks int) (int, []int32) {
+	r := i / chunks
+	c := i % chunks
+	rows := e.own[r]
+	a := c * len(rows) / chunks
+	b := (c + 1) * len(rows) / chunks
+	return r, rows[a:b]
+}
+
 // scratch returns the shard's reusable payload buffer, sized to dim.
 func (sh *shard) scratch(dim int) []float64 {
 	if cap(sh.payload) < dim {
@@ -429,30 +507,55 @@ func (sh *shard) scratch(dim int) []float64 {
 	return sh.payload[:dim]
 }
 
+// fuseScratch returns the shard's reusable group-fusion buffer, sized to dim
+// (contents undefined — callers zero it per group). It is distinct from
+// scratch so a pair walk can stage a group payload and an O2O payload
+// without re-slicing per unit.
+func (sh *shard) fuseScratch(dim int) []float64 {
+	if cap(sh.group) < dim {
+		sh.group = make([]float64, dim)
+	}
+	return sh.group[:dim]
+}
+
 // localAggregate computes the within-partition part of Â·h (self loops plus
 // same-partition neighbors); no traffic. Rows are sharded by their owner
-// partition: each goroutine writes only rows it owns, and each row's sum is
-// accumulated in the same neighbor order as the sequential schedule.
+// partition — or into finer contiguous row chunks when Workers > nparts —
+// each task writes only its own rows, and each row's sum is accumulated in
+// the same neighbor order as the sequential schedule.
 func (e *Engine) localAggregate(h *tensor.Matrix) *tensor.Matrix {
 	n := e.g.NumNodes()
 	if h.Rows != n {
 		panic(fmt.Sprintf("dist: matrix rows %d, graph nodes %d", h.Rows, n))
 	}
 	out := tensor.New(n, h.Cols)
-	e.runShards(func(r int, sh *shard) {
-		for _, u := range e.own[r] {
-			fu := e.coeff[u]
-			orow := out.Row(int(u))
-			tensor.AXPY(fu*fu, h.Row(int(u)), orow)
-			for _, v := range e.g.Neighbors(u) {
-				if e.part[v] == r {
-					tensor.AXPY(fu*e.coeff[v], h.Row(int(v)), orow)
-					sh.aggFlops += int64(2 * h.Cols)
-				}
-			}
-		}
+	workers := e.workerCount()
+	if workers <= e.nparts {
+		e.runShards(func(r int, sh *shard) {
+			e.localRows(r, e.own[r], h, out, sh)
+		})
+		return out
+	}
+	chunks := e.chunksPerPart(workers)
+	e.forEachTask(e.nparts*chunks, workers, func(i int, sh *shard) {
+		r, rows := e.chunkRows(i, chunks)
+		e.localRows(r, rows, h, out, sh)
 	})
 	return out
+}
+
+func (e *Engine) localRows(r int, rows []int32, h, out *tensor.Matrix, sh *shard) {
+	for _, u := range rows {
+		fu := e.coeff[u]
+		orow := out.Row(int(u))
+		tensor.AXPY(fu*fu, h.Row(int(u)), orow)
+		for _, v := range e.g.Neighbors(u) {
+			if e.part[v] == r {
+				tensor.AXPY(fu*e.coeff[v], h.Row(int(v)), orow)
+				sh.aggFlops += int64(2 * h.Cols)
+			}
+		}
+	}
 }
 
 // remote adds the cross-partition contributions into out. In the backward
@@ -481,16 +584,106 @@ func (e *Engine) remote(h, out *tensor.Matrix, backward bool) {
 	if e.delay != nil && !e.freshEval {
 		target = tensor.New(out.Rows, out.Cols)
 	}
-	e.runShards(func(r int, sh *shard) {
-		if e.cfg.Semantic {
-			e.receiveSemantic(r, h, target, backward, round, sh)
-		} else {
-			e.receiveEdges(r, h, target, backward, round, sh)
-		}
-	})
+	if workers := e.workerCount(); workers > e.nparts {
+		e.remoteSharded(h, target, backward, round, workers)
+	} else {
+		e.runShards(func(r int, sh *shard) {
+			if e.cfg.Semantic {
+				e.receiveSemantic(r, h, target, backward, round, sh)
+			} else {
+				e.receiveEdges(r, h, target, backward, round, sh)
+			}
+		})
+	}
 	if target != out {
 		e.delay.Store(round, target)
 		tensor.AddInPlace(out, target)
+	}
+}
+
+// remoteSharded is the two-stage row-sharded exchange used when Workers >
+// nparts. Stage 1 parallelizes over ordered pairs: each pair's stateful walk
+// (RNG coins, error feedback, quantization, traffic) runs on exactly one
+// goroutine, buffering the receiver-visible payload of every surviving unit
+// into the pair's retained arena. Stage 2 parallelizes over contiguous
+// owned-row chunks: each chunk walks its receiver's peers in ascending order
+// and delivers the buffered units whose destination falls in the chunk, so
+// every output row accumulates its contributions in exactly the sequential
+// order — results are bit-identical to the Workers=1 schedule while the
+// ceiling rises to min(cores, total rows).
+func (e *Engine) remoteSharded(h, delta *tensor.Matrix, backward bool, round, workers int) {
+	if e.pairBufs == nil {
+		e.pairBufs = make([]pairBuf, e.nparts*e.nparts)
+	}
+	np := e.nparts
+	e.forEachTask(np*(np-1), workers, func(i int, sh *shard) {
+		r := i / (np - 1)
+		peer := i % (np - 1)
+		if peer >= r {
+			peer++
+		}
+		idx, _, _ := e.pairFor(r, peer, backward)
+		buf := &e.pairBufs[idx]
+		buf.reset()
+		if e.cfg.Semantic {
+			e.semanticPair(r, peer, h, nil, backward, round, sh, buf)
+		} else {
+			e.edgesPair(r, peer, h, nil, backward, round, sh, buf)
+		}
+	})
+	chunks := e.chunksPerPart(workers)
+	e.forEachTask(np*chunks, workers, func(i int, sh *shard) {
+		r, rows := e.chunkRows(i, chunks)
+		if len(rows) == 0 {
+			return
+		}
+		e.deliverChunk(r, rows[0], rows[len(rows)-1], delta, backward, sh)
+	})
+}
+
+// deliverChunk adds every buffered unit destined for a node in [lo, hi] (a
+// contiguous slice of receiver r's ascending owned rows) into delta. Units
+// are visited peer-ascending then in buffered order — the sequential
+// accumulation order of each row.
+func (e *Engine) deliverChunk(r int, lo, hi int32, delta *tensor.Matrix, backward bool, sh *shard) {
+	dim := delta.Cols
+	for peer := 0; peer < e.nparts; peer++ {
+		if peer == r {
+			continue
+		}
+		idx, _, _ := e.pairFor(r, peer, backward)
+		buf := &e.pairBufs[idx]
+		if len(buf.units) == 0 {
+			continue
+		}
+		var groups []*core.Group
+		if e.cfg.Semantic && e.plans[idx] != nil {
+			groups = e.plans[idx].Groups
+			if backward {
+				groups = e.revGroups[idx]
+			}
+		}
+		for ui, u := range buf.units {
+			payload := buf.vals[ui*dim : (ui+1)*dim]
+			if u.gi < 0 {
+				v := u.recv
+				if v < lo || v > hi {
+					continue
+				}
+				tensor.AXPY(e.coeff[v], payload, delta.Row(int(v)))
+				sh.aggFlops += int64(2 * dim)
+				continue
+			}
+			grp := groups[u.gi]
+			for k, v := range grp.DstNodes {
+				if v < lo || v > hi {
+					continue
+				}
+				tensor.AXPY(grp.DDst[k]*e.coeff[v], payload, delta.Row(int(v)))
+				sh.aggFlops += int64(2 * dim)
+				sh.semanticValues += int64(dim)
+			}
+		}
 	}
 }
 
@@ -509,55 +702,68 @@ func (e *Engine) pairFor(r, peer int, backward bool) (idx, from, to int) {
 // receiveEdges is the baseline per-edge exchange of Fig. 7(a), optionally
 // sampled and/or quantized, for the rows receiver partition r owns.
 func (e *Engine) receiveEdges(r int, h, delta *tensor.Matrix, backward bool, round int, sh *shard) {
-	dim := h.Cols
-	payload := sh.scratch(dim)
 	for peer := 0; peer < e.nparts; peer++ {
 		if peer == r {
 			continue
 		}
-		idx, from, to := e.pairFor(r, peer, backward)
-		edges := e.crossOut[idx]
-		if len(edges) == 0 {
+		e.edgesPair(r, peer, h, delta, backward, round, sh, nil)
+	}
+}
+
+// edgesPair walks one ordered pair's cross edges toward receiver r. With
+// buf == nil each surviving payload is delivered straight into delta (the
+// coarse schedule); with buf != nil it is staged in the pair's arena for
+// stage-2 chunk delivery, and the delivery-side counters are deferred with
+// it.
+func (e *Engine) edgesPair(r, peer int, h, delta *tensor.Matrix, backward bool, round int, sh *shard, buf *pairBuf) {
+	dim := h.Cols
+	idx, from, to := e.pairFor(r, peer, backward)
+	edges := e.crossOut[idx]
+	if len(edges) == 0 {
+		return
+	}
+	payload := sh.scratch(dim)
+	ps := &e.pairs[idx]
+	if ps.nodeSampler != nil {
+		ps.nodeSampler.StartRound()
+	}
+	if ps.sampler != nil || ps.nodeSampler != nil {
+		sh.sampleEdges += int64(len(edges))
+	}
+	var unit int64
+	for _, edge := range edges {
+		// Forward: u→v payload f[u]h_u. Backward: v→u payload f[v]h_v.
+		sender, receiver := edge.U, edge.V
+		if backward {
+			sender, receiver = edge.V, edge.U
+		}
+		scale := e.coeff[sender]
+		switch {
+		case ps.sampler != nil:
+			if !ps.sampler.Keep() {
+				unit++
+				continue
+			}
+			scale *= ps.sampler.Scale()
+		case ps.nodeSampler != nil:
+			if !ps.nodeSampler.Keep(sender) {
+				unit++
+				continue
+			}
+			scale *= ps.nodeSampler.Scale()
+		}
+		src := h.Row(int(sender))
+		for i, v := range src {
+			payload[i] = scale * v
+		}
+		e.sendPayload(ps, sh, from, to, round, unit, payload)
+		unit++
+		if buf != nil {
+			buf.push(unitRef{gi: -1, recv: receiver}, payload)
 			continue
 		}
-		ps := &e.pairs[idx]
-		if ps.nodeSampler != nil {
-			ps.nodeSampler.StartRound()
-		}
-		if ps.sampler != nil || ps.nodeSampler != nil {
-			sh.sampleEdges += int64(len(edges))
-		}
-		var unit int64
-		for _, edge := range edges {
-			// Forward: u→v payload f[u]h_u. Backward: v→u payload f[v]h_v.
-			sender, receiver := edge.U, edge.V
-			if backward {
-				sender, receiver = edge.V, edge.U
-			}
-			scale := e.coeff[sender]
-			switch {
-			case ps.sampler != nil:
-				if !ps.sampler.Keep() {
-					unit++
-					continue
-				}
-				scale *= ps.sampler.Scale()
-			case ps.nodeSampler != nil:
-				if !ps.nodeSampler.Keep(sender) {
-					unit++
-					continue
-				}
-				scale *= ps.nodeSampler.Scale()
-			}
-			src := h.Row(int(sender))
-			for i, v := range src {
-				payload[i] = scale * v
-			}
-			e.sendPayload(ps, sh, from, to, round, unit, payload)
-			unit++
-			tensor.AXPY(e.coeff[receiver], payload, delta.Row(int(receiver)))
-			sh.aggFlops += int64(2 * dim)
-		}
+		tensor.AXPY(e.coeff[receiver], payload, delta.Row(int(receiver)))
+		sh.aggFlops += int64(2 * dim)
 	}
 }
 
@@ -566,92 +772,111 @@ func (e *Engine) receiveEdges(r int, h, delta *tensor.Matrix, backward bool, rou
 // compatibility combinations of Fig. 12(b)), for the rows receiver
 // partition r owns.
 func (e *Engine) receiveSemantic(r int, h, delta *tensor.Matrix, backward bool, round int, sh *shard) {
-	dim := h.Cols
-	payload := sh.scratch(dim)
 	for peer := 0; peer < e.nparts; peer++ {
 		if peer == r {
 			continue
 		}
-		idx, from, to := e.pairFor(r, peer, backward)
-		plan := e.plans[idx]
-		if plan == nil {
+		e.semanticPair(r, peer, h, delta, backward, round, sh, nil)
+	}
+}
+
+// semanticPair walks one ordered pair's semantic plan (fused groups, then
+// raw O2O residuals) toward receiver r. buf semantics match edgesPair:
+// nil delivers inline, non-nil stages units for chunked delivery.
+func (e *Engine) semanticPair(r, peer int, h, delta *tensor.Matrix, backward bool, round int, sh *shard, buf *pairBuf) {
+	dim := h.Cols
+	idx, from, to := e.pairFor(r, peer, backward)
+	plan := e.plans[idx]
+	if plan == nil {
+		return
+	}
+	groups := plan.Groups
+	if backward {
+		groups = e.revGroups[idx]
+	}
+	ps := &e.pairs[idx]
+	if ps.nodeSampler != nil {
+		ps.nodeSampler.StartRound()
+	}
+	hg := sh.fuseScratch(dim)
+	var unit int64
+	for gi, grp := range groups {
+		scale := 1.0
+		switch {
+		case ps.sampler != nil:
+			if !ps.sampler.Keep() {
+				unit++
+				continue
+			}
+			scale = ps.sampler.Scale()
+		case ps.nodeSampler != nil:
+			// Under node-granularity sampling a group is the transfer
+			// unit: one coin per (pair, group) per round, keyed in the
+			// negative key space so it can never collide with the
+			// boundary-node coins of the O2O path below.
+			if !ps.nodeSampler.Keep(groupCoinKey(gi)) {
+				unit++
+				continue
+			}
+			scale = ps.nodeSampler.Scale()
+		}
+		// Fuse with the GCN normalization folded into the payload:
+		// h_g = Σ w(u)·f[u]·h_u (Fig. 7(b) line 2, with Â's coefficients
+		// riding along so delivery only needs the receiver factor).
+		for i := range hg {
+			hg[i] = 0
+		}
+		for k, u := range grp.SrcNodes {
+			tensor.AXPY(grp.WOut[k]*e.coeff[u]*scale, h.Row(int(u)), hg)
+		}
+		sh.semanticValues += int64(len(grp.SrcNodes) * dim)
+		e.sendPayload(ps, sh, from, to, round, unit, hg)
+		unit++
+		if buf != nil {
+			sh.aggFlops += int64(2 * dim * len(grp.SrcNodes))
+			buf.push(unitRef{gi: int32(gi), recv: -1}, hg)
 			continue
 		}
-		groups := plan.Groups
+		for k, v := range grp.DstNodes {
+			tensor.AXPY(grp.DDst[k]*e.coeff[v], hg, delta.Row(int(v)))
+		}
+		sh.semanticValues += int64(len(grp.DstNodes) * dim)
+		sh.aggFlops += int64(2 * dim * (len(grp.SrcNodes) + len(grp.DstNodes)))
+	}
+	// Residual O2O edges travel raw.
+	payload := sh.scratch(dim)
+	for _, o := range plan.O2O {
+		sender, receiver := o.Src, o.Dst
 		if backward {
-			groups = e.revGroups[idx]
+			sender, receiver = o.Dst, o.Src
 		}
-		ps := &e.pairs[idx]
-		if ps.nodeSampler != nil {
-			ps.nodeSampler.StartRound()
+		scale := e.coeff[sender]
+		switch {
+		case ps.sampler != nil:
+			if !ps.sampler.Keep() {
+				unit++
+				continue
+			}
+			scale *= ps.sampler.Scale()
+		case ps.nodeSampler != nil:
+			if !ps.nodeSampler.Keep(sender) {
+				unit++
+				continue
+			}
+			scale *= ps.nodeSampler.Scale()
 		}
-		var unit int64
-		for gi, grp := range groups {
-			scale := 1.0
-			switch {
-			case ps.sampler != nil:
-				if !ps.sampler.Keep() {
-					unit++
-					continue
-				}
-				scale = ps.sampler.Scale()
-			case ps.nodeSampler != nil:
-				// Under node-granularity sampling a group is the transfer
-				// unit: one coin per (pair, group) per round, keyed in the
-				// negative key space so it can never collide with the
-				// boundary-node coins of the O2O path below.
-				if !ps.nodeSampler.Keep(groupCoinKey(gi)) {
-					unit++
-					continue
-				}
-				scale = ps.nodeSampler.Scale()
-			}
-			// Fuse with the GCN normalization folded into the payload:
-			// h_g = Σ w(u)·f[u]·h_u (Fig. 7(b) line 2, with Â's coefficients
-			// riding along so delivery only needs the receiver factor).
-			hg := make([]float64, dim)
-			for k, u := range grp.SrcNodes {
-				tensor.AXPY(grp.WOut[k]*e.coeff[u]*scale, h.Row(int(u)), hg)
-			}
-			sh.semanticValues += int64(len(grp.SrcNodes) * dim)
-			e.sendPayload(ps, sh, from, to, round, unit, hg)
-			unit++
-			for k, v := range grp.DstNodes {
-				tensor.AXPY(grp.DDst[k]*e.coeff[v], hg, delta.Row(int(v)))
-			}
-			sh.semanticValues += int64(len(grp.DstNodes) * dim)
-			sh.aggFlops += int64(2 * dim * (len(grp.SrcNodes) + len(grp.DstNodes)))
+		src := h.Row(int(sender))
+		for i, v := range src {
+			payload[i] = scale * v
 		}
-		// Residual O2O edges travel raw.
-		for _, o := range plan.O2O {
-			sender, receiver := o.Src, o.Dst
-			if backward {
-				sender, receiver = o.Dst, o.Src
-			}
-			scale := e.coeff[sender]
-			switch {
-			case ps.sampler != nil:
-				if !ps.sampler.Keep() {
-					unit++
-					continue
-				}
-				scale *= ps.sampler.Scale()
-			case ps.nodeSampler != nil:
-				if !ps.nodeSampler.Keep(sender) {
-					unit++
-					continue
-				}
-				scale *= ps.nodeSampler.Scale()
-			}
-			src := h.Row(int(sender))
-			for i, v := range src {
-				payload[i] = scale * v
-			}
-			e.sendPayload(ps, sh, from, to, round, unit, payload)
-			unit++
-			tensor.AXPY(e.coeff[receiver], payload, delta.Row(int(receiver)))
-			sh.aggFlops += int64(2 * dim)
+		e.sendPayload(ps, sh, from, to, round, unit, payload)
+		unit++
+		if buf != nil {
+			buf.push(unitRef{gi: -1, recv: receiver}, payload)
+			continue
 		}
+		tensor.AXPY(e.coeff[receiver], payload, delta.Row(int(receiver)))
+		sh.aggFlops += int64(2 * dim)
 	}
 }
 
@@ -667,7 +892,10 @@ func (e *Engine) sendPayload(ps *pairState, sh *shard, from, to, round int, unit
 	if ps.ef != nil {
 		efKey = compress.RoundUnitKey(round, unit)
 		ps.ef.PreCompress(efKey, payload)
-		trueVals = append(trueVals, payload...)
+		// Stage the pre-compression values in the shard's retained scratch
+		// instead of a fresh slice per unit.
+		trueVals = append(sh.efTrue[:0], payload...)
+		sh.efTrue = trueVals
 	}
 	var bytes int
 	switch {

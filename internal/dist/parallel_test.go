@@ -58,19 +58,73 @@ func TestSequentialParallelEquivalence(t *testing.T) {
 	g := randMat(d.NumNodes(), 5, 78)
 
 	for name, cfg := range equivalenceConfigs(9) {
-		seqCfg, parCfg := cfg, cfg
+		// Workers=4 exercises the coarse per-receiver schedule; Workers=16 >
+		// nparts engages the two-stage row-sharded schedule (6 chunks per
+		// partition here).
+		seqCfg, parCfg, rowCfg := cfg, cfg, cfg
 		seqCfg.Workers = 1
 		parCfg.Workers = 4
+		rowCfg.Workers = 16
 		seq := NewEngine(d.Graph, part, nparts, seqCfg)
 		par := NewEngine(d.Graph, part, nparts, parCfg)
+		row := NewEngine(d.Graph, part, nparts, rowCfg)
 		for epoch := 0; epoch < 5; epoch++ {
 			seq.StartEpoch(epoch)
 			par.StartEpoch(epoch)
-			bitEqual(t, name, epoch, "forward", seq.Forward(h), par.Forward(h))
-			bitEqual(t, name, epoch, "backward", seq.Backward(g), par.Backward(g))
-			ss, ps := seq.CaptureEpoch(), par.CaptureEpoch()
+			row.StartEpoch(epoch)
+			fSeq := seq.Forward(h)
+			bitEqual(t, name, epoch, "forward", fSeq, par.Forward(h))
+			bitEqual(t, name, epoch, "forward/row-sharded", fSeq, row.Forward(h))
+			bSeq := seq.Backward(g)
+			bitEqual(t, name, epoch, "backward", bSeq, par.Backward(g))
+			bitEqual(t, name, epoch, "backward/row-sharded", bSeq, row.Backward(g))
+			ss, ps, rs := seq.CaptureEpoch(), par.CaptureEpoch(), row.CaptureEpoch()
 			if ss != ps {
 				t.Fatalf("%s epoch %d: snapshots differ:\nseq %+v\npar %+v", name, epoch, ss, ps)
+			}
+			if ss != rs {
+				t.Fatalf("%s epoch %d: row-sharded snapshot differs:\nseq %+v\nrow %+v", name, epoch, ss, rs)
+			}
+		}
+	}
+}
+
+// TestRowShardedEquivalence sweeps Workers values around and past the
+// partition count — including extreme over-sharding where chunks hold a
+// handful of rows — and requires bit-identical outputs and snapshots against
+// the sequential schedule for every method composition.
+func TestRowShardedEquivalence(t *testing.T) {
+	d, part := smallSetup(t)
+	const nparts = 3
+	h := randMat(d.NumNodes(), 5, 83)
+	g := randMat(d.NumNodes(), 5, 84)
+
+	for name, cfg := range equivalenceConfigs(31) {
+		seqCfg := cfg
+		seqCfg.Workers = 1
+		seq := NewEngine(d.Graph, part, nparts, seqCfg)
+		shCfgs := []int{5, 8, 64}
+		sharded := make([]*Engine, len(shCfgs))
+		for i, w := range shCfgs {
+			c := cfg
+			c.Workers = w
+			sharded[i] = NewEngine(d.Graph, part, nparts, c)
+		}
+		for epoch := 0; epoch < 3; epoch++ {
+			seq.StartEpoch(epoch)
+			for _, e := range sharded {
+				e.StartEpoch(epoch)
+			}
+			fSeq := seq.Forward(h)
+			bSeq := seq.Backward(g)
+			ss := seq.CaptureEpoch()
+			for i, e := range sharded {
+				bitEqual(t, name, epoch, "forward", fSeq, e.Forward(h))
+				bitEqual(t, name, epoch, "backward", bSeq, e.Backward(g))
+				if es := e.CaptureEpoch(); es != ss {
+					t.Fatalf("%s epoch %d workers=%d: snapshot differs:\nseq %+v\ngot %+v",
+						name, epoch, shCfgs[i], ss, es)
+				}
 			}
 		}
 	}

@@ -300,6 +300,7 @@ func AblRuntime(o Options) *Report {
 			cl := worker.NewCluster(ds.Graph, part, o.Partitions, semantic, plan)
 			cl.Forward(h)
 			wireBytes, _ := cl.Traffic()
+			cl.Close()
 
 			tb.AddRow(ds.Name, name, engBytes, wireBytes, engBytes == wireBytes)
 			if engBytes != wireBytes {

@@ -29,6 +29,15 @@ type Aggregator interface {
 	Backward(g *tensor.Matrix) *tensor.Matrix
 }
 
+// EpochMarker is an optional interface for aggregators (or models) whose
+// per-round state is keyed by epoch — e.g. the worker cluster's
+// error-feedback residual slots. gnn.Train calls StartEpoch on the model at
+// the top of every epoch; GCN and SAGE forward the call to their Agg when it
+// implements the interface.
+type EpochMarker interface {
+	StartEpoch(epoch int)
+}
+
 // LocalAggregator is the exact single-machine GCN aggregate
 // Â = D̃^{-1/2}(A+I)D̃^{-1/2} applied by sparse traversal. Â is symmetric, so
 // Backward applies the same operator.
@@ -162,6 +171,14 @@ func (m *GCN) ZeroGrad() {
 	}
 }
 
+// StartEpoch implements EpochMarker, forwarding epoch boundaries to the
+// aggregator when it keeps per-epoch state.
+func (m *GCN) StartEpoch(epoch int) {
+	if em, ok := m.Agg.(EpochMarker); ok {
+		em.StartEpoch(epoch)
+	}
+}
+
 // SAGE is GraphSAGE with mean-style aggregation:
 // H^{l+1} = ReLU(H^l W_self + Agg(H^l) W_neigh), final layer linear.
 type SAGE struct {
@@ -236,6 +253,14 @@ func (m *SAGE) ZeroGrad() {
 	for i := range m.self {
 		m.self[i].ZeroGrad()
 		m.neigh[i].ZeroGrad()
+	}
+}
+
+// StartEpoch implements EpochMarker, forwarding epoch boundaries to the
+// aggregator when it keeps per-epoch state.
+func (m *SAGE) StartEpoch(epoch int) {
+	if em, ok := m.Agg.(EpochMarker); ok {
+		em.StartEpoch(epoch)
 	}
 }
 

@@ -49,6 +49,9 @@ func Train(model Model, x *tensor.Matrix, labels []int, trainMask, valMask, test
 	res := &TrainResult{}
 	sinceBest := 0
 	for e := 0; e < cfg.Epochs; e++ {
+		if em, ok := model.(EpochMarker); ok {
+			em.StartEpoch(e)
+		}
 		logits := model.Forward(x)
 		loss, grad := nn.MaskedCrossEntropy(logits, labels, trainMask)
 		model.ZeroGrad()

@@ -213,6 +213,26 @@ func (f *Fabric) Merge(s *ShardCounter) {
 	}
 }
 
+// Drain folds a shard's counters into the fabric and zeroes the shard in the
+// same pass — the per-round merge step of persistent runtimes, where the same
+// ShardCounter instances outlive every round and must come back empty. Like
+// Merge, call it only after the barrier that ends the parallel phase which
+// filled the shard.
+func (f *Fabric) Drain(s *ShardCounter) {
+	if s.nparts != f.nparts {
+		panic(fmt.Sprintf("simnet: drain shard for %d parts into %d-part fabric", s.nparts, f.nparts))
+	}
+	for src := 0; src < f.nparts; src++ {
+		for dst := 0; dst < f.nparts; dst++ {
+			i := src*s.nparts + dst
+			f.bytes[src][dst] += s.bytes[i]
+			f.msgs[src][dst] += s.msgs[i]
+			s.bytes[i] = 0
+			s.msgs[i] = 0
+		}
+	}
+}
+
 // Snapshot is a frozen copy of the fabric counters plus the processing
 // counters a method accumulated during one epoch.
 type Snapshot struct {

@@ -1,0 +1,158 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Header is the parsed fixed-size prefix of one message, yielded by
+// Decoder.Next before the payload is materialized.
+type Header struct {
+	Kind    Kind
+	SrcPart int32
+	Target  int32
+	// N is the payload value count.
+	N int
+}
+
+// Decoder iterates the messages of an encoded batch buffer in place: no
+// []*Message slice, no per-message payload allocation. Next parses and
+// validates one header; the payload is then consumed either by AXPY (fused
+// decode-and-accumulate straight into an output row, the hot path of the
+// worker runtime's receive phase) or by Read (into a caller-owned scratch
+// slice, for group messages that fan out to several rows).
+//
+// Decoder performs the same validation as Decode — declared lengths are
+// checked against the remaining buffer in int64 arithmetic, bit widths
+// outside 1..16 are rejected — so a corrupt or truncated buffer yields an
+// error, never a panic or an attacker-sized allocation.
+//
+// The decoder borrows the buffer; decoded values must be copied (AXPY/Read do
+// exactly that) and callers must not retain sub-slices of buf.
+type Decoder struct {
+	b []byte
+	// pending payload (set by Next, consumed by AXPY/Read)
+	payload  []byte
+	bits     int
+	lo, step float64
+	n        int
+}
+
+// NewDecoder returns a decoder positioned at the first message of buf.
+func NewDecoder(buf []byte) Decoder { return Decoder{b: buf} }
+
+// More reports whether undecoded messages remain.
+func (d *Decoder) More() bool { return len(d.b) > 0 }
+
+// Next parses and validates the next message header, leaving its payload
+// pending for AXPY or Read. Calling Next again without consuming the payload
+// skips it.
+func (d *Decoder) Next() (Header, error) {
+	b := d.b
+	if len(b) < HeaderBytes {
+		return Header{}, fmt.Errorf("wire: short header (%d bytes)", len(b))
+	}
+	kind := Kind(b[0])
+	if kind != KindNode && kind != KindGroup {
+		return Header{}, fmt.Errorf("wire: unknown kind %d", b[0])
+	}
+	hd := Header{
+		Kind:    kind,
+		SrcPart: int32(binary.LittleEndian.Uint32(b[4:])),
+		Target:  int32(binary.LittleEndian.Uint32(b[8:])),
+		N:       int(binary.LittleEndian.Uint32(b[12:])),
+	}
+	if bits := int(b[1]); bits > 0 {
+		if bits > 16 {
+			return Header{}, fmt.Errorf("wire: quantized bits %d out of 1..16", bits)
+		}
+		need := int64(HeaderBytes) + 8 + (int64(hd.N)*int64(bits)+7)/8
+		if int64(len(b)) < need {
+			return Header{}, fmt.Errorf("wire: truncated quantized payload: have %d bytes, need %d", len(b), need)
+		}
+		d.lo = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes:])))
+		d.step = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes+4:])))
+		d.payload = b[HeaderBytes+8 : need]
+		d.bits = bits
+		d.b = b[need:]
+	} else {
+		need := int64(HeaderBytes) + 4*int64(hd.N)
+		if int64(len(b)) < need {
+			return Header{}, fmt.Errorf("wire: truncated payload: have %d bytes, need %d", len(b), need)
+		}
+		d.payload = b[HeaderBytes:need]
+		d.bits = 0
+		d.b = b[need:]
+	}
+	d.n = hd.N
+	return hd, nil
+}
+
+// AXPY decodes the pending payload, accumulating alpha·payload[i] into
+// dst[i]. dst must hold exactly the payload's value count. The arithmetic is
+// bit-identical to decoding into a fresh slice and calling tensor.AXPY: each
+// wire value becomes a float64 first, then one multiply-add.
+func (d *Decoder) AXPY(alpha float64, dst []float64) error {
+	if len(dst) != d.n {
+		return fmt.Errorf("wire: AXPY dst holds %d values, payload has %d", len(dst), d.n)
+	}
+	if d.bits == 0 {
+		p := d.payload
+		for i := range dst {
+			dst[i] += alpha * float64(math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:])))
+		}
+		return nil
+	}
+	data := d.payload
+	var acc uint64
+	var accBits uint
+	di := 0
+	bits := uint(d.bits)
+	mask := uint64(1)<<bits - 1
+	for i := 0; i < d.n; i++ {
+		for accBits < bits {
+			acc |= uint64(data[di]) << accBits
+			di++
+			accBits += 8
+		}
+		q := acc & mask
+		acc >>= bits
+		accBits -= bits
+		dst[i] += alpha * (d.lo + float64(q)*d.step)
+	}
+	return nil
+}
+
+// Read decodes the pending payload into dst, overwriting it. dst must hold
+// exactly the payload's value count.
+func (d *Decoder) Read(dst []float64) error {
+	if len(dst) != d.n {
+		return fmt.Errorf("wire: Read dst holds %d values, payload has %d", len(dst), d.n)
+	}
+	if d.bits == 0 {
+		p := d.payload
+		for i := range dst {
+			dst[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(p[4*i:])))
+		}
+		return nil
+	}
+	data := d.payload
+	var acc uint64
+	var accBits uint
+	di := 0
+	bits := uint(d.bits)
+	mask := uint64(1)<<bits - 1
+	for i := 0; i < d.n; i++ {
+		for accBits < bits {
+			acc |= uint64(data[di]) << accBits
+			di++
+			accBits += 8
+		}
+		q := acc & mask
+		acc >>= bits
+		accBits -= bits
+		dst[i] = d.lo + float64(q)*d.step
+	}
+	return nil
+}

@@ -124,6 +124,13 @@ func (b *Batch) Len() int { return b.count }
 // Bytes returns the encoded buffer (nil when empty).
 func (b *Batch) Bytes() []byte { return b.buf }
 
+// Reset empties the batch while retaining its encode buffer, so a persistent
+// worker can reuse one Batch per peer across rounds without reallocating.
+func (b *Batch) Reset() {
+	b.buf = b.buf[:0]
+	b.count = 0
+}
+
 // DecodeAll parses every message in an encoded batch buffer.
 func DecodeAll(buf []byte) ([]*Message, error) {
 	var out []*Message
@@ -152,6 +159,22 @@ func EncodedSizeQuantized(n, bits int) int {
 // payload (1 ≤ bits ≤ 16). The caller's payload is not modified; the
 // receiver reconstructs the dequantized values.
 func EncodeQuantized(dst []byte, m *Message, bits int) []byte {
+	return encodeQuantized(dst, m, bits, nil)
+}
+
+// EncodeQuantizedRoundtrip is EncodeQuantized, additionally writing the
+// values the receiver will reconstruct into roundtrip (len(m.Payload) values).
+// Senders running residual error feedback need exactly what the other side
+// will see: the reconstruction uses the fp32-truncated lo/step metadata that
+// travels on the wire, so it is bit-identical to the decoder's output.
+func EncodeQuantizedRoundtrip(dst []byte, m *Message, bits int, roundtrip []float64) []byte {
+	if len(roundtrip) != len(m.Payload) {
+		panic(fmt.Sprintf("wire: roundtrip len %d, payload len %d", len(roundtrip), len(m.Payload)))
+	}
+	return encodeQuantized(dst, m, bits, roundtrip)
+}
+
+func encodeQuantized(dst []byte, m *Message, bits int, roundtrip []float64) []byte {
 	if bits < 1 || bits > 16 {
 		panic(fmt.Sprintf("wire: quantized bits %d out of 1..16", bits))
 	}
@@ -180,17 +203,24 @@ func EncodeQuantized(dst []byte, m *Message, bits int) []byte {
 	binary.LittleEndian.PutUint32(meta[0:], math.Float32bits(float32(lo)))
 	binary.LittleEndian.PutUint32(meta[4:], math.Float32bits(float32(step)))
 	dst = append(dst, meta[:]...)
+	// The receiver reconstructs with the fp32-truncated metadata it reads off
+	// the wire, not the float64 values the quantization grid was built from.
+	rtLo := float64(float32(lo))
+	rtStep := float64(float32(step))
 
 	// Bit-pack the level indices little-endian.
 	var acc uint64
 	var accBits uint
-	for _, v := range m.Payload {
+	for i, v := range m.Payload {
 		var q uint64
 		if step > 0 {
 			q = uint64(math.Round((v - lo) / step))
 			if q > uint64(levels) {
 				q = uint64(levels)
 			}
+		}
+		if roundtrip != nil {
+			roundtrip[i] = rtLo + float64(q)*rtStep
 		}
 		acc |= q << accBits
 		accBits += uint(bits)
@@ -235,5 +265,12 @@ func decodeQuantized(b []byte, kind Kind, bits int, src, target int32, n int) (*
 // AddQuantized encodes m into the batch with b-bit quantization.
 func (b *Batch) AddQuantized(m *Message, bits int) {
 	b.buf = EncodeQuantized(b.buf, m, bits)
+	b.count++
+}
+
+// AddQuantizedRoundtrip encodes m with b-bit quantization and writes the
+// receiver-reconstructed values into roundtrip (see EncodeQuantizedRoundtrip).
+func (b *Batch) AddQuantizedRoundtrip(m *Message, bits int, roundtrip []float64) {
+	b.buf = EncodeQuantizedRoundtrip(b.buf, m, bits, roundtrip)
 	b.count++
 }

@@ -4,17 +4,58 @@
 // the closest laptop-scale analogue of the paper's multi-GPU deployment.
 //
 // It complements internal/dist: the sequential engine supports every method
-// and accounts traffic analytically; the worker cluster executes the two
-// paths that matter most — vanilla per-edge exchange and SC-GNN semantic
-// compression — with actual concurrency, actual fp32 wire encoding, and
-// bytes measured off the encoded buffers. Tests assert that the cluster's
-// aggregates match the sequential engine to fp32 precision and that its
-// measured bytes equal the engine's analytic accounting exactly.
+// and accounts traffic analytically; the worker cluster executes the paths
+// that matter most — vanilla per-edge exchange, SC-GNN semantic compression,
+// fixed-bit wire quantization, and quantized error feedback — with actual
+// concurrency, actual fp32 wire encoding, and bytes measured off the encoded
+// buffers. Tests assert that the cluster's aggregates match the sequential
+// engine to fp32 precision and that its measured bytes equal the engine's
+// analytic accounting exactly.
+//
+// # Round-barrier protocol
+//
+// NewCluster spawns the nparts workers once; they stay parked between rounds.
+// Each aggregate round the coordinator (the goroutine calling Forward,
+// Backward, or AggregateInto — there must be exactly one at a time) publishes
+// the round inputs, releases every worker through its start channel, and
+// blocks on a barrier. Each worker then runs three phases:
+//
+//	localPhase   — within-partition part of Â·h for the rows it owns
+//	sendPhase    — encode its outgoing halo into retained wire.Batch buffers,
+//	               one framed buffer per peer, delivered to the peer's inbox
+//	receivePhase — stream-decode the nparts−1 inbound buffers straight into
+//	               the output rows it owns (wire.Decoder, no intermediate
+//	               message or payload allocation)
+//
+// and signals the barrier. After the barrier the coordinator drains each
+// worker's traffic shard into the fabric in worker order, so per-link totals
+// are exact and schedule-free. Inboxes, encode buffers, and payload scratch
+// are retained across rounds: a steady-state round performs no allocations.
+//
+// # Buffer-reuse contract
+//
+// Encoded buffers are owned by their sending worker and reused the very next
+// round; receivers must fully consume a buffer during the round it was
+// delivered (the streaming decoder copies values out as it accumulates) and
+// must not retain it or any decoded payload view past the round barrier.
+//
+// # Errors and shutdown
+//
+// A corrupt inbound batch no longer panics inside a worker goroutine (which
+// would kill the process): the decode error travels through the barrier,
+// AggregateInto returns it, and the cluster becomes permanently poisoned —
+// every later round returns the same error, since workers may have dropped
+// contributions mid-round. Forward/Backward, whose gnn.Aggregator signatures
+// have no error result, panic with that error on the *caller's* goroutine,
+// where it is recoverable. Close releases the worker goroutines; it is
+// idempotent and must not race a round in flight.
 package worker
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"scgnn/internal/compress"
 	"scgnn/internal/core"
@@ -24,9 +65,10 @@ import (
 	"scgnn/internal/wire"
 )
 
-// Cluster is a set of goroutine workers jointly computing the partitioned
-// GCN aggregate Â·h. It implements gnn.Aggregator, so models train on it
-// unchanged.
+// Cluster is a persistent pool of goroutine workers jointly computing the
+// partitioned GCN aggregate Â·h. It implements gnn.Aggregator, so models
+// train on it unchanged. Rounds must be driven by one goroutine at a time;
+// Traffic, Snapshot, and ResetTraffic may be called concurrently with rounds.
 type Cluster struct {
 	g      *graph.Graph
 	part   []int
@@ -42,23 +84,78 @@ type Cluster struct {
 	// own[p] lists the nodes owned by worker p.
 	own [][]int32
 
-	// quantBits > 0 quantizes every payload before encoding (per-worker
-	// quantizers avoid contention); bytes reflect the reduced wire size:
-	// ceil(n·bits/8) + 8 metadata in place of 4n.
+	// quantBits > 0 quantizes every payload before encoding; bytes reflect
+	// the reduced wire size: ceil(n·bits/8) + 8 metadata in place of 4n.
 	quantBits int
+	// efs[s*nparts+t], when error feedback is enabled, carries the residual
+	// store of the ordered pair s→t. A pair is touched by exactly one worker
+	// per round (its src part forward, its dst part backward), with a barrier
+	// between rounds, so the stores need no locking.
+	efs []*compress.ErrorFeedback
 
 	// Traffic accounting mirrors the engine's shard-and-merge scheme instead
 	// of hot-loop atomics: each worker records its sends on its own
 	// ShardCounter (no cross-core contention during the round) and the
-	// counters are merged into the fabric after the round barrier, in worker
+	// counters are drained into the fabric after the round barrier, in worker
 	// order, so per-link totals are exact and schedule-free.
 	trafficMu sync.Mutex
 	fabric    *simnet.Fabric
 	counters  []*simnet.ShardCounter // one per worker
+
+	// --- persistent pool state ---
+
+	// inbox[t] receives exactly nparts-1 framed batch buffers per round.
+	inbox []chan []byte
+	// start[p] releases worker p into the next round.
+	start   []chan struct{}
+	quit    chan struct{}
+	barrier sync.WaitGroup
+	closed  atomic.Bool
+	once    sync.Once
+
+	// Round inputs: written by the coordinator before the start signals,
+	// read by workers after — the channel send orders the accesses.
+	roundH        *tensor.Matrix
+	roundOut      *tensor.Matrix
+	roundBackward bool
+	// roundErrs[p] is worker p's decode error for the round (nil if clean);
+	// each entry is written only by its owner during the round.
+	roundErrs []error
+	// round is the aggregate-round slot within the current epoch (layer ×
+	// direction), the stable half of error-feedback unit keys. StartEpoch
+	// resets it.
+	round int
+	// err poisons the cluster after the first failed round.
+	err error
+
+	// ws[p] is worker p's retained scratch: encode buffers, payload and
+	// decode vectors, error-feedback staging.
+	ws []workerScratch
+}
+
+// workerScratch is the per-worker buffer set retained across rounds. Slices
+// grow to the largest feature dimension seen and are then reused; after
+// warm-up a round allocates nothing.
+type workerScratch struct {
+	batches []wire.Batch // one encode buffer per peer (self entry unused)
+	msg     wire.Message // reused header struct for encoding
+	payload []float64    // outgoing payload / group-fuse accumulator
+	dec     []float64    // inbound group payload staging
+	efTrue  []float64    // error feedback: residual-corrected true values
+	efSent  []float64    // error feedback: receiver-reconstructed values
+}
+
+func (ws *workerScratch) ensure(dim int) {
+	if cap(ws.payload) < dim {
+		ws.payload = make([]float64, dim)
+		ws.dec = make([]float64, dim)
+		ws.efTrue = make([]float64, dim)
+		ws.efSent = make([]float64, dim)
+	}
 }
 
 // SetQuantization enables b-bit payload quantization on the wire (0
-// disables). Call before training starts.
+// disables). Call before training starts; must not race a round in flight.
 func (c *Cluster) SetQuantization(bits int) {
 	if bits != 0 {
 		compress.NewQuantizer(bits) // validate range, panics on bad input
@@ -66,25 +163,63 @@ func (c *Cluster) SetQuantization(bits int) {
 	c.quantBits = bits
 }
 
-// NewCluster builds the worker runtime. When semantic is true, planCfg
-// drives grouping; otherwise the vanilla per-edge exchange is used.
+// SetErrorFeedback toggles residual error feedback on the quantized wire
+// path: each transfer unit's quantization error (measured against the exact
+// fp32 reconstruction the receiver computes) is carried into its next round,
+// the same scheme internal/dist runs analytically. It only takes effect when
+// quantization is enabled, and callers must mark epoch boundaries with
+// StartEpoch so residual keys line up across epochs. Call before training
+// starts; must not race a round in flight.
+func (c *Cluster) SetErrorFeedback(on bool) {
+	if !on {
+		c.efs = nil
+		return
+	}
+	c.efs = make([]*compress.ErrorFeedback, c.nparts*c.nparts)
+	for idx := range c.efs {
+		if idx/c.nparts != idx%c.nparts {
+			c.efs[idx] = compress.NewErrorFeedback()
+		}
+	}
+}
+
+// StartEpoch marks an epoch boundary, resetting the aggregate-round slot that
+// keys error-feedback residuals (gnn.Train calls this through the
+// gnn.EpochMarker interface). Harmless when error feedback is off.
+func (c *Cluster) StartEpoch(epoch int) {
+	_ = epoch
+	c.round = 0
+}
+
+// NewCluster builds the worker runtime and spawns its nparts persistent
+// workers. When semantic is true, planCfg drives grouping; otherwise the
+// vanilla per-edge exchange is used. Call Close when done with the cluster to
+// release the worker goroutines.
 func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg core.PlanConfig) *Cluster {
 	if len(part) != g.NumNodes() {
 		panic(fmt.Sprintf("worker: partition len %d, want %d", len(part), g.NumNodes()))
 	}
 	c := &Cluster{
-		g:        g,
-		part:     part,
-		nparts:   nparts,
-		coeff:    g.SymNormCoeffs(),
-		semantic: semantic,
-		crossOut: make([][]graph.Edge, nparts*nparts),
-		own:      make([][]int32, nparts),
-		fabric:   simnet.NewFabric(nparts),
-		counters: make([]*simnet.ShardCounter, nparts),
+		g:         g,
+		part:      part,
+		nparts:    nparts,
+		coeff:     g.SymNormCoeffs(),
+		semantic:  semantic,
+		crossOut:  make([][]graph.Edge, nparts*nparts),
+		own:       make([][]int32, nparts),
+		fabric:    simnet.NewFabric(nparts),
+		counters:  make([]*simnet.ShardCounter, nparts),
+		inbox:     make([]chan []byte, nparts),
+		start:     make([]chan struct{}, nparts),
+		quit:      make(chan struct{}),
+		roundErrs: make([]error, nparts),
+		ws:        make([]workerScratch, nparts),
 	}
-	for p := range c.counters {
+	for p := 0; p < nparts; p++ {
 		c.counters[p] = simnet.NewShardCounter(nparts)
+		c.inbox[p] = make(chan []byte, nparts)
+		c.start[p] = make(chan struct{})
+		c.ws[p].batches = make([]wire.Batch, nparts)
 	}
 	for u := int32(0); int(u) < g.NumNodes(); u++ {
 		s := part[u]
@@ -108,7 +243,19 @@ func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg c
 			c.revGroups[idx] = rev
 		}
 	}
+	for p := 0; p < nparts; p++ {
+		go c.run(p)
+	}
 	return c
+}
+
+// Close releases the persistent worker goroutines. It is idempotent, must
+// not race a round in flight, and leaves traffic counters readable.
+func (c *Cluster) Close() {
+	c.once.Do(func() {
+		c.closed.Store(true)
+		close(c.quit)
+	})
 }
 
 // ResetTraffic clears the byte/message counters.
@@ -134,50 +281,85 @@ func (c *Cluster) Snapshot() simnet.Snapshot {
 	return c.fabric.Capture()
 }
 
-// Forward implements gnn.Aggregator with a concurrent halo exchange.
-func (c *Cluster) Forward(h *tensor.Matrix) *tensor.Matrix { return c.aggregate(h, false) }
+// Forward implements gnn.Aggregator with a concurrent halo exchange. It
+// panics (recoverably, on the caller's goroutine) if the round fails; use
+// AggregateInto to receive the error instead.
+func (c *Cluster) Forward(h *tensor.Matrix) *tensor.Matrix { return c.mustAggregate(h, false) }
 
 // Backward implements gnn.Aggregator; gradients flow along transposed edges.
-func (c *Cluster) Backward(g *tensor.Matrix) *tensor.Matrix { return c.aggregate(g, true) }
+// It panics (recoverably, on the caller's goroutine) if the round fails; use
+// AggregateInto to receive the error instead.
+func (c *Cluster) Backward(g *tensor.Matrix) *tensor.Matrix { return c.mustAggregate(g, true) }
 
-// aggregate runs one concurrent round: every worker computes its local
-// aggregate, encodes its outgoing halo as wire batches, exchanges them over
-// channels, and accumulates the decoded remote contributions into the rows
-// it owns.
-func (c *Cluster) aggregate(h *tensor.Matrix, backward bool) *tensor.Matrix {
+func (c *Cluster) mustAggregate(h *tensor.Matrix, backward bool) *tensor.Matrix {
+	out := tensor.New(h.Rows, h.Cols)
+	if err := c.AggregateInto(out, h, backward); err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// AggregateInto runs one concurrent round into dst (which it zeroes first):
+// every worker computes its local aggregate, encodes its outgoing halo as
+// wire batches, exchanges them over channels, and accumulates the decoded
+// remote contributions into the rows it owns. Reusing one dst across rounds
+// makes the steady state allocation-free. A non-nil error means the round's
+// output is unusable and the cluster is poisoned (see the package comment).
+func (c *Cluster) AggregateInto(dst, h *tensor.Matrix, backward bool) error {
+	if c.closed.Load() {
+		return errors.New("worker: cluster is closed")
+	}
+	if c.err != nil {
+		return c.err
+	}
 	n := c.g.NumNodes()
 	if h.Rows != n {
 		panic(fmt.Sprintf("worker: matrix rows %d, graph nodes %d", h.Rows, n))
 	}
-	out := tensor.New(n, h.Cols)
-
-	// inbox[t] receives exactly nparts-1 batches (one per peer, possibly
-	// empty) each round.
-	inbox := make([]chan []byte, c.nparts)
-	for t := range inbox {
-		inbox[t] = make(chan []byte, c.nparts)
+	if dst.Rows != n || dst.Cols != h.Cols {
+		panic(fmt.Sprintf("worker: dst shape (%d,%d), want (%d,%d)", dst.Rows, dst.Cols, n, h.Cols))
 	}
-
-	var wg sync.WaitGroup
-	wg.Add(c.nparts)
-	for p := 0; p < c.nparts; p++ {
-		go func(me int) {
-			defer wg.Done()
-			c.localPhase(me, h, out)
-			c.sendPhase(me, h, backward, inbox)
-			c.receivePhase(me, backward, out, inbox[me])
-		}(p)
+	dst.Zero()
+	c.roundH, c.roundOut, c.roundBackward = h, dst, backward
+	c.barrier.Add(c.nparts)
+	for _, ch := range c.start {
+		ch <- struct{}{}
 	}
-	wg.Wait()
-	// Merge each worker's round traffic into the fabric after the barrier,
+	c.barrier.Wait()
+	c.roundH, c.roundOut = nil, nil
+	c.round++
+	// Drain each worker's round traffic into the fabric after the barrier,
 	// in worker order — totals are independent of goroutine scheduling.
 	c.trafficMu.Lock()
 	for _, sc := range c.counters {
-		c.fabric.Merge(sc)
-		sc.Reset()
+		c.fabric.Drain(sc)
 	}
 	c.trafficMu.Unlock()
-	return out
+	for _, err := range c.roundErrs {
+		if err != nil {
+			c.err = err
+			return err
+		}
+	}
+	return nil
+}
+
+// run is the persistent worker loop: park until released, execute the three
+// round phases, hit the barrier, repeat.
+func (c *Cluster) run(me int) {
+	for {
+		select {
+		case <-c.quit:
+			return
+		case <-c.start[me]:
+		}
+		h, out, backward := c.roundH, c.roundOut, c.roundBackward
+		c.ws[me].ensure(h.Cols)
+		c.localPhase(me, h, out)
+		c.sendPhase(me, h, backward)
+		c.roundErrs[me] = c.receivePhase(me, backward, out)
+		c.barrier.Done()
+	}
 }
 
 // localPhase computes the within-partition part of Â·h for the rows worker
@@ -196,48 +378,76 @@ func (c *Cluster) localPhase(me int, h, out *tensor.Matrix) {
 }
 
 // sendPhase encodes worker me's outgoing halo for this round and delivers
-// one batch (possibly empty) to every peer's inbox.
-func (c *Cluster) sendPhase(me int, h *tensor.Matrix, backward bool, inbox []chan []byte) {
-	dim := h.Cols
+// one batch (possibly empty) to every peer's inbox. Batches reuse the
+// buffers of two rounds ago; the barrier guarantees the receiver is done
+// with them.
+func (c *Cluster) sendPhase(me int, h *tensor.Matrix, backward bool) {
 	for peer := 0; peer < c.nparts; peer++ {
 		if peer == me {
 			continue
 		}
-		var batch wire.Batch
+		batch := &c.ws[me].batches[peer]
+		batch.Reset()
 		if c.semantic {
-			c.encodeSemantic(&batch, me, peer, h, backward)
+			c.encodeSemantic(batch, me, peer, h, backward)
 		} else {
-			c.encodeVanilla(&batch, me, peer, h, backward, dim)
+			c.encodeVanilla(batch, me, peer, h, backward)
 		}
 		buf := batch.Bytes()
 		// Wire framing is already inside buf (each message carries its own
 		// header), so record pre-framed bytes rather than ShardCounter.Send.
 		c.counters[me].Add(me, peer, int64(len(buf)), int64(batch.Len()))
-		inbox[peer] <- buf
+		c.inbox[peer] <- buf
 	}
 }
 
-// addMsg appends a message to the batch, quantized when configured.
-func (c *Cluster) addMsg(batch *wire.Batch, m *wire.Message) {
-	if c.quantBits > 0 {
-		batch.AddQuantized(m, c.quantBits)
-	} else {
+// addMsg appends a message to the batch — quantized when configured, with
+// residual error feedback layered on top when enabled. pairIdx is the
+// structural ordered-pair index the message rides and unit its candidate
+// index within (pair, round); together with the round slot they key the
+// residual store exactly like the analytic engine's RoundUnitKey scheme.
+func (c *Cluster) addMsg(me int, batch *wire.Batch, m *wire.Message, pairIdx int, unit int64) {
+	if c.quantBits <= 0 {
 		batch.Add(m)
+		return
 	}
+	var ef *compress.ErrorFeedback
+	if c.efs != nil {
+		ef = c.efs[pairIdx]
+	}
+	if ef == nil {
+		batch.AddQuantized(m, c.quantBits)
+		return
+	}
+	ws := &c.ws[me]
+	key := compress.RoundUnitKey(c.round, unit)
+	ef.PreCompress(key, m.Payload)
+	trueVals := append(ws.efTrue[:0], m.Payload...)
+	ws.efTrue = trueVals
+	sent := ws.efSent[:len(m.Payload)]
+	batch.AddQuantizedRoundtrip(m, c.quantBits, sent)
+	ef.PostCompress(key, trueVals, sent)
 }
 
 // encodeVanilla emits one KindNode message per cross edge (Fig. 7(a)).
-func (c *Cluster) encodeVanilla(batch *wire.Batch, me, peer int, h *tensor.Matrix, backward bool, dim int) {
+func (c *Cluster) encodeVanilla(batch *wire.Batch, me, peer int, h *tensor.Matrix, backward bool) {
 	// Forward: my arcs me→peer carry f[u]h_u addressed to v.
 	// Backward: arcs peer→me reverse — I own the sinks v and send f[v]h_v
 	// addressed to u.
-	var edges []graph.Edge
+	var idx int
 	if backward {
-		edges = c.crossOut[peer*c.nparts+me]
+		idx = peer*c.nparts + me
 	} else {
-		edges = c.crossOut[me*c.nparts+peer]
+		idx = me*c.nparts + peer
 	}
-	payload := make([]float64, dim)
+	edges := c.crossOut[idx]
+	ws := &c.ws[me]
+	payload := ws.payload[:h.Cols]
+	msg := &ws.msg
+	msg.Kind = wire.KindNode
+	msg.SrcPart = int32(me)
+	msg.Payload = payload
+	var unit int64
 	for _, e := range edges {
 		sender, receiver := e.U, e.V
 		if backward {
@@ -248,52 +458,52 @@ func (c *Cluster) encodeVanilla(batch *wire.Batch, me, peer int, h *tensor.Matri
 		for i, v := range src {
 			payload[i] = fs * v
 		}
-		c.addMsg(batch, &wire.Message{
-			Kind:    wire.KindNode,
-			SrcPart: int32(me),
-			Target:  receiver,
-			Payload: payload,
-		})
+		msg.Target = receiver
+		c.addMsg(me, batch, msg, idx, unit)
+		unit++
 	}
 }
 
-// encodeSemantic emits one KindGroup message per live group plus KindNode
+// encodeSemantic emits one KindGroup message per group plus KindNode
 // messages for O2O residuals (Fig. 7(b)).
 func (c *Cluster) encodeSemantic(batch *wire.Batch, me, peer int, h *tensor.Matrix, backward bool) {
 	// Forward: plan(me→peer), fuse over SrcNodes.
 	// Backward: plan(peer→me) reversed — I own its DstNodes and fuse them.
-	var plan *core.PairPlan
-	var groups []*core.Group
+	var idx int
 	if backward {
-		idx := peer*c.nparts + me
-		plan = c.plans[idx]
-		if plan != nil {
-			groups = c.revGroups[idx]
-		}
+		idx = peer*c.nparts + me
 	} else {
-		idx := me*c.nparts + peer
-		plan = c.plans[idx]
-		if plan != nil {
-			groups = plan.Groups
-		}
+		idx = me*c.nparts + peer
 	}
+	plan := c.plans[idx]
 	if plan == nil {
 		return
 	}
-	dim := h.Cols
-	for gi, grp := range groups {
-		hg := make([]float64, dim)
-		for k, u := range grp.SrcNodes {
-			tensor.AXPY(grp.WOut[k]*c.coeff[u], h.Row(int(u)), hg)
-		}
-		c.addMsg(batch, &wire.Message{
-			Kind:    wire.KindGroup,
-			SrcPart: int32(me),
-			Target:  int32(gi),
-			Payload: hg,
-		})
+	groups := plan.Groups
+	if backward {
+		groups = c.revGroups[idx]
 	}
-	payload := make([]float64, dim)
+	ws := &c.ws[me]
+	payload := ws.payload[:h.Cols]
+	msg := &ws.msg
+	msg.SrcPart = int32(me)
+	msg.Payload = payload
+	var unit int64
+	for gi, grp := range groups {
+		// Fuse into the retained scratch (pre-sized once per round, zeroed
+		// per group) instead of a fresh hg slice per group.
+		for i := range payload {
+			payload[i] = 0
+		}
+		for k, u := range grp.SrcNodes {
+			tensor.AXPY(grp.WOut[k]*c.coeff[u], h.Row(int(u)), payload)
+		}
+		msg.Kind = wire.KindGroup
+		msg.Target = int32(gi)
+		c.addMsg(me, batch, msg, idx, unit)
+		unit++
+	}
+	msg.Kind = wire.KindNode
 	for _, o := range plan.O2O {
 		sender, receiver := o.Src, o.Dst
 		if backward {
@@ -304,47 +514,91 @@ func (c *Cluster) encodeSemantic(batch *wire.Batch, me, peer int, h *tensor.Matr
 		for i, v := range src {
 			payload[i] = fs * v
 		}
-		c.addMsg(batch, &wire.Message{
-			Kind:    wire.KindNode,
-			SrcPart: int32(me),
-			Target:  receiver,
-			Payload: payload,
-		})
+		msg.Target = receiver
+		c.addMsg(me, batch, msg, idx, unit)
+		unit++
 	}
 }
 
-// receivePhase decodes the nparts-1 batches addressed to worker me and
-// accumulates their contributions into the rows me owns.
-func (c *Cluster) receivePhase(me int, backward bool, out *tensor.Matrix, inbox <-chan []byte) {
+// receivePhase stream-decodes the nparts-1 batches addressed to worker me
+// and accumulates their contributions into the rows me owns. On a decode
+// error it keeps draining its inbox (so the round protocol stays balanced)
+// and reports the first error through the barrier.
+func (c *Cluster) receivePhase(me int, backward bool, out *tensor.Matrix) error {
+	var firstErr error
 	for k := 0; k < c.nparts-1; k++ {
-		buf := <-inbox
-		msgs, err := wire.DecodeAll(buf)
-		if err != nil {
-			panic(fmt.Sprintf("worker %d: corrupt batch: %v", me, err))
+		buf := <-c.inbox[me]
+		if firstErr != nil {
+			continue
 		}
-		for _, m := range msgs {
-			switch m.Kind {
-			case wire.KindNode:
-				v := m.Target
-				if c.part[v] != me {
-					panic(fmt.Sprintf("worker %d: received node %d owned by %d", me, v, c.part[v]))
-				}
-				tensor.AXPY(c.coeff[v], m.Payload, out.Row(int(v)))
-			case wire.KindGroup:
-				grp := c.groupFor(int(m.SrcPart), me, int(m.Target), backward)
-				for k2, v := range grp.DstNodes {
-					tensor.AXPY(grp.DDst[k2]*c.coeff[v], m.Payload, out.Row(int(v)))
-				}
+		if err := c.decodeBatch(me, backward, out, buf); err != nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// decodeBatch walks one inbound buffer with the streaming decoder: node
+// payloads are decoded directly into an AXPY against the destination row;
+// group payloads are staged once in the retained scratch and fanned out.
+func (c *Cluster) decodeBatch(me int, backward bool, out *tensor.Matrix, buf []byte) error {
+	dim := out.Cols
+	dec := wire.NewDecoder(buf)
+	scratch := c.ws[me].dec[:dim]
+	for dec.More() {
+		hd, err := dec.Next()
+		if err != nil {
+			return fmt.Errorf("worker %d: corrupt batch: %w", me, err)
+		}
+		if hd.N != dim {
+			return fmt.Errorf("worker %d: corrupt batch: payload %d values, want %d", me, hd.N, dim)
+		}
+		switch hd.Kind {
+		case wire.KindNode:
+			v := hd.Target
+			if v < 0 || int(v) >= len(c.part) {
+				return fmt.Errorf("worker %d: corrupt batch: node %d out of range", me, v)
+			}
+			if c.part[v] != me {
+				return fmt.Errorf("worker %d: received node %d owned by %d", me, v, c.part[v])
+			}
+			if err := dec.AXPY(c.coeff[v], out.Row(int(v))); err != nil {
+				return fmt.Errorf("worker %d: %w", me, err)
+			}
+		case wire.KindGroup:
+			grp, err := c.groupFor(int(hd.SrcPart), me, int(hd.Target), backward)
+			if err != nil {
+				return fmt.Errorf("worker %d: corrupt batch: %w", me, err)
+			}
+			if err := dec.Read(scratch); err != nil {
+				return fmt.Errorf("worker %d: %w", me, err)
+			}
+			for k, v := range grp.DstNodes {
+				tensor.AXPY(grp.DDst[k]*c.coeff[v], scratch, out.Row(int(v)))
 			}
 		}
 	}
+	return nil
 }
 
 // groupFor resolves a received group reference: forward groups live in the
 // (from→me) plan; backward groups are the reversed (me→from) plan groups.
-func (c *Cluster) groupFor(from, me, gi int, backward bool) *core.Group {
-	if backward {
-		return c.revGroups[me*c.nparts+from][gi]
+// Out-of-range references (possible only on corrupt wire data) are errors,
+// not panics.
+func (c *Cluster) groupFor(from, me, gi int, backward bool) (*core.Group, error) {
+	if from < 0 || from >= c.nparts || from == me {
+		return nil, fmt.Errorf("group message from invalid part %d", from)
 	}
-	return c.plans[from*c.nparts+me].Groups[gi]
+	var groups []*core.Group
+	if backward {
+		groups = c.revGroups[me*c.nparts+from]
+	} else {
+		if plan := c.plans[from*c.nparts+me]; plan != nil {
+			groups = plan.Groups
+		}
+	}
+	if gi < 0 || gi >= len(groups) {
+		return nil, fmt.Errorf("group index %d out of range (pair has %d groups)", gi, len(groups))
+	}
+	return groups[gi], nil
 }

@@ -1,0 +1,281 @@
+package worker
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"scgnn/internal/core"
+	"scgnn/internal/datasets"
+	"scgnn/internal/dist"
+	"scgnn/internal/partition"
+	"scgnn/internal/tensor"
+)
+
+func benchSetup() (*datasets.Dataset, []int) {
+	d := datasets.PubMedSim(1)
+	part := partition.Partition(d.Graph, 4, partition.NodeCut, partition.Config{Seed: 1})
+	return d, part
+}
+
+// TestClusterSteadyStateAllocs: after warm-up, a full aggregate round over
+// the persistent pool must not allocate — encode buffers, inboxes, payload
+// scratch, and traffic shards are all retained across rounds.
+func TestClusterSteadyStateAllocs(t *testing.T) {
+	d, part := setup(t, 3)
+	h := randMat(d.NumNodes(), 8, 21)
+	out := tensor.New(d.NumNodes(), 8)
+	cases := []struct {
+		name     string
+		semantic bool
+		bits     int
+		ef       bool
+	}{
+		{"vanilla", false, 0, false},
+		{"semantic", true, 0, false},
+		{"quant8", false, 8, false},
+		{"quant8+ef", false, 8, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := NewCluster(d.Graph, part, 3, tc.semantic, core.PlanConfig{Grouping: core.GroupingConfig{Seed: 5}})
+			defer c.Close()
+			if tc.bits > 0 {
+				c.SetQuantization(tc.bits)
+			}
+			if tc.ef {
+				c.SetErrorFeedback(true)
+			}
+			// Warm up both directions so scratch buffers, batch capacities,
+			// and (for ef) the residual stores reach steady state.
+			for i := 0; i < 3; i++ {
+				c.StartEpoch(i)
+				if err := c.AggregateInto(out, h, false); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.AggregateInto(out, h, true); err != nil {
+					t.Fatal(err)
+				}
+			}
+			epoch := 3
+			allocs := testing.AllocsPerRun(10, func() {
+				c.StartEpoch(epoch)
+				epoch++
+				if err := c.AggregateInto(out, h, false); err != nil {
+					t.Fatal(err)
+				}
+				if err := c.AggregateInto(out, h, true); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("steady-state round allocates %v times", allocs)
+			}
+		})
+	}
+}
+
+// TestClusterPersistentManyRounds drives one persistent cluster through 120
+// forward/backward rounds while another goroutine hammers the traffic API
+// (ResetTraffic / Snapshot / Traffic). Outputs must stay bit-identical to the
+// first round's, and under -race this doubles as the pool's data-race proof.
+func TestClusterPersistentManyRounds(t *testing.T) {
+	d, part := setup(t, 3)
+	c := NewCluster(d.Graph, part, 3, true, core.PlanConfig{Grouping: core.GroupingConfig{K: 2, Seed: 6}})
+	defer c.Close()
+	h := randMat(d.NumNodes(), 6, 22)
+	refF := c.Forward(h)
+	refB := c.Backward(h)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				c.Snapshot()
+			case 1:
+				c.Traffic()
+			default:
+				c.ResetTraffic()
+			}
+		}
+	}()
+
+	outF := tensor.New(d.NumNodes(), 6)
+	outB := tensor.New(d.NumNodes(), 6)
+	for round := 0; round < 120; round++ {
+		if err := c.AggregateInto(outF, h, false); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.AggregateInto(outB, h, true); err != nil {
+			t.Fatal(err)
+		}
+		// Inbound batches are consumed in arrival order, so row sums may
+		// reassociate across runs — fp64 reordering tolerance, like
+		// TestClusterDeterministicUnderConcurrency.
+		if !outF.Equal(refF, 1e-9) || !outB.Equal(refB, 1e-9) {
+			t.Fatalf("round %d diverged from first round", round)
+		}
+	}
+	close(stop)
+	wg.Wait()
+
+	// The pool must still be healthy for the traffic contract: a reset
+	// followed by one round reproduces a single round's byte count.
+	c.ResetTraffic()
+	c.Forward(h)
+	bytes, msgs := c.Traffic()
+	if bytes <= 0 || msgs <= 0 {
+		t.Fatalf("traffic after reset+round = (%d, %d)", bytes, msgs)
+	}
+}
+
+// TestClusterCorruptBatchError: a corrupt inbound buffer must surface as an
+// error from AggregateInto (not a process-killing panic in a worker
+// goroutine), permanently poison the cluster, and panic recoverably from the
+// gnn.Aggregator methods.
+func TestClusterCorruptBatchError(t *testing.T) {
+	d, _ := setup(t, 2)
+	part := make([]int, d.NumNodes())
+	for i := range part {
+		part[i] = i % 2
+	}
+	c := NewCluster(d.Graph, part, 2, false, core.PlanConfig{})
+	defer c.Close()
+	h := randMat(d.NumNodes(), 4, 23)
+	out := tensor.New(d.NumNodes(), 4)
+	if err := c.AggregateInto(out, h, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// Worker 0 expects exactly one inbound buffer per round; pre-stuffing its
+	// inbox makes the garbage arrive in place of worker 1's real batch.
+	c.inbox[0] <- []byte{0xff, 0xee, 0xdd}
+	err := c.AggregateInto(out, h, false)
+	if err == nil {
+		t.Fatal("corrupt batch did not error")
+	}
+	if !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Poisoned: the same error comes back without running a round.
+	if err2 := c.AggregateInto(out, h, false); err2 != err {
+		t.Fatalf("cluster not poisoned: %v", err2)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("Forward on poisoned cluster did not panic")
+			}
+		}()
+		c.Forward(h)
+	}()
+}
+
+// TestClusterCloseSemantics: Close is idempotent and rounds after Close fail
+// cleanly.
+func TestClusterCloseSemantics(t *testing.T) {
+	d, part := setup(t, 3)
+	c := NewCluster(d.Graph, part, 3, false, core.PlanConfig{})
+	h := randMat(d.NumNodes(), 4, 24)
+	c.Forward(h)
+	bytes, _ := c.Traffic()
+	c.Close()
+	c.Close()
+	if b2, _ := c.Traffic(); b2 != bytes {
+		t.Fatalf("traffic changed across Close: %d vs %d", b2, bytes)
+	}
+	if err := c.AggregateInto(tensor.New(d.NumNodes(), 4), h, false); err == nil {
+		t.Fatal("AggregateInto after Close did not error")
+	}
+}
+
+// TestClusterErrorFeedbackMatchesEngine: the worker runtime's quantized
+// error-feedback path must track the analytic engine at matching bits — same
+// residual keys, same unit enumeration, same round slots — up to the fp32
+// metadata truncation of the wire format (the engine reconstructs from
+// float64 lo/step, the wire from their fp32 truncations).
+func TestClusterErrorFeedbackMatchesEngine(t *testing.T) {
+	const bits = 4
+	d, part := setup(t, 3)
+	h := randMat(d.NumNodes(), 8, 25)
+	plan := core.PlanConfig{Grouping: core.GroupingConfig{K: 2, Seed: 8}}
+	for _, semantic := range []bool{false, true} {
+		c := NewCluster(d.Graph, part, 3, semantic, plan)
+		c.SetQuantization(bits)
+		c.SetErrorFeedback(true)
+		noEF := NewCluster(d.Graph, part, 3, semantic, plan)
+		noEF.SetQuantization(bits)
+		engCfg := dist.Config{QuantBits: bits, ErrorFeedback: true}
+		if semantic {
+			engCfg.Semantic = true
+			engCfg.Plan = plan
+		}
+		eng := dist.NewEngine(d.Graph, part, 3, engCfg)
+
+		var efDiverged bool
+		for epoch := 0; epoch < 4; epoch++ {
+			c.StartEpoch(epoch)
+			noEF.StartEpoch(epoch)
+			eng.StartEpoch(epoch)
+			for _, backward := range []bool{false, true} {
+				var got, gotNoEF, want *tensor.Matrix
+				if backward {
+					got, gotNoEF, want = c.Backward(h), noEF.Backward(h), eng.Backward(h)
+				} else {
+					got, gotNoEF, want = c.Forward(h), noEF.Forward(h), eng.Forward(h)
+				}
+				tol := 1e-3 * (1 + want.MaxAbs())
+				if !got.Equal(want, tol) {
+					t.Fatalf("semantic=%v epoch %d backward=%v: cluster EF != engine EF (maxdiff %v)",
+						semantic, epoch, backward, tensor.Sub(got, want).MaxAbs())
+				}
+				if epoch > 0 && tensor.Sub(got, gotNoEF).MaxAbs() > 0 {
+					efDiverged = true
+				}
+			}
+		}
+		if !efDiverged {
+			t.Fatalf("semantic=%v: error feedback never changed the quantized aggregate", semantic)
+		}
+		c.Close()
+		noEF.Close()
+	}
+}
+
+// BenchmarkClusterRoundVanillaInto / ...SemanticInto measure the allocation-
+// free steady state: a preallocated output and AggregateInto, the loop a
+// training run's inner rounds actually execute.
+func BenchmarkClusterRoundVanillaInto(b *testing.B) {
+	benchInto(b, false)
+}
+
+func BenchmarkClusterRoundSemanticInto(b *testing.B) {
+	benchInto(b, true)
+}
+
+func benchInto(b *testing.B, semantic bool) {
+	d, part := benchSetup()
+	c := NewCluster(d.Graph, part, 4, semantic, core.PlanConfig{Grouping: core.GroupingConfig{Seed: 1}})
+	defer c.Close()
+	h := randMat(d.NumNodes(), 16, 1)
+	out := tensor.New(d.NumNodes(), 16)
+	if err := c.AggregateInto(out, h, false); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := c.AggregateInto(out, h, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

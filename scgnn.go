@@ -222,6 +222,7 @@ func TrainConcurrent(ds *Dataset, part []int, nparts int, semantic bool, opt Sem
 		plan.Drop = core.DropO2O
 	}
 	cluster := worker.NewCluster(ds.Graph, part, nparts, semantic, plan)
+	defer cluster.Close()
 
 	if train.Hidden == 0 {
 		train.Hidden = 32
