@@ -15,10 +15,12 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrent surfaces: the worker runtime and the receiver-sharded
-# parallel engine (plus anything they pull in transitively).
+# The concurrent surfaces: the worker runtime, the receiver-sharded parallel
+# engine, and the planning pipeline (single-sweep DBG extraction fanned into
+# concurrent per-pair plan builds and the sharded k-means sweep).
 race:
-	$(GO) test -race ./internal/dist/... ./internal/worker/...
+	$(GO) test -race ./internal/dist/... ./internal/worker/... \
+		./internal/cluster/... ./internal/core/... ./internal/graph/...
 
 # Tier-1 verification gate (ROADMAP.md): everything must build, pass tests,
 # and survive the race detector on the concurrent packages.
@@ -26,10 +28,14 @@ verify: build vet test race
 
 # Cluster-round + halo-exchange benchmarks with allocation counts; the JSON
 # lands in BENCH_worker.json under "after" (the committed "before" baseline
-# is preserved by the merge).
+# is preserved by the merge). The planning-pipeline benchmarks (one-sweep DBG
+# extraction + concurrent plan builds + EEP sweep) refresh BENCH_plan.json
+# the same way.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkClusterRound|BenchmarkEngineExchange' -benchmem . ./internal/worker/ \
 		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_worker.json -key after
+	$(GO) test -run '^$$' -bench 'BenchmarkAllDBGs|BenchmarkPlanPipeline' -benchmem . \
+		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_plan.json -key after
 
 # Every benchmark in the repo (paper figures included; slower).
 bench-all:

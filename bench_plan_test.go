@@ -1,0 +1,65 @@
+// Planning-pipeline benchmarks: the offline step of Fig. 8 (DBG extraction,
+// similarity embedding, EEP k-means sweep, L-SALSA weights) on the dense
+// Reddit-like graph at 8 and 16 partitions. `make bench` records these in
+// BENCH_plan.json (before/after), mirroring the BENCH_worker.json flow.
+package scgnn_test
+
+import (
+	"testing"
+
+	"scgnn/internal/core"
+	"scgnn/internal/datasets"
+	"scgnn/internal/graph"
+	"scgnn/internal/partition"
+)
+
+func planBenchSetup(b *testing.B, nparts int) (*datasets.Dataset, []int) {
+	b.Helper()
+	ds := datasets.RedditSim(1)
+	part := partition.Partition(ds.Graph, nparts, partition.NodeCut, partition.Config{Seed: 1})
+	return ds, part
+}
+
+// BenchmarkAllDBGs* isolates the DBG-extraction stage: materializing the
+// directed bipartite boundary graph of every ordered partition pair.
+func benchAllDBGs(b *testing.B, nparts int) {
+	ds, part := planBenchSetup(b, nparts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dbgs := graph.AllDBGs(ds.Graph, part, nparts)
+		if len(dbgs) == 0 {
+			b.Fatal("no DBGs")
+		}
+	}
+}
+
+func BenchmarkAllDBGs8P(b *testing.B)  { benchAllDBGs(b, 8) }
+func BenchmarkAllDBGs16P(b *testing.B) { benchAllDBGs(b, 16) }
+
+// BenchmarkPlanPipeline* runs the full offline planning pass with auto group
+// counts, so every pair pays the EEP inertia sweep over k ∈ [2,20] — the
+// dominant term of the planning wall.
+func benchPlanPipeline(b *testing.B, nparts, workers int) {
+	ds, part := planBenchSetup(b, nparts)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		plans := core.BuildAllPlans(ds.Graph, part, nparts,
+			core.PlanConfig{Grouping: core.GroupingConfig{Seed: 1}, Workers: workers})
+		if len(plans) == 0 {
+			b.Fatal("no plans")
+		}
+	}
+}
+
+func BenchmarkPlanPipeline8P(b *testing.B)  { benchPlanPipeline(b, 8, 0) }
+func BenchmarkPlanPipeline16P(b *testing.B) { benchPlanPipeline(b, 16, 0) }
+
+// The pinned lanes exercise the fan-out machinery explicitly: Sequential is
+// the one-goroutine schedule, Parallel pins one worker per DBG-heavy core
+// count. The two are plan-identical (core.TestBuildAllPlansWorkerInvariance);
+// on a multi-core host Parallel shows the ≈min(cores, nDBGs) speedup, on a
+// single-core host the scheduling-overhead floor.
+func BenchmarkPlanPipeline8PSequential(b *testing.B) { benchPlanPipeline(b, 8, 1) }
+func BenchmarkPlanPipeline8PParallel(b *testing.B)   { benchPlanPipeline(b, 8, 8) }

@@ -127,6 +127,16 @@ func Or(v, o *Vector) *Vector {
 	return out
 }
 
+// OrWith sets v ← v ∪ o in place, without allocating.
+func (v *Vector) OrWith(o *Vector) {
+	if v.n != o.n {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, o.n))
+	}
+	for i, w := range o.words {
+		v.words[i] |= w
+	}
+}
+
 // Clone returns a deep copy of v.
 func (v *Vector) Clone() *Vector {
 	out := New(v.n)

@@ -195,3 +195,30 @@ func BenchmarkAndCount1024(b *testing.B) {
 		AndCount(x, y)
 	}
 }
+
+func TestOrWith(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 20; trial++ {
+		n := 1 + rng.Intn(200)
+		a, b := New(n), New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				a.Set(i)
+			}
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+			}
+		}
+		want := Or(a, b)
+		a.OrWith(b)
+		if !a.Equal(want) {
+			t.Fatalf("OrWith disagrees with Or on trial %d", trial)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected length-mismatch panic")
+		}
+	}()
+	New(3).OrWith(New(4))
+}

@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"scgnn/internal/tensor"
 )
@@ -26,6 +29,12 @@ type KMeansResult struct {
 type KMeansConfig struct {
 	MaxIter int     // default 100
 	Tol     float64 // relative inertia improvement to continue; default 1e-6
+	// Workers caps the goroutines driving the assignment step and the
+	// InertiaCurve sweep. 0 uses GOMAXPROCS; 1 forces the sequential
+	// schedule. Results are bit-identical for every value: points are
+	// sharded into fixed-size chunks whose partial inertia sums are combined
+	// in chunk order regardless of which goroutine computed them.
+	Workers int
 }
 
 func (c KMeansConfig) withDefaults() KMeansConfig {
@@ -38,11 +47,51 @@ func (c KMeansConfig) withDefaults() KMeansConfig {
 	return c
 }
 
+func (c KMeansConfig) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// assignChunkRows is the fixed shard width of the parallel assignment step.
+// The chunk grid depends only on n, never on the worker count, so per-chunk
+// inertia partials combine to the same float64 on any schedule.
+const assignChunkRows = 256
+
+// kmeansScratch holds the per-run buffers of one k-means execution, sized for
+// the largest k of a sweep so InertiaCurve reuses one allocation across its
+// 19 runs instead of reallocating assign/counts/centroids per k.
+type kmeansScratch struct {
+	assign  []int
+	counts  []int
+	cents   *tensor.Matrix // kmax×d backing array; runs use a k-row prefix
+	d2      []float64      // k-means++ D² weights
+	partial []float64      // per-chunk inertia partials
+}
+
+func newKMeansScratch(n, d, kmax int) *kmeansScratch {
+	return &kmeansScratch{
+		assign:  make([]int, n),
+		counts:  make([]int, kmax),
+		cents:   tensor.New(kmax, d),
+		d2:      make([]float64, n),
+		partial: make([]float64, (n+assignChunkRows-1)/assignChunkRows),
+	}
+}
+
+// centroidView returns the k-row prefix of the scratch centroid backing as a
+// standalone matrix header (shared storage, no copy).
+func (s *kmeansScratch) centroidView(k, d int) *tensor.Matrix {
+	return &tensor.Matrix{Rows: k, Cols: d, Data: s.cents.Data[:k*d]}
+}
+
 // KMeans clusters the rows of points into k clusters using k-means++ seeding
 // followed by Lloyd iterations. rng drives seeding; the iteration itself is
-// deterministic given the seeds. Panics if k < 1 or there are no points.
+// deterministic given the seeds (for any cfg.Workers value). Panics if k < 1
+// or there are no points.
 func KMeans(points *tensor.Matrix, k int, rng *rand.Rand, cfg KMeansConfig) *KMeansResult {
-	n, d := points.Rows, points.Cols
+	n := points.Rows
 	if k < 1 {
 		panic(fmt.Sprintf("cluster: k = %d", k))
 	}
@@ -53,28 +102,88 @@ func KMeans(points *tensor.Matrix, k int, rng *rand.Rand, cfg KMeansConfig) *KMe
 		k = n // every point its own cluster at most
 	}
 	cfg = cfg.withDefaults()
+	sc := newKMeansScratch(n, points.Cols, k)
+	inertia, iters := kmeansRun(points, k, rng, cfg, sc)
+	return &KMeansResult{
+		K:          k,
+		Assign:     sc.assign,
+		Centroids:  sc.centroidView(k, points.Cols),
+		Inertia:    inertia,
+		Iterations: iters,
+	}
+}
 
-	cents := seedPlusPlus(points, k, rng)
-	assign := make([]int, n)
-	counts := make([]int, k)
-	res := &KMeansResult{K: k, Assign: assign, Centroids: cents}
+// kmeansRun executes seeding plus Lloyd iterations entirely inside sc and
+// returns the final inertia and iteration count. sc.assign and the centroid
+// prefix hold the final state; callers that retain them must not reuse sc.
+// k must already be clamped to [1, n], and sc sized for at least (n, d, k).
+func kmeansRun(points *tensor.Matrix, k int, rng *rand.Rand, cfg KMeansConfig, sc *kmeansScratch) (float64, int) {
+	n, d := points.Rows, points.Cols
+	cents := sc.centroidView(k, d)
+	seedPlusPlusInto(points, k, rng, cents, sc.d2)
+	assign := sc.assign[:n]
+	counts := sc.counts[:k]
 
-	// assignStep reassigns every point to its nearest centroid and returns
-	// the resulting inertia. The loop always *ends* right after an
-	// assignment step, so res.Assign/res.Inertia are consistent with the
-	// returned centroids.
-	assignStep := func() float64 {
-		inertia := 0.0
-		for i := 0; i < n; i++ {
+	nchunks := (n + assignChunkRows - 1) / assignChunkRows
+	partial := sc.partial[:nchunks]
+	workers := cfg.workerCount()
+	if workers > nchunks {
+		workers = nchunks
+	}
+
+	// assignChunk reassigns every point of chunk ci to its nearest centroid
+	// and records the chunk's inertia partial.
+	assignChunk := func(ci int) {
+		lo := ci * assignChunkRows
+		hi := lo + assignChunkRows
+		if hi > n {
+			hi = n
+		}
+		var sum float64
+		for i := lo; i < hi; i++ {
 			row := points.Row(i)
 			best, bi := math.Inf(1), 0
 			for c := 0; c < k; c++ {
-				if dist := tensor.SquaredDistance(row, cents.Row(c)); dist < best {
+				if dist := tensor.SquaredDistanceBounded(row, cents.Row(c), best); dist < best {
 					best, bi = dist, c
 				}
 			}
 			assign[i] = bi
-			inertia += best
+			sum += best
+		}
+		partial[ci] = sum
+	}
+
+	// assignStep runs every chunk (sharded across workers when it pays) and
+	// combines the partials in chunk order. The loop always *ends* right
+	// after an assignment step, so the assignment and inertia are consistent
+	// with the returned centroids.
+	assignStep := func() float64 {
+		if workers <= 1 {
+			for ci := 0; ci < nchunks; ci++ {
+				assignChunk(ci)
+			}
+		} else {
+			var next int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						ci := int(atomic.AddInt64(&next, 1)) - 1
+						if ci >= nchunks {
+							return
+						}
+						assignChunk(ci)
+					}
+				}()
+			}
+			wg.Wait()
+		}
+		var inertia float64
+		for _, p := range partial {
+			inertia += p
 		}
 		return inertia
 	}
@@ -111,29 +220,27 @@ func KMeans(points *tensor.Matrix, k int, rng *rand.Rand, cfg KMeansConfig) *KMe
 	}
 
 	prev := math.Inf(1)
+	var inertia float64
 	for it := 0; it < cfg.MaxIter; it++ {
-		inertia := assignStep()
-		res.Inertia = inertia
-		res.Iterations = it + 1
+		inertia = assignStep()
 		if prev-inertia <= cfg.Tol*math.Max(1, prev) {
-			return res
+			return inertia, it + 1
 		}
 		prev = inertia
 		updateStep()
 	}
 	// MaxIter exhausted after an update: resync the assignment with the
 	// final centroids.
-	res.Inertia = assignStep()
-	return res
+	return assignStep(), cfg.MaxIter
 }
 
-// seedPlusPlus picks k initial centroids with D² weighting (k-means++).
-func seedPlusPlus(points *tensor.Matrix, k int, rng *rand.Rand) *tensor.Matrix {
+// seedPlusPlusInto picks k initial centroids with D² weighting (k-means++)
+// into the provided k×d centroid matrix, using d2 as the weight buffer.
+func seedPlusPlusInto(points *tensor.Matrix, k int, rng *rand.Rand, cents *tensor.Matrix, d2 []float64) {
 	n := points.Rows
-	cents := tensor.New(k, points.Cols)
 	first := rng.Intn(n)
 	copy(cents.Row(0), points.Row(first))
-	d2 := make([]float64, n)
+	d2 = d2[:n]
 	for i := 0; i < n; i++ {
 		d2[i] = tensor.SquaredDistance(points.Row(i), cents.Row(0))
 	}
@@ -159,12 +266,11 @@ func seedPlusPlus(points *tensor.Matrix, k int, rng *rand.Rand) *tensor.Matrix {
 		}
 		copy(cents.Row(c), points.Row(pick))
 		for i := 0; i < n; i++ {
-			if nd := tensor.SquaredDistance(points.Row(i), cents.Row(c)); nd < d2[i] {
+			if nd := tensor.SquaredDistanceBounded(points.Row(i), cents.Row(c), d2[i]); nd < d2[i] {
 				d2[i] = nd
 			}
 		}
 	}
-	return cents
 }
 
 // ClusterSizes returns the member count of each cluster.
@@ -185,17 +291,85 @@ func (r *KMeansResult) Members() [][]int {
 	return out
 }
 
+// sweepSource is a splitmix64 rand.Source64 used for the per-k child streams
+// of InertiaCurve. The stdlib rand.NewSource pays a ~600-word seeding loop
+// and a ~5KB allocation per source — far too heavy to create once per k per
+// DBG — while splitmix64 is 8 bytes, seeds for free, and its avalanche keeps
+// the child streams decorrelated (the same mixer as compress.DeriveSeed).
+type sweepSource struct{ state uint64 }
+
+func (s *sweepSource) Uint64() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (s *sweepSource) Int63() int64    { return int64(s.Uint64() >> 1) }
+func (s *sweepSource) Seed(seed int64) { s.state = uint64(seed) }
+
 // InertiaCurve runs k-means for every k in [kmin, kmax] and returns the
-// inertia per k — the raw material for the elbow plots of Fig. 4(b). The same
-// rng stream is used in sequence so the curve is deterministic for a seed.
+// inertia per k — the raw material for the elbow plots of Fig. 4(b). One
+// child seed per k is pre-drawn from rng in k order, which decouples the
+// runs: they execute concurrently across cfg.Workers goroutines (each worker
+// retaining one scratch allocation across its runs) and the curve is
+// identical for any worker count, because run i always starts from seed i.
 func InertiaCurve(points *tensor.Matrix, kmin, kmax int, rng *rand.Rand, cfg KMeansConfig) []float64 {
 	if kmin < 1 || kmax < kmin {
 		panic(fmt.Sprintf("cluster: bad k range [%d,%d]", kmin, kmax))
 	}
-	out := make([]float64, kmax-kmin+1)
-	for k := kmin; k <= kmax; k++ {
-		out[k-kmin] = KMeans(points, k, rng, cfg).Inertia
+	cfg = cfg.withDefaults()
+	nk := kmax - kmin + 1
+	seeds := make([]int64, nk)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
 	}
+	out := make([]float64, nk)
+	n, d := points.Rows, points.Cols
+	kcap := kmax
+	if kcap > n {
+		kcap = n
+	}
+	workers := cfg.workerCount()
+	if workers > nk {
+		workers = nk
+	}
+	runOne := func(i int, cfg KMeansConfig, sc *kmeansScratch) {
+		k := kmin + i
+		if k > n {
+			k = n
+		}
+		out[i], _ = kmeansRun(points, k, rand.New(&sweepSource{state: uint64(seeds[i])}), cfg, sc)
+	}
+	if workers <= 1 {
+		sc := newKMeansScratch(n, d, kcap)
+		for i := 0; i < nk; i++ {
+			runOne(i, cfg, sc)
+		}
+		return out
+	}
+	// The sweep itself saturates the workers, so each run's assignment step
+	// stays sequential (same bits either way — see KMeansConfig.Workers).
+	runCfg := cfg
+	runCfg.Workers = 1
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newKMeansScratch(n, d, kcap)
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= nk {
+					return
+				}
+				runOne(i, runCfg, sc)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 
@@ -250,13 +424,16 @@ func Silhouette(points *tensor.Matrix, assign []int, k int) float64 {
 	}
 	var total float64
 	var counted int
+	sum := make([]float64, k) // per-cluster distance sums, reused per point
 	for i := 0; i < n; i++ {
 		ci := assign[i]
 		if sizes[ci] <= 1 {
 			continue // silhouette undefined for singleton clusters
 		}
 		// Mean distance to own cluster (a) and nearest other cluster (b).
-		sum := make([]float64, k)
+		for c := range sum {
+			sum[c] = 0
+		}
 		for j := 0; j < n; j++ {
 			if i == j {
 				continue

@@ -290,3 +290,72 @@ func TestInertiaCurvePanicsOnBadRange(t *testing.T) {
 	}()
 	InertiaCurve(tensor.New(3, 2), 5, 2, rand.New(rand.NewSource(1)), KMeansConfig{})
 }
+
+// TestKMeansWorkerInvariance: the chunk-sharded assignment step combines
+// partial inertia sums in chunk order, so results are bit-identical for any
+// Workers value (n > assignChunkRows so several chunks exist).
+func TestKMeansWorkerInvariance(t *testing.T) {
+	pts, _ := blobs(5, 130, 6, 7, rand.New(rand.NewSource(21))) // 650 rows → 3 chunks
+	base := KMeans(pts, 5, rand.New(rand.NewSource(9)), KMeansConfig{Workers: 1})
+	for _, workers := range []int{2, 4, 16} {
+		got := KMeans(pts, 5, rand.New(rand.NewSource(9)), KMeansConfig{Workers: workers})
+		if got.Inertia != base.Inertia || got.Iterations != base.Iterations {
+			t.Fatalf("workers=%d: inertia/iters %v/%d, want %v/%d",
+				workers, got.Inertia, got.Iterations, base.Inertia, base.Iterations)
+		}
+		for i := range base.Assign {
+			if got.Assign[i] != base.Assign[i] {
+				t.Fatalf("workers=%d: assignment differs at point %d", workers, i)
+			}
+		}
+		for i := range base.Centroids.Data {
+			if got.Centroids.Data[i] != base.Centroids.Data[i] {
+				t.Fatalf("workers=%d: centroid data differs at %d", workers, i)
+			}
+		}
+	}
+}
+
+// TestInertiaCurveWorkerInvariance: with one pre-drawn seed per k, the sweep
+// is identical whether the runs execute sequentially or concurrently.
+func TestInertiaCurveWorkerInvariance(t *testing.T) {
+	pts, _ := blobs(4, 30, 3, 6, rand.New(rand.NewSource(22)))
+	base := InertiaCurve(pts, 2, 12, rand.New(rand.NewSource(5)), KMeansConfig{Workers: 1})
+	for _, workers := range []int{3, 8, 32} {
+		got := InertiaCurve(pts, 2, 12, rand.New(rand.NewSource(5)), KMeansConfig{Workers: workers})
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: curve differs at %d: %v vs %v", workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestInertiaCurveMatchesIndependentRuns: the sweep's scratch reuse must not
+// leak state between runs — each entry equals a fresh KMeans run started from
+// the same pre-drawn per-k seed.
+func TestInertiaCurveMatchesIndependentRuns(t *testing.T) {
+	pts, _ := blobs(3, 25, 4, 8, rand.New(rand.NewSource(23)))
+	curve := InertiaCurve(pts, 2, 9, rand.New(rand.NewSource(6)), KMeansConfig{Workers: 1})
+	seedRng := rand.New(rand.NewSource(6)) // replay the seed pre-draw
+	for i := range curve {
+		seed := seedRng.Int63()
+		res := KMeans(pts, 2+i, rand.New(&sweepSource{state: uint64(seed)}), KMeansConfig{})
+		if res.Inertia != curve[i] {
+			t.Fatalf("curve[%d] = %v, independent run = %v", i, curve[i], res.Inertia)
+		}
+	}
+}
+
+// TestSilhouetteAllocs: the per-point distance-sum buffer is hoisted out of
+// the inner loop — Silhouette allocates O(1), not O(n).
+func TestSilhouetteAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	pts, truth := blobs(3, 40, 3, 10, rng)
+	allocs := testing.AllocsPerRun(5, func() {
+		Silhouette(pts, truth, 3)
+	})
+	if allocs > 4 {
+		t.Fatalf("Silhouette allocates %v per call, want O(1)", allocs)
+	}
+}

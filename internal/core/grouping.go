@@ -3,8 +3,11 @@ package core
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
+	"scgnn/internal/bitvec"
 	"scgnn/internal/cluster"
 	"scgnn/internal/graph"
 	"scgnn/internal/tensor"
@@ -28,6 +31,10 @@ type GroupingConfig struct {
 	MaxPivots int
 	// Seed drives k-means seeding; grouping is deterministic given a seed.
 	Seed int64
+	// Workers caps the goroutines filling the similarity embedding and
+	// running the EEP inertia sweep (0 uses GOMAXPROCS; 1 forces the
+	// sequential path). The grouping is identical for any value.
+	Workers int
 }
 
 func (c GroupingConfig) withDefaults() GroupingConfig {
@@ -117,14 +124,10 @@ func BuildGrouping(d *graph.DBG, cfg GroupingConfig) *Grouping {
 	// Embed the pool in similarity space: x_u[j] = S(u, pivot_j).
 	pivots := pickPivots(poolSrc, cfg.MaxPivots)
 	emb := tensor.New(len(poolSrc), len(pivots))
-	for i, ui := range poolSrc {
-		row := emb.Row(i)
-		for j, pj := range pivots {
-			row[j] = cfg.Sim.Score(d.Adj, ui, pj)
-		}
-	}
+	fillEmbedding(d, cfg.Sim, poolSrc, pivots, emb, cfg.Workers)
 	gr.Embedding = emb
 
+	kmCfg := cluster.KMeansConfig{Workers: cfg.Workers}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	k := cfg.K
 	if k <= 0 {
@@ -139,13 +142,13 @@ func BuildGrouping(d *graph.DBG, cfg GroupingConfig) *Grouping {
 		if kmin < 1 {
 			kmin = 1
 		}
-		gr.InertiaCurve = cluster.InertiaCurve(emb, kmin, kmax, rng, cluster.KMeansConfig{})
+		gr.InertiaCurve = cluster.InertiaCurve(emb, kmin, kmax, rng, kmCfg)
 		k = kmin + cluster.ElbowEEP(gr.InertiaCurve)
 	}
 	if k > len(poolSrc) {
 		k = len(poolSrc)
 	}
-	res := cluster.KMeans(emb, k, rng, cluster.KMeansConfig{})
+	res := cluster.KMeans(emb, k, rng, kmCfg)
 	gr.K = res.K
 	gr.Inertia = res.Inertia
 	gr.Assign = res.Assign
@@ -170,20 +173,65 @@ func groupFromConnection(d *graph.DBG, conn graph.Connection) *Group {
 }
 
 // groupFromSources materializes a group from a k-means cluster of source
-// indices; the sink side is the union of their DBG neighborhoods.
+// indices; the sink side is the union of their DBG neighborhoods, computed
+// as a word-parallel OR over the adjacency rows (ascending by construction).
 func groupFromSources(d *graph.DBG, srcIdx []int) *Group {
-	dstSet := make(map[int]bool)
+	union := bitvec.New(d.NumDst())
 	for _, ui := range srcIdx {
-		for _, vi := range d.Neighbors(ui) {
-			dstSet[vi] = true
+		union.OrWith(d.Adj.Row(ui))
+	}
+	return buildGroup(d, srcIdx, union.Indices())
+}
+
+// embedChunkRows is the fixed shard width of the parallel embedding fill;
+// rows are independent, so the result is identical for any worker count.
+const embedChunkRows = 64
+
+// fillEmbedding computes emb[i][j] = sim(poolSrc[i], pivots[j]) with the
+// row chunks fanned out across a bounded worker pool.
+func fillEmbedding(d *graph.DBG, sim Similarity, poolSrc, pivots []int, emb *tensor.Matrix, workers int) {
+	fillChunk := func(ci int) {
+		lo := ci * embedChunkRows
+		hi := lo + embedChunkRows
+		if hi > len(poolSrc) {
+			hi = len(poolSrc)
+		}
+		for i := lo; i < hi; i++ {
+			row := emb.Row(i)
+			for j, pj := range pivots {
+				row[j] = sim.Score(d.Adj, poolSrc[i], pj)
+			}
 		}
 	}
-	dstIdx := make([]int, 0, len(dstSet))
-	for vi := range dstSet {
-		dstIdx = append(dstIdx, vi)
+	nchunks := (len(poolSrc) + embedChunkRows - 1) / embedChunkRows
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	sort.Ints(dstIdx)
-	return buildGroup(d, srcIdx, dstIdx)
+	if workers > nchunks {
+		workers = nchunks
+	}
+	if workers <= 1 {
+		for ci := 0; ci < nchunks; ci++ {
+			fillChunk(ci)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ci := int(atomic.AddInt64(&next, 1)) - 1
+				if ci >= nchunks {
+					return
+				}
+				fillChunk(ci)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 func buildGroup(d *graph.DBG, srcIdx, dstIdx []int) *Group {

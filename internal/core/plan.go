@@ -2,8 +2,11 @@ package core
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"scgnn/internal/compress"
 	"scgnn/internal/graph"
 )
 
@@ -60,6 +63,19 @@ type PlanConfig struct {
 	// Sec. 3.3 weighting; mass conservation still holds but contribution is
 	// no longer redistributed by connection strength.
 	UniformWeights bool
+	// Workers caps the goroutines BuildAllPlans fans per-pair plan builds
+	// across (0 uses GOMAXPROCS; 1 forces the sequential schedule),
+	// following the dist.Config.Workers convention. The plans are identical
+	// for any value: every pair derives its own decorrelated k-means seed
+	// (compress.DeriveSeed) and writes a dedicated output slot.
+	Workers int
+}
+
+func (c PlanConfig) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // PairPlan is the complete static communication plan for one ordered
@@ -130,33 +146,53 @@ func planFromDBG(d *graph.DBG, cfg PlanConfig) *PairPlan {
 }
 
 // BuildAllPlans builds the plan for every ordered partition pair with cross
-// edges. Pairs are independent, so they are planned concurrently (one
-// goroutine per ordered pair); seeds are perturbed per pair so k-means
-// seeding differs across DBGs while the overall result stays deterministic.
+// edges, in ascending (src, dst) order. All DBGs are extracted in one sweep
+// of the graph (graph.AllDBGs), then the per-pair plan builds — which are
+// independent — fan out over a bounded worker pool (cfg.Workers). Every pair
+// derives its k-means seed from the base seed with compress.DeriveSeed, so
+// seeding differs across DBGs while the result depends only on (seed, pair),
+// never on which goroutine built the plan: output is identical for any
+// worker count.
 func BuildAllPlans(g *graph.Graph, part []int, nparts int, cfg PlanConfig) []*PairPlan {
-	slots := make([]*PairPlan, nparts*nparts)
-	var wg sync.WaitGroup
-	for s := 0; s < nparts; s++ {
-		for t := 0; t < nparts; t++ {
-			if s == t {
-				continue
-			}
-			wg.Add(1)
-			go func(s, t int) {
-				defer wg.Done()
-				pairCfg := cfg
-				pairCfg.Grouping.Seed = cfg.Grouping.Seed*1000003 + int64(s*nparts+t)
-				slots[s*nparts+t] = BuildPairPlan(g, part, s, t, pairCfg)
-			}(s, t)
+	dbgs := graph.AllDBGs(g, part, nparts)
+	out := make([]*PairPlan, len(dbgs))
+	workers := cfg.workerCount()
+	if workers > len(dbgs) {
+		workers = len(dbgs)
+	}
+	build := func(i int) {
+		d := dbgs[i]
+		pairCfg := cfg
+		pairCfg.Grouping.Seed = compress.DeriveSeed(cfg.Grouping.Seed, d.SrcPart*nparts+d.DstPart)
+		if workers > 1 {
+			// The pair fan-out already saturates the pool; keep each build's
+			// inner embedding/sweep parallelism off (same output either way).
+			pairCfg.Grouping.Workers = 1
 		}
+		out[i] = planFromDBG(d, pairCfg)
+	}
+	if workers <= 1 {
+		for i := range dbgs {
+			build(i)
+		}
+		return out
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(dbgs) {
+					return
+				}
+				build(i)
+			}
+		}()
 	}
 	wg.Wait()
-	out := make([]*PairPlan, 0, len(slots))
-	for _, p := range slots {
-		if p != nil {
-			out = append(out, p)
-		}
-	}
 	return out
 }
 

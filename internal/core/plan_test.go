@@ -194,3 +194,136 @@ func TestUniformWeightsAblation(t *testing.T) {
 		}
 	}
 }
+
+func plansIdentical(t *testing.T, got, want []*PairPlan) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d plans, want %d", len(got), len(want))
+	}
+	for i, p := range got {
+		w := want[i]
+		if p.SrcPart != w.SrcPart || p.DstPart != w.DstPart {
+			t.Fatalf("plan %d pair (%d→%d), want (%d→%d)", i, p.SrcPart, p.DstPart, w.SrcPart, w.DstPart)
+		}
+		if p.DroppedEdges != w.DroppedEdges || len(p.O2O) != len(w.O2O) || len(p.Groups) != len(w.Groups) {
+			t.Fatalf("plan %d summary differs: %v vs %v", i, p, w)
+		}
+		for j, e := range p.O2O {
+			if e != w.O2O[j] {
+				t.Fatalf("plan %d O2O[%d] = %v, want %v", i, j, e, w.O2O[j])
+			}
+		}
+		for j, g := range p.Groups {
+			wg := w.Groups[j]
+			if g.NumEdges != wg.NumEdges || len(g.SrcNodes) != len(wg.SrcNodes) || len(g.DstNodes) != len(wg.DstNodes) {
+				t.Fatalf("plan %d group %d shape differs", i, j)
+			}
+			for k := range g.SrcNodes {
+				if g.SrcNodes[k] != wg.SrcNodes[k] || g.WOut[k] != wg.WOut[k] {
+					t.Fatalf("plan %d group %d source side differs at %d", i, j, k)
+				}
+			}
+			for k := range g.DstNodes {
+				if g.DstNodes[k] != wg.DstNodes[k] || g.DDst[k] != wg.DDst[k] {
+					t.Fatalf("plan %d group %d sink side differs at %d", i, j, k)
+				}
+			}
+		}
+		if p.Grouping.K != w.Grouping.K || p.Grouping.Inertia != w.Grouping.Inertia {
+			t.Fatalf("plan %d grouping K/inertia differ: %d/%v vs %d/%v",
+				i, p.Grouping.K, p.Grouping.Inertia, w.Grouping.K, w.Grouping.Inertia)
+		}
+		for j, v := range p.Grouping.InertiaCurve {
+			if v != w.Grouping.InertiaCurve[j] {
+				t.Fatalf("plan %d inertia curve differs at %d: %v vs %v", i, j, v, w.Grouping.InertiaCurve[j])
+			}
+		}
+		for j, a := range p.Grouping.Assign {
+			if a != w.Grouping.Assign[j] {
+				t.Fatalf("plan %d assignment differs at %d", i, j)
+			}
+		}
+	}
+}
+
+// denseMultiPartGraph builds a random graph with enough cross-partition M2M
+// structure to exercise the embedding fill and the EEP sweep.
+func denseMultiPartGraph(seed int64, n, nparts, degree int) (*graph.Graph, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	part := make([]int, n)
+	for i := range part {
+		part[i] = rng.Intn(nparts)
+	}
+	var edges []graph.Edge
+	for k := 0; k < degree*n; k++ {
+		edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+	}
+	return graph.New(n, edges), part
+}
+
+// TestBuildAllPlansWorkerInvariance: the parallel planning pipeline returns
+// identical plans for any Workers value (per-pair DeriveSeed streams, slotted
+// output, chunk-sharded inner loops).
+func TestBuildAllPlansWorkerInvariance(t *testing.T) {
+	g, part := denseMultiPartGraph(11, 160, 4, 8)
+	base := BuildAllPlans(g, part, 4, PlanConfig{
+		Grouping: GroupingConfig{Seed: 5}, // auto-K: exercises the EEP sweep
+		Workers:  1,
+	})
+	if len(base) == 0 {
+		t.Fatal("no plans")
+	}
+	for _, p := range base {
+		if err := p.Grouping.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, workers := range []int{4, 64} {
+		got := BuildAllPlans(g, part, 4, PlanConfig{
+			Grouping: GroupingConfig{Seed: 5},
+			Workers:  workers,
+		})
+		plansIdentical(t, got, base)
+	}
+}
+
+// TestBuildAllPlansAscendingPairs: plans come back in ascending (src, dst)
+// order regardless of the fan-out schedule.
+func TestBuildAllPlansAscendingPairs(t *testing.T) {
+	g, part := denseMultiPartGraph(13, 120, 5, 6)
+	plans := BuildAllPlans(g, part, 5, PlanConfig{Grouping: GroupingConfig{K: 2, Seed: 1}, Workers: 8})
+	for i := 1; i < len(plans); i++ {
+		prev := plans[i-1].SrcPart*5 + plans[i-1].DstPart
+		cur := plans[i].SrcPart*5 + plans[i].DstPart
+		if cur <= prev {
+			t.Fatalf("plans out of order at %d: pair %d after %d", i, cur, prev)
+		}
+	}
+}
+
+// TestBuildGroupingWorkerInvariance: the row-chunked embedding fill and
+// sharded k-means inside one grouping are worker-count independent too.
+func TestBuildGroupingWorkerInvariance(t *testing.T) {
+	g, part := denseMultiPartGraph(17, 300, 2, 10)
+	d := graph.ExtractDBG(g, part, 0, 1)
+	if d == nil {
+		t.Fatal("nil DBG")
+	}
+	base := BuildGrouping(d, GroupingConfig{Seed: 3, Workers: 1})
+	for _, workers := range []int{4, 32} {
+		got := BuildGrouping(d, GroupingConfig{Seed: 3, Workers: workers})
+		if got.K != base.K || got.Inertia != base.Inertia {
+			t.Fatalf("workers=%d: K/inertia %d/%v, want %d/%v", workers, got.K, got.Inertia, base.K, base.Inertia)
+		}
+		for i := range base.Embedding.Data {
+			if got.Embedding.Data[i] != base.Embedding.Data[i] {
+				t.Fatalf("workers=%d: embedding differs at %d", workers, i)
+			}
+		}
+		for i := range base.Assign {
+			if got.Assign[i] != base.Assign[i] {
+				t.Fatalf("workers=%d: assignment differs at %d", workers, i)
+			}
+		}
+	}
+}

@@ -294,9 +294,14 @@ func NewEngine(g *graph.Graph, part []int, nparts int, cfg Config) *Engine {
 		}
 	}
 	if cfg.Semantic {
+		planCfg := cfg.Plan
+		if planCfg.Workers == 0 {
+			// The engine's Workers cap also bounds offline planning.
+			planCfg.Workers = cfg.Workers
+		}
 		e.plans = make([]*core.PairPlan, nparts*nparts)
 		e.revGroups = make([][]*core.Group, nparts*nparts)
-		for _, p := range core.BuildAllPlans(g, part, nparts, cfg.Plan) {
+		for _, p := range core.BuildAllPlans(g, part, nparts, planCfg) {
 			idx := p.SrcPart*nparts + p.DstPart
 			e.plans[idx] = p
 			rev := make([]*core.Group, len(p.Groups))

@@ -113,20 +113,132 @@ func ExtractDBG(g *Graph, part []int, src, dst int) *DBG {
 }
 
 // AllDBGs extracts the DBG for every ordered pair of distinct partitions with
-// at least one cross edge.
+// at least one cross edge, in ascending (src, dst) order.
+//
+// Unlike ExtractDBG — which rescans the whole graph once per pair, making the
+// all-pairs extraction O(nparts²·(N+E)) — this is a single O(N+E+output)
+// sweep: one counting pass buckets every cross-partition arc by ordered pair
+// into a CSR-of-pairs layout, then each bucket is materialized with
+// sorted-slice index building (the CSR sweep emits sources pre-sorted; sinks
+// are sorted once per bucket) instead of per-pair hash sets. The output is
+// identical to calling ExtractDBG for every pair, which stays as the
+// reference implementation (TestAllDBGsMatchesExtractDBG).
 func AllDBGs(g *Graph, part []int, nparts int) []*DBG {
-	var out []*DBG
-	for s := 0; s < nparts; s++ {
-		for t := 0; t < nparts; t++ {
-			if s == t {
+	if len(part) != g.NumNodes() {
+		panic(fmt.Sprintf("graph: partition vector len %d want %d", len(part), g.NumNodes()))
+	}
+	npairs := nparts * nparts
+	counts := make([]int, npairs)
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		p := part[u]
+		if p < 0 || p >= nparts {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			q := part[v]
+			if q == p || q < 0 || q >= nparts {
 				continue
 			}
-			if d := ExtractDBG(g, part, s, t); d != nil {
-				out = append(out, d)
+			counts[p*nparts+q]++
+		}
+	}
+	off := make([]int, npairs+1)
+	for i, c := range counts {
+		off[i+1] = off[i] + c
+	}
+	if off[npairs] == 0 {
+		return nil
+	}
+	srcs := make([]int32, off[npairs])
+	dsts := make([]int32, off[npairs])
+	cur := counts // reuse the counting pass's slice as the fill cursor
+	copy(cur, off[:npairs])
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		p := part[u]
+		if p < 0 || p >= nparts {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			q := part[v]
+			if q == p || q < 0 || q >= nparts {
+				continue
 			}
+			k := cur[p*nparts+q]
+			srcs[k] = u
+			dsts[k] = v
+			cur[p*nparts+q] = k + 1
+		}
+	}
+	out := make([]*DBG, 0, npairs)
+	var scratch []int32 // sink-sort buffer shared across buckets
+	for s := 0; s < nparts; s++ {
+		for t := 0; t < nparts; t++ {
+			pr := s*nparts + t
+			if off[pr] == off[pr+1] {
+				continue
+			}
+			var d *DBG
+			d, scratch = dbgFromArcs(s, t, srcs[off[pr]:off[pr+1]], dsts[off[pr]:off[pr+1]], scratch)
+			out = append(out, d)
 		}
 	}
 	return out
+}
+
+// dbgFromArcs materializes one DBG from its bucket of cross arcs, which the
+// CSR sweep emits in (src ascending, dst ascending per src) order. scratch is
+// a reusable sink-sort buffer, returned for the next bucket.
+func dbgFromArcs(src, dst int, us, vs []int32, scratch []int32) (*DBG, []int32) {
+	nsrc := 1
+	for i := 1; i < len(us); i++ {
+		if us[i] != us[i-1] {
+			nsrc++
+		}
+	}
+	srcNodes := make([]int32, 0, nsrc)
+	for i, u := range us {
+		if i == 0 || u != us[i-1] {
+			srcNodes = append(srcNodes, u)
+		}
+	}
+	sv := append(scratch[:0], vs...)
+	sortInt32(sv)
+	w := 0
+	for i, v := range sv {
+		if i > 0 && v == sv[i-1] {
+			continue
+		}
+		sv[w] = v
+		w++
+	}
+	dstNodes := make([]int32, w)
+	copy(dstNodes, sv[:w])
+
+	d := &DBG{SrcPart: src, DstPart: dst, SrcNodes: srcNodes, DstNodes: dstNodes}
+	d.Adj = bitvec.NewMatrix(len(srcNodes), len(dstNodes))
+	ui := 0
+	for i, u := range us {
+		if i > 0 && u != us[i-1] {
+			ui++
+		}
+		d.Adj.SetBit(ui, searchInt32(dstNodes, vs[i]))
+	}
+	return d, sv
+}
+
+// searchInt32 returns the index of x in the sorted slice a (binary search;
+// x is guaranteed present by construction).
+func searchInt32(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
 }
 
 // Connection is one connected component of a DBG: the index sets of the

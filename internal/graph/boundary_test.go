@@ -185,3 +185,95 @@ func TestUnionFind(t *testing.T) {
 		t.Fatal("transitive union failed")
 	}
 }
+
+// allDBGsReference is the pre-sweep implementation of AllDBGs: one full-graph
+// ExtractDBG scan per ordered pair. The single-pass sweep must reproduce its
+// output byte for byte.
+func allDBGsReference(g *Graph, part []int, nparts int) []*DBG {
+	var out []*DBG
+	for s := 0; s < nparts; s++ {
+		for t := 0; t < nparts; t++ {
+			if s == t {
+				continue
+			}
+			if d := ExtractDBG(g, part, s, t); d != nil {
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+func dbgsEqual(t *testing.T, got, want []*DBG) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("got %d DBGs, want %d", len(got), len(want))
+	}
+	for i, d := range got {
+		w := want[i]
+		if d.SrcPart != w.SrcPart || d.DstPart != w.DstPart {
+			t.Fatalf("DBG %d pair (%d→%d), want (%d→%d)", i, d.SrcPart, d.DstPart, w.SrcPart, w.DstPart)
+		}
+		if len(d.SrcNodes) != len(w.SrcNodes) || len(d.DstNodes) != len(w.DstNodes) {
+			t.Fatalf("DBG %d shape %dx%d, want %dx%d", i, len(d.SrcNodes), len(d.DstNodes), len(w.SrcNodes), len(w.DstNodes))
+		}
+		for j, u := range d.SrcNodes {
+			if u != w.SrcNodes[j] {
+				t.Fatalf("DBG %d SrcNodes[%d] = %d, want %d", i, j, u, w.SrcNodes[j])
+			}
+		}
+		for j, v := range d.DstNodes {
+			if v != w.DstNodes[j] {
+				t.Fatalf("DBG %d DstNodes[%d] = %d, want %d", i, j, v, w.DstNodes[j])
+			}
+		}
+		for ui := range d.SrcNodes {
+			if !d.Adj.Row(ui).Equal(w.Adj.Row(ui)) {
+				t.Fatalf("DBG %d adjacency row %d differs", i, ui)
+			}
+		}
+	}
+}
+
+// TestAllDBGsMatchesExtractDBG: the single-pass sweep produces byte-identical
+// DBGs to the per-pair reference extraction on randomized graphs/partitions.
+func TestAllDBGsMatchesExtractDBG(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(60)
+		nparts := 2 + rng.Intn(5)
+		part := make([]int, n)
+		for i := range part {
+			part[i] = rng.Intn(nparts)
+		}
+		var edges []Edge
+		for k := 0; k < rng.Intn(8*n); k++ {
+			edges = append(edges, Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+		}
+		g := New(n, edges)
+		dbgsEqual(t, AllDBGs(g, part, nparts), allDBGsReference(g, part, nparts))
+	}
+}
+
+func TestAllDBGsEmptyAndSkewed(t *testing.T) {
+	// No cross edges at all.
+	g := New(4, []Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	part := []int{0, 0, 1, 1}
+	if got := AllDBGs(g, part, 2); got != nil {
+		t.Fatalf("expected nil, got %d DBGs", len(got))
+	}
+	// Partition ids outside [0, nparts) are ignored, as the per-pair loop
+	// never visited them.
+	g2 := New(4, []Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}})
+	part2 := []int{0, 1, -1, 7}
+	dbgsEqual(t, AllDBGs(g2, part2, 2), allDBGsReference(g2, part2, 2))
+}
+
+func TestAllDBGsPanicsOnShortPartition(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	AllDBGs(New(3, nil), []int{0}, 2)
+}

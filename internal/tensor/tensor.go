@@ -362,6 +362,34 @@ func SquaredDistance(a, b []float64) float64 {
 	return s
 }
 
+// SquaredDistanceBounded is SquaredDistance with an early exit: once the
+// running sum reaches bound the remaining terms can only push it higher, so
+// callers that discard any distance ≥ bound (nearest-centroid argmin loops)
+// get the partial sum back immediately. The accumulation order matches
+// SquaredDistance term for term, so whenever the true distance is below
+// bound the returned value is bit-identical to the unbounded call.
+func SquaredDistanceBounded(a, b []float64, bound float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: SquaredDistance length mismatch %d vs %d", len(a), len(b)))
+	}
+	var s float64
+	i := 0
+	for ; i+8 <= len(a); i += 8 {
+		for j := i; j < i+8; j++ {
+			d := a[j] - b[j]
+			s += d * d
+		}
+		if s >= bound {
+			return s
+		}
+	}
+	for ; i < len(a); i++ {
+		d := a[i] - b[i]
+		s += d * d
+	}
+	return s
+}
+
 // LogSoftmaxRows computes the row-wise log-softmax of m into a new matrix,
 // using the max-subtraction trick for numerical stability.
 func LogSoftmaxRows(m *Matrix) *Matrix {

@@ -396,3 +396,36 @@ func TestEqualShapeMismatch(t *testing.T) {
 		t.Fatal("different shapes reported equal")
 	}
 }
+
+// TestSquaredDistanceBounded: below the bound the result is bit-identical to
+// SquaredDistance; at or above it, the early exit still returns ≥ bound so
+// argmin callers discard it exactly as they would the full distance.
+func TestSquaredDistanceBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		a, b := make([]float64, n), make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		full := SquaredDistance(a, b)
+		for _, bound := range []float64{math.Inf(1), full * 2, full, full / 2, 0} {
+			got := SquaredDistanceBounded(a, b, bound)
+			if full < bound && got != full {
+				t.Fatalf("n=%d bound=%v: got %v, want exact %v", n, bound, got, full)
+			}
+			if full >= bound && got < bound {
+				t.Fatalf("n=%d bound=%v: early exit returned %v < bound", n, bound, got)
+			}
+		}
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("length mismatch did not panic")
+			}
+		}()
+		SquaredDistanceBounded([]float64{1}, []float64{1, 2}, 1)
+	}()
+}

@@ -135,19 +135,27 @@ type SemanticOptions struct {
 	Jaccard bool
 	// Seed drives grouping.
 	Seed int64
+	// Workers caps the goroutines used by the offline planning pipeline
+	// (per-pair plan builds, embedding fill, EEP sweep). 0 uses GOMAXPROCS;
+	// the resulting plans are identical for any value.
+	Workers int
+}
+
+func (opt SemanticOptions) planConfig() core.PlanConfig {
+	cfg := core.GroupingConfig{K: opt.Groups, Seed: opt.Seed, Workers: opt.Workers}
+	if opt.Jaccard {
+		cfg.Sim = core.JaccardSimilarity{}
+	}
+	plan := core.PlanConfig{Grouping: cfg, Workers: opt.Workers}
+	if opt.DropO2O {
+		plan.Drop = core.DropO2O
+	}
+	return plan
 }
 
 // SemanticWith builds a semantic Method from explicit options.
 func SemanticWith(opt SemanticOptions) Method {
-	cfg := core.GroupingConfig{K: opt.Groups, Seed: opt.Seed}
-	if opt.Jaccard {
-		cfg.Sim = core.JaccardSimilarity{}
-	}
-	plan := core.PlanConfig{Grouping: cfg}
-	if opt.DropO2O {
-		plan.Drop = core.DropO2O
-	}
-	return dist.Semantic(plan)
+	return dist.Semantic(opt.planConfig())
 }
 
 // TrainOptions controls a distributed training run.
@@ -183,15 +191,7 @@ type Plan = core.PairPlan
 // partition pair (the offline step of Fig. 8, between graph partition and
 // node update).
 func BuildPlans(ds *Dataset, part []int, nparts int, opt SemanticOptions) []*Plan {
-	cfg := core.GroupingConfig{K: opt.Groups, Seed: opt.Seed}
-	if opt.Jaccard {
-		cfg.Sim = core.JaccardSimilarity{}
-	}
-	plan := core.PlanConfig{Grouping: cfg}
-	if opt.DropO2O {
-		plan.Drop = core.DropO2O
-	}
-	return core.BuildAllPlans(ds.Graph, part, nparts, plan)
+	return core.BuildAllPlans(ds.Graph, part, nparts, opt.planConfig())
 }
 
 // ConcurrentResult reports a goroutine-runtime training run: accuracy plus
@@ -213,15 +213,7 @@ type ConcurrentResult struct {
 // combinations) with analytic traffic accounting; use TrainConcurrent when
 // you want actual concurrency and measured wire bytes.
 func TrainConcurrent(ds *Dataset, part []int, nparts int, semantic bool, opt SemanticOptions, train TrainOptions) *ConcurrentResult {
-	cfg := core.GroupingConfig{K: opt.Groups, Seed: opt.Seed}
-	if opt.Jaccard {
-		cfg.Sim = core.JaccardSimilarity{}
-	}
-	plan := core.PlanConfig{Grouping: cfg}
-	if opt.DropO2O {
-		plan.Drop = core.DropO2O
-	}
-	cluster := worker.NewCluster(ds.Graph, part, nparts, semantic, plan)
+	cluster := worker.NewCluster(ds.Graph, part, nparts, semantic, opt.planConfig())
 	defer cluster.Close()
 
 	if train.Hidden == 0 {
