@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-all experiments quick-experiments clean
+.PHONY: all build vet test race verify fuzz fuzz-smoke bench bench-all experiments quick-experiments clean
 
 all: build vet test race
 
@@ -15,16 +15,31 @@ vet:
 test:
 	$(GO) test ./...
 
-# The concurrent surfaces: the worker runtime, the receiver-sharded parallel
-# engine, and the planning pipeline (single-sweep DBG extraction fanned into
-# concurrent per-pair plan builds and the sharded k-means sweep).
+# The concurrent surfaces: the worker runtime (including the cross-engine
+# equivalence matrix over all Fig. 12(b) method combinations), the
+# receiver-sharded parallel engine, and the planning pipeline (single-sweep
+# DBG extraction fanned into concurrent per-pair plan builds and the sharded
+# k-means sweep).
 race:
 	$(GO) test -race ./internal/dist/... ./internal/worker/... \
 		./internal/cluster/... ./internal/core/... ./internal/graph/...
 
+# Coverage-guided fuzzing of the wire decoders (go test -fuzz accepts one
+# target per invocation). FUZZTIME=10m for a soak; the checked-in seed
+# corpus under internal/wire/testdata/fuzz/ is the starting point either way.
+FUZZTIME ?= 2m
+fuzz:
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzBatchRoundtrip$$' -fuzztime=$(FUZZTIME)
+
+# Short fuzz pass for the verify gate / CI.
+fuzz-smoke:
+	$(MAKE) fuzz FUZZTIME=10s
+
 # Tier-1 verification gate (ROADMAP.md): everything must build, pass tests,
-# and survive the race detector on the concurrent packages.
-verify: build vet test race
+# survive the race detector on the concurrent packages, and hold up under a
+# short coverage-guided fuzz of the wire trust boundary.
+verify: build vet test race fuzz-smoke
 
 # Cluster-round + halo-exchange benchmarks with allocation counts; the JSON
 # lands in BENCH_worker.json under "after" (the committed "before" baseline

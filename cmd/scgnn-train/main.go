@@ -37,7 +37,7 @@ func main() {
 		lr      = flag.Float64("lr", 0.02, "learning rate")
 		seed    = flag.Int64("seed", 1, "random seed")
 		verbose = flag.Bool("v", false, "print per-epoch progress")
-		runtime = flag.String("runtime", "engine", "engine (sequential, all methods, modeled time) or workers (goroutines, real wire bytes; vanilla/semantic only)")
+		runtime = flag.String("runtime", "engine", "engine (analytic traffic, modeled time) or workers (goroutines, real wire bytes); both run every method")
 	)
 	flag.Parse()
 
@@ -81,12 +81,7 @@ func main() {
 	fmt.Printf("method    %s (runtime %s)\n", cfg.MethodName(), *runtime)
 
 	if *runtime == "workers" {
-		if *method != "vanilla" && *method != "semantic" {
-			fmt.Fprintln(os.Stderr, "scgnn-train: the workers runtime supports only vanilla and semantic")
-			os.Exit(2)
-		}
-		res := scgnn.TrainConcurrent(ds, part, *parts, *method == "semantic",
-			scgnn.SemanticOptions{Groups: *groups, DropO2O: *dropO2O, Seed: *seed},
+		res := scgnn.TrainConcurrent(ds, part, *parts, cfg,
 			scgnn.TrainOptions{Model: *model, Hidden: *hidden, Epochs: *epochs, LR: *lr, Seed: *seed})
 		fmt.Printf("\ntest accuracy   %.4f (best val %.4f)\n", res.TestAcc, res.BestValAcc)
 		fmt.Printf("wire traffic    %.3f MB total over %d epochs (%d messages, real encoded bytes)\n",

@@ -43,13 +43,12 @@ func main() {
 	// Concurrent distributed runtime: goroutine workers, real wire bytes.
 	part := scgnn.PartitionGraph(ds, 4, scgnn.NodeCut, 1)
 	fmt.Println("\ngoroutine workers × 4, real message passing:")
-	for _, semantic := range []bool{false, true} {
-		name := "vanilla"
-		if semantic {
-			name = "semantic"
-		}
-		res := scgnn.TrainConcurrent(ds, part, 4, semantic,
-			scgnn.SemanticOptions{Seed: 1},
+	for _, m := range []scgnn.Method{
+		scgnn.Vanilla(),
+		scgnn.SemanticWith(scgnn.SemanticOptions{Seed: 1}),
+	} {
+		name := m.MethodName()
+		res := scgnn.TrainConcurrent(ds, part, 4, m,
 			scgnn.TrainOptions{Epochs: 60, Seed: 1})
 		fmt.Printf("  %-10s test acc %.4f, %8.3f MB on the wire (%d messages)\n",
 			name, res.TestAcc, float64(res.Bytes)/1e6, res.Messages)

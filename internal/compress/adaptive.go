@@ -35,26 +35,44 @@ func NewAdaptiveQuantizer(minBits, maxBits int, errorBudget float64) *AdaptiveQu
 	return &AdaptiveQuantizer{MinBits: minBits, MaxBits: maxBits, ErrorBudget: errorBudget}
 }
 
-// Roundtrip quantizes v in place at an adaptively chosen bit width and
-// returns the wire size (payload bits + 8 bytes scale/zero + 1 byte width).
-func (q *AdaptiveQuantizer) Roundtrip(v []float64) int {
-	if len(v) == 0 {
-		q.LastBits = q.MinBits
-		return 9
-	}
-	lo, hi, std := rangeAndStd(v)
+// ChooseBits applies the allocation rule to v without quantizing it,
+// returning the width the next Roundtrip of the same payload would use (and
+// recording it in LastBits). The worker runtime calls this to pick a
+// per-message width before handing the untouched payload to the wire
+// encoder; the analytic engine's Roundtrip makes the identical choice on the
+// identical float64 payload, which is what keeps the two runtimes'
+// byte accounting equal.
+func (q *AdaptiveQuantizer) ChooseBits(v []float64) int {
 	bits := q.MinBits
-	if std > 0 && hi > lo {
-		need := math.Log2((hi - lo) / (2 * q.ErrorBudget * std))
-		bits = int(math.Ceil(need))
-		if bits < q.MinBits {
-			bits = q.MinBits
-		}
-		if bits > q.MaxBits {
-			bits = q.MaxBits
+	if len(v) > 0 {
+		lo, hi, std := rangeAndStd(v)
+		if std > 0 && hi > lo {
+			need := math.Log2((hi - lo) / (2 * q.ErrorBudget * std))
+			bits = int(math.Ceil(need))
+			if bits < q.MinBits {
+				bits = q.MinBits
+			}
+			if bits > q.MaxBits {
+				bits = q.MaxBits
+			}
 		}
 	}
 	q.LastBits = bits
+	return bits
+}
+
+// Roundtrip quantizes v in place at an adaptively chosen bit width and
+// returns the wire size (payload bits + 8 bytes scale/zero + 1 byte width).
+func (q *AdaptiveQuantizer) Roundtrip(v []float64) int {
+	bits := q.ChooseBits(v)
+	if len(v) == 0 {
+		return 9
+	}
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
 	if hi > lo {
 		levels := float64(int(1)<<uint(bits)) - 1
 		scale := (hi - lo) / levels
@@ -130,10 +148,12 @@ func NewNodeSampler(rate float64, seed int64) *NodeSampler {
 	return &NodeSampler{Rate: rate, rng: newRandSource(seed), decisions: make(map[int32]bool)}
 }
 
-// StartRound clears the per-round memo; call once per aggregate round.
+// StartRound clears the per-round memo; call once per aggregate round. The
+// memo map is cleared in place, not reallocated, so steady-state rounds in
+// the worker runtime stay allocation-free.
 func (s *NodeSampler) StartRound() {
 	s.round++
-	s.decisions = make(map[int32]bool, len(s.decisions))
+	clear(s.decisions)
 }
 
 // Keep reports whether boundary node u transmits this round. All queries

@@ -1,0 +1,33 @@
+package dist
+
+import (
+	"scgnn/internal/core"
+)
+
+// MethodMatrix returns the 13 method combinations of the paper's
+// compatibility study (Fig. 12(b)): every baseline alone, SC-GNN alone, and
+// SC-GNN composed with each baseline. It is the shared fixture behind the
+// engine's sequential/parallel equivalence tests, the worker runtime's
+// cross-engine equivalence matrix, and the ablation harness — one map, so
+// the three layers provably exercise the same configurations.
+//
+// All entries share the given seed (sampling streams, semantic grouping),
+// making any two runs of the same entry reproducible.
+func MethodMatrix(seed int64) map[string]Config {
+	plan := core.PlanConfig{Grouping: core.GroupingConfig{Seed: seed}}
+	return map[string]Config{
+		"vanilla":            {Seed: seed},
+		"sampling":           {SampleRate: 0.5, Seed: seed},
+		"nsampling":          {SampleRate: 0.5, SampleNodes: true, Seed: seed},
+		"quant8":             {QuantBits: 8, Seed: seed},
+		"aquant":             {QuantBits: 8, AdaptiveQuant: true, Seed: seed},
+		"delay3":             {DelayPeriod: 3, Seed: seed},
+		"quant4+ef":          {QuantBits: 4, ErrorFeedback: true, Seed: seed},
+		"semantic":           {Semantic: true, Plan: plan, Seed: seed},
+		"semantic+quant":     {Semantic: true, Plan: plan, QuantBits: 8, Seed: seed},
+		"semantic+sampling":  {Semantic: true, Plan: plan, SampleRate: 0.5, Seed: seed},
+		"semantic+nsampling": {Semantic: true, Plan: plan, SampleRate: 0.5, SampleNodes: true, Seed: seed},
+		"semantic+delay":     {Semantic: true, Plan: plan, DelayPeriod: 2, Seed: seed},
+		"semantic+quant+ef":  {Semantic: true, Plan: plan, QuantBits: 4, ErrorFeedback: true, Seed: seed},
+	}
+}

@@ -13,24 +13,11 @@ import (
 // equivalenceConfigs covers all five exchange methods plus the Fig. 12(b)
 // composition cells, so the sequential/parallel bit-equality guarantee is
 // exercised through every stateful compression path (per-pair RNG streams,
-// adaptive bit choice, delay cache, error-feedback residuals).
+// adaptive bit choice, delay cache, error-feedback residuals). It is the
+// exported MethodMatrix fixture — the same 13 combinations the worker
+// runtime's cross-engine equivalence matrix and the ablation harness run.
 func equivalenceConfigs(seed int64) map[string]Config {
-	plan := core.PlanConfig{Grouping: core.GroupingConfig{Seed: seed}}
-	return map[string]Config{
-		"vanilla":            {Seed: seed},
-		"sampling":           {SampleRate: 0.5, Seed: seed},
-		"nsampling":          {SampleRate: 0.5, SampleNodes: true, Seed: seed},
-		"quant8":             {QuantBits: 8, Seed: seed},
-		"aquant":             {QuantBits: 8, AdaptiveQuant: true, Seed: seed},
-		"delay3":             {DelayPeriod: 3, Seed: seed},
-		"quant4+ef":          {QuantBits: 4, ErrorFeedback: true, Seed: seed},
-		"semantic":           {Semantic: true, Plan: plan, Seed: seed},
-		"semantic+quant":     {Semantic: true, Plan: plan, QuantBits: 8, Seed: seed},
-		"semantic+sampling":  {Semantic: true, Plan: plan, SampleRate: 0.5, Seed: seed},
-		"semantic+nsampling": {Semantic: true, Plan: plan, SampleRate: 0.5, SampleNodes: true, Seed: seed},
-		"semantic+delay":     {Semantic: true, Plan: plan, DelayPeriod: 2, Seed: seed},
-		"semantic+quant+ef":  {Semantic: true, Plan: plan, QuantBits: 4, ErrorFeedback: true, Seed: seed},
-	}
+	return MethodMatrix(seed)
 }
 
 func bitEqual(t *testing.T, name string, epoch int, phase string, a, b *tensor.Matrix) {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"math/rand"
+	"sort"
 
 	"scgnn/internal/core"
 	"scgnn/internal/dist"
@@ -268,14 +269,22 @@ func AblCodec(o Options) *Report {
 
 // AblRuntime cross-validates the two distributed runtimes: the sequential
 // engine (analytic byte accounting) against the goroutine worker cluster
-// (real encoded wire bytes), for the vanilla and semantic exchanges. The
-// byte counts must agree exactly; this experiment regenerates that evidence
-// as a table.
+// (real encoded wire bytes), across the full 13-combination method matrix of
+// Fig. 12(b) — every baseline, SC-GNN, and their compositions, including two
+// epochs so delayed-transmission replays are exercised. The byte counts must
+// agree exactly; this experiment regenerates that evidence as a table.
 func AblRuntime(o Options) *Report {
 	o = o.withDefaults()
 	r := &Report{ID: "abl-runtime"}
 	tb := trace.NewTable("ablation: sequential engine vs goroutine workers",
-		"dataset", "method", "engine bytes/round", "wire bytes/round", "match")
+		"dataset", "method", "engine bytes", "wire bytes", "match")
+
+	matrix := dist.MethodMatrix(o.Seed)
+	names := make([]string, 0, len(matrix))
+	for name := range matrix {
+		names = append(names, name)
+	}
+	sort.Strings(names)
 
 	for _, ds := range benchDatasets(o) {
 		part := partitionFor(ds, o.Partitions, o.Seed)
@@ -284,21 +293,18 @@ func AblRuntime(o Options) *Report {
 		for i := range h.Data {
 			h.Data[i] = float64(float32(rng.NormFloat64()))
 		}
-		for _, semantic := range []bool{false, true} {
-			plan := core.PlanConfig{Grouping: core.GroupingConfig{Seed: o.Seed}}
-			var engCfg dist.Config
-			name := "vanilla"
-			if semantic {
-				engCfg = dist.Semantic(plan)
-				name = "semantic"
+		for _, name := range names {
+			cfg := matrix[name]
+			eng := dist.NewEngine(ds.Graph, part, o.Partitions, cfg)
+			cl := worker.NewClusterFromConfig(ds.Graph, part, o.Partitions, cfg)
+			var engBytes int64
+			for epoch := 0; epoch < 2; epoch++ {
+				eng.StartEpoch(epoch)
+				eng.Forward(h)
+				engBytes += eng.CaptureEpoch().TotalBytes
+				cl.StartEpoch(epoch)
+				cl.Forward(h)
 			}
-			eng := dist.NewEngine(ds.Graph, part, o.Partitions, engCfg)
-			eng.StartEpoch(0)
-			eng.Forward(h)
-			engBytes := eng.CaptureEpoch().TotalBytes
-
-			cl := worker.NewCluster(ds.Graph, part, o.Partitions, semantic, plan)
-			cl.Forward(h)
 			wireBytes, _ := cl.Traffic()
 			cl.Close()
 

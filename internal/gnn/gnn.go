@@ -38,6 +38,17 @@ type EpochMarker interface {
 	StartEpoch(epoch int)
 }
 
+// EvalMarker is an optional interface for aggregators (or models) that must
+// distinguish a measurement-only pass from a training epoch — e.g. a
+// delayed-transmission runtime, whose final accuracy pass must compute fresh
+// remote contributions instead of replaying stale caches. gnn.Train calls
+// StartEvalEpoch with the actual next epoch index before the final
+// evaluation forward; GCN and SAGE forward the call to their Agg when it
+// implements the interface.
+type EvalMarker interface {
+	StartEvalEpoch(epoch int)
+}
+
 // LocalAggregator is the exact single-machine GCN aggregate
 // Â = D̃^{-1/2}(A+I)D̃^{-1/2} applied by sparse traversal. Â is symmetric, so
 // Backward applies the same operator.
@@ -179,6 +190,14 @@ func (m *GCN) StartEpoch(epoch int) {
 	}
 }
 
+// StartEvalEpoch implements EvalMarker, forwarding measurement-pass
+// boundaries to the aggregator when it distinguishes them.
+func (m *GCN) StartEvalEpoch(epoch int) {
+	if em, ok := m.Agg.(EvalMarker); ok {
+		em.StartEvalEpoch(epoch)
+	}
+}
+
 // SAGE is GraphSAGE with mean-style aggregation:
 // H^{l+1} = ReLU(H^l W_self + Agg(H^l) W_neigh), final layer linear.
 type SAGE struct {
@@ -261,6 +280,14 @@ func (m *SAGE) ZeroGrad() {
 func (m *SAGE) StartEpoch(epoch int) {
 	if em, ok := m.Agg.(EpochMarker); ok {
 		em.StartEpoch(epoch)
+	}
+}
+
+// StartEvalEpoch implements EvalMarker, forwarding measurement-pass
+// boundaries to the aggregator when it distinguishes them.
+func (m *SAGE) StartEvalEpoch(epoch int) {
+	if em, ok := m.Agg.(EvalMarker); ok {
+		em.StartEvalEpoch(epoch)
 	}
 }
 

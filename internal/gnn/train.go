@@ -79,6 +79,13 @@ func Train(model Model, x *tensor.Matrix, labels []int, trainMask, valMask, test
 		tm.SetTraining(false)
 		defer tm.SetTraining(true)
 	}
+	// The final accuracy pass is a measurement, not a training epoch: mark it
+	// with the actual next epoch index so delayed-transmission aggregators
+	// compute fresh values instead of replaying stale caches (and so no
+	// schedule state is perturbed for callers that keep training).
+	if em, ok := model.(EvalMarker); ok {
+		em.StartEvalEpoch(len(res.Epochs))
+	}
 	final := model.Forward(x)
 	res.TestAcc = nn.Accuracy(final, labels, testMask)
 	return res

@@ -57,6 +57,10 @@ func (d *Decoder) Next() (Header, error) {
 	if kind != KindNode && kind != KindGroup {
 		return Header{}, fmt.Errorf("wire: unknown kind %d", b[0])
 	}
+	if b[2]&^FlagAdaptive != 0 {
+		return Header{}, fmt.Errorf("wire: unknown flags %#x", b[2])
+	}
+	adaptive := b[2]&FlagAdaptive != 0
 	hd := Header{
 		Kind:    kind,
 		SrcPart: int32(binary.LittleEndian.Uint32(b[4:])),
@@ -67,15 +71,24 @@ func (d *Decoder) Next() (Header, error) {
 		if bits > 16 {
 			return Header{}, fmt.Errorf("wire: quantized bits %d out of 1..16", bits)
 		}
-		need := int64(HeaderBytes) + 8 + (int64(hd.N)*int64(bits)+7)/8
+		meta := 8
+		if adaptive {
+			meta = 9
+		}
+		need := int64(HeaderBytes) + int64(meta) + (int64(hd.N)*int64(bits)+7)/8
 		if int64(len(b)) < need {
 			return Header{}, fmt.Errorf("wire: truncated quantized payload: have %d bytes, need %d", len(b), need)
 		}
+		if adaptive && int(b[HeaderBytes+8]) != bits {
+			return Header{}, fmt.Errorf("wire: adaptive width byte %d disagrees with header bits %d", b[HeaderBytes+8], bits)
+		}
 		d.lo = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes:])))
 		d.step = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes+4:])))
-		d.payload = b[HeaderBytes+8 : need]
+		d.payload = b[HeaderBytes+meta : need]
 		d.bits = bits
 		d.b = b[need:]
+	} else if adaptive {
+		return Header{}, fmt.Errorf("wire: adaptive flag on fp32 payload")
 	} else {
 		need := int64(HeaderBytes) + 4*int64(hd.N)
 		if int64(len(b)) < need {

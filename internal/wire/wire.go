@@ -27,9 +27,19 @@ const (
 	KindGroup
 )
 
-// HeaderBytes is the encoded header size: kind(1) + pad(3) + src(4) +
-// target(4) + length(4).
+// HeaderBytes is the encoded header size: kind(1) + bits(1) + flags(1) +
+// pad(1) + src(4) + target(4) + length(4).
 const HeaderBytes = 16
+
+// FlagAdaptive (header flags byte, bit 0) marks a payload quantized at a
+// per-message adaptive width. Adaptive messages carry one extra metadata
+// byte — the chosen width — after the lo/step pair: a fixed-width receiver
+// knows its width from configuration, but an adaptive width is genuinely
+// per-message state, the same extra byte AdaQP-style schemes ship and the
+// analytic engine charges ((n·bits+7)/8 + 9 vs + 8). Decoders reject any
+// other flag bit, and reject adaptive messages whose metadata width byte
+// disagrees with the header's bits field.
+const FlagAdaptive = 0x01
 
 // Message is one unit of cross-partition traffic.
 type Message struct {
@@ -77,6 +87,10 @@ func Decode(b []byte) (*Message, []byte, error) {
 	if kind != KindNode && kind != KindGroup {
 		return nil, b, fmt.Errorf("wire: unknown kind %d", b[0])
 	}
+	if b[2]&^FlagAdaptive != 0 {
+		return nil, b, fmt.Errorf("wire: unknown flags %#x", b[2])
+	}
+	adaptive := b[2]&FlagAdaptive != 0
 	src := int32(binary.LittleEndian.Uint32(b[4:]))
 	target := int32(binary.LittleEndian.Uint32(b[8:]))
 	n := int(binary.LittleEndian.Uint32(b[12:]))
@@ -84,11 +98,21 @@ func Decode(b []byte) (*Message, []byte, error) {
 		if bits > 16 {
 			return nil, b, fmt.Errorf("wire: quantized bits %d out of 1..16", bits)
 		}
-		need := int64(HeaderBytes) + 8 + (int64(n)*int64(bits)+7)/8
+		meta := 8
+		if adaptive {
+			meta = 9
+		}
+		need := int64(HeaderBytes) + int64(meta) + (int64(n)*int64(bits)+7)/8
 		if int64(len(b)) < need {
 			return nil, b, fmt.Errorf("wire: truncated quantized payload: have %d bytes, need %d", len(b), need)
 		}
-		return decodeQuantized(b, kind, bits, src, target, n)
+		if adaptive && int(b[HeaderBytes+8]) != bits {
+			return nil, b, fmt.Errorf("wire: adaptive width byte %d disagrees with header bits %d", b[HeaderBytes+8], bits)
+		}
+		return decodeQuantized(b, kind, bits, meta, src, target, n)
+	}
+	if adaptive {
+		return nil, b, fmt.Errorf("wire: adaptive flag on fp32 payload")
 	}
 	if need := int64(HeaderBytes) + 4*int64(n); int64(len(b)) < need {
 		return nil, b, fmt.Errorf("wire: truncated payload: have %d bytes, need %d", len(b), need)
@@ -155,11 +179,18 @@ func EncodedSizeQuantized(n, bits int) int {
 	return HeaderBytes + 8 + (n*bits+7)/8
 }
 
+// EncodedSizeAdaptive returns the wire size of an n-value adaptively
+// quantized payload at the given bit width (one extra metadata byte carries
+// the per-message width).
+func EncodedSizeAdaptive(n, bits int) int {
+	return HeaderBytes + 9 + (n*bits+7)/8
+}
+
 // EncodeQuantized serializes m with b-bit affine quantization of the
 // payload (1 ≤ bits ≤ 16). The caller's payload is not modified; the
 // receiver reconstructs the dequantized values.
 func EncodeQuantized(dst []byte, m *Message, bits int) []byte {
-	return encodeQuantized(dst, m, bits, nil)
+	return encodeQuantized(dst, m, bits, false, nil)
 }
 
 // EncodeQuantizedRoundtrip is EncodeQuantized, additionally writing the
@@ -171,16 +202,35 @@ func EncodeQuantizedRoundtrip(dst []byte, m *Message, bits int, roundtrip []floa
 	if len(roundtrip) != len(m.Payload) {
 		panic(fmt.Sprintf("wire: roundtrip len %d, payload len %d", len(roundtrip), len(m.Payload)))
 	}
-	return encodeQuantized(dst, m, bits, roundtrip)
+	return encodeQuantized(dst, m, bits, false, roundtrip)
 }
 
-func encodeQuantized(dst []byte, m *Message, bits int, roundtrip []float64) []byte {
+// EncodeAdaptive serializes m quantized at a per-message adaptive width
+// (FlagAdaptive set, width repeated in the metadata). The caller — typically
+// holding an AdaptiveQuantizer — chooses bits per payload.
+func EncodeAdaptive(dst []byte, m *Message, bits int) []byte {
+	return encodeQuantized(dst, m, bits, true, nil)
+}
+
+// EncodeAdaptiveRoundtrip is EncodeAdaptive with the receiver-reconstructed
+// values written into roundtrip (see EncodeQuantizedRoundtrip).
+func EncodeAdaptiveRoundtrip(dst []byte, m *Message, bits int, roundtrip []float64) []byte {
+	if len(roundtrip) != len(m.Payload) {
+		panic(fmt.Sprintf("wire: roundtrip len %d, payload len %d", len(roundtrip), len(m.Payload)))
+	}
+	return encodeQuantized(dst, m, bits, true, roundtrip)
+}
+
+func encodeQuantized(dst []byte, m *Message, bits int, adaptive bool, roundtrip []float64) []byte {
 	if bits < 1 || bits > 16 {
 		panic(fmt.Sprintf("wire: quantized bits %d out of 1..16", bits))
 	}
 	var hdr [HeaderBytes]byte
 	hdr[0] = byte(m.Kind)
 	hdr[1] = byte(bits)
+	if adaptive {
+		hdr[2] = FlagAdaptive
+	}
 	binary.LittleEndian.PutUint32(hdr[4:], uint32(m.SrcPart))
 	binary.LittleEndian.PutUint32(hdr[8:], uint32(m.Target))
 	binary.LittleEndian.PutUint32(hdr[12:], uint32(len(m.Payload)))
@@ -199,10 +249,15 @@ func encodeQuantized(dst []byte, m *Message, bits int, roundtrip []float64) []by
 	if hi > lo {
 		step = (hi - lo) / levels
 	}
-	var meta [8]byte
+	var meta [9]byte
 	binary.LittleEndian.PutUint32(meta[0:], math.Float32bits(float32(lo)))
 	binary.LittleEndian.PutUint32(meta[4:], math.Float32bits(float32(step)))
-	dst = append(dst, meta[:]...)
+	metaLen := 8
+	if adaptive {
+		meta[8] = byte(bits)
+		metaLen = 9
+	}
+	dst = append(dst, meta[:metaLen]...)
 	// The receiver reconstructs with the fp32-truncated metadata it reads off
 	// the wire, not the float64 values the quantization grid was built from.
 	rtLo := float64(float32(lo))
@@ -237,13 +292,14 @@ func encodeQuantized(dst []byte, m *Message, bits int, roundtrip []float64) []by
 }
 
 // decodeQuantized parses a quantized message body. The caller (Decode) has
-// already validated bits ∈ 1..16 and that b holds the full declared payload.
-func decodeQuantized(b []byte, kind Kind, bits int, src, target int32, n int) (*Message, []byte, error) {
-	total := EncodedSizeQuantized(n, bits)
+// already validated bits ∈ 1..16, the metadata size, and that b holds the
+// full declared payload.
+func decodeQuantized(b []byte, kind Kind, bits, meta int, src, target int32, n int) (*Message, []byte, error) {
+	total := HeaderBytes + meta + (n*bits+7)/8
 	lo := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes:])))
 	step := float64(math.Float32frombits(binary.LittleEndian.Uint32(b[HeaderBytes+4:])))
 	payload := make([]float64, n)
-	data := b[HeaderBytes+8 : total]
+	data := b[HeaderBytes+meta : total]
 	var acc uint64
 	var accBits uint
 	di := 0
@@ -272,5 +328,18 @@ func (b *Batch) AddQuantized(m *Message, bits int) {
 // receiver-reconstructed values into roundtrip (see EncodeQuantizedRoundtrip).
 func (b *Batch) AddQuantizedRoundtrip(m *Message, bits int, roundtrip []float64) {
 	b.buf = EncodeQuantizedRoundtrip(b.buf, m, bits, roundtrip)
+	b.count++
+}
+
+// AddAdaptive encodes m into the batch at a per-message adaptive width.
+func (b *Batch) AddAdaptive(m *Message, bits int) {
+	b.buf = EncodeAdaptive(b.buf, m, bits)
+	b.count++
+}
+
+// AddAdaptiveRoundtrip encodes m at a per-message adaptive width and writes
+// the receiver-reconstructed values into roundtrip.
+func (b *Batch) AddAdaptiveRoundtrip(m *Message, bits int, roundtrip []float64) {
+	b.buf = EncodeAdaptiveRoundtrip(b.buf, m, bits, roundtrip)
 	b.count++
 }

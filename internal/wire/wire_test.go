@@ -1,8 +1,10 @@
 package wire
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -331,6 +333,75 @@ func TestDecodeHostileLengths(t *testing.T) {
 		}
 		if len(rest) != 0 || len(m.Payload) != 5 {
 			t.Fatalf("bits=%d: bad decode shape", bits)
+		}
+	}
+}
+
+// TestDecodeHostileAdaptive extends TestDecodeHostileLengths to the adaptive
+// format's extra attack surface — the flags byte and the width metadata byte
+// — and requires the streaming Decoder to reject each corruption with the
+// exact same error as Decode.
+func TestDecodeHostileAdaptive(t *testing.T) {
+	pay := []float64{1, 2, 3, 4, 5}
+	msg := &Message{Kind: KindNode, Target: 3, Payload: pay}
+	base := EncodeAdaptive(nil, msg, 6)
+
+	check := func(name string, buf []byte, wantSub string) {
+		t.Helper()
+		_, _, err := Decode(buf)
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("%s: Decode err = %v, want substring %q", name, err, wantSub)
+		}
+		dec := NewDecoder(buf)
+		if _, serr := dec.Next(); serr == nil || serr.Error() != err.Error() {
+			t.Fatalf("%s: streaming error %v disagrees with Decode error %v", name, serr, err)
+		}
+	}
+
+	// Unknown flag bits are rejected whether or not the adaptive bit rides
+	// along — forward compatibility stays an explicit decision.
+	for _, flags := range []byte{0x02, 0x03, 0x80, 0xfe} {
+		buf := append([]byte(nil), base...)
+		buf[2] = flags
+		check(fmt.Sprintf("flags %#x", flags), buf, "unknown flags")
+	}
+	// Width metadata byte disagreeing with the header bits field.
+	buf := append([]byte(nil), base...)
+	buf[HeaderBytes+8] = 7
+	check("width mismatch", buf, "disagrees with header bits")
+	// The adaptive flag promises quantization metadata an fp32 payload
+	// doesn't carry.
+	fbuf := Encode(nil, msg)
+	fbuf[2] = FlagAdaptive
+	check("adaptive on fp32", fbuf, "adaptive flag on fp32")
+	// One byte short: the width metadata byte counts toward the declared
+	// size, so truncating it must fail the length check, not read past it.
+	check("truncated", base[:len(base)-1], "truncated quantized")
+
+	// Every in-range adaptive width still decodes, sizes per the adaptive
+	// accounting (one byte over fixed-width), and reconstructs exactly the
+	// values its fixed-width twin does — the equivalence-matrix tests lean on
+	// adaptive and fixed encodings agreeing at equal bits.
+	for bits := 1; bits <= 16; bits++ {
+		abuf := EncodeAdaptive(nil, msg, bits)
+		if len(abuf) != EncodedSizeAdaptive(len(pay), bits) {
+			t.Fatalf("bits=%d: adaptive size %d, want %d", bits, len(abuf), EncodedSizeAdaptive(len(pay), bits))
+		}
+		if len(abuf) != EncodedSizeQuantized(len(pay), bits)+1 {
+			t.Fatalf("bits=%d: adaptive size %d not fixed+1", bits, len(abuf))
+		}
+		am, rest, err := Decode(abuf)
+		if err != nil || len(rest) != 0 {
+			t.Fatalf("bits=%d: adaptive decode err=%v rest=%d", bits, err, len(rest))
+		}
+		qm, _, err := Decode(EncodeQuantized(nil, msg, bits))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range pay {
+			if am.Payload[i] != qm.Payload[i] {
+				t.Fatalf("bits=%d: adaptive payload[%d]=%v, fixed=%v", bits, i, am.Payload[i], qm.Payload[i])
+			}
 		}
 	}
 }

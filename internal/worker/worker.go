@@ -3,14 +3,37 @@
 // messages (internal/wire) over channels during every aggregate round —
 // the closest laptop-scale analogue of the paper's multi-GPU deployment.
 //
-// It complements internal/dist: the sequential engine supports every method
-// and accounts traffic analytically; the worker cluster executes the paths
-// that matter most — vanilla per-edge exchange, SC-GNN semantic compression,
-// fixed-bit wire quantization, and quantized error feedback — with actual
+// It complements internal/dist: the analytic engine accounts traffic
+// symbolically; the worker cluster executes the full Fig. 12(b) method
+// matrix — vanilla per-edge exchange, SC-GNN semantic compression, Bernoulli
+// edge/node sampling, fixed and variance-adaptive wire quantization,
+// quantized error feedback, and delayed transmission — with actual
 // concurrency, actual fp32 wire encoding, and bytes measured off the encoded
 // buffers. Tests assert that the cluster's aggregates match the sequential
 // engine to fp32 precision and that its measured bytes equal the engine's
-// analytic accounting exactly.
+// analytic accounting exactly, for every method combination.
+//
+// # Per-pair compression state
+//
+// All stateful compression (sampler RNG streams, adaptive-width choices,
+// error-feedback residuals) lives in one pairState per ordered partition
+// pair, seeded with compress.DeriveSeed(seed, s·nparts+t) — the engine's
+// exact scheme. A pair is touched by exactly one worker per round (its src
+// part forward, its dst part backward), and the round barrier orders rounds,
+// so the state needs no locking and consumes its RNG stream in the same
+// unit order as the engine — which is what makes drop decisions, chosen bit
+// widths, and traffic identical across the two runtimes.
+//
+// # Delayed transmission
+//
+// With SetDelay(period), each aggregate-round slot keeps a retained delta
+// matrix: fresh rounds (epoch % period == 0, or an unfilled slot) decode the
+// remote contributions into the slot and add it to the output; replay rounds
+// add the cached slot with zero traffic. StartEvalEpoch forces a fresh pass
+// that neither reads nor writes the cache, so a final evaluation never
+// scores the model against stale replays (mirroring the engine's
+// StartEvalEpoch contract). The replay/fresh decision is made once by the
+// coordinator before workers are released, so every worker agrees on it.
 //
 // # Round-barrier protocol
 //
@@ -59,6 +82,7 @@ import (
 
 	"scgnn/internal/compress"
 	"scgnn/internal/core"
+	"scgnn/internal/dist"
 	"scgnn/internal/graph"
 	"scgnn/internal/simnet"
 	"scgnn/internal/tensor"
@@ -85,13 +109,30 @@ type Cluster struct {
 	own [][]int32
 
 	// quantBits > 0 quantizes every payload before encoding; bytes reflect
-	// the reduced wire size: ceil(n·bits/8) + 8 metadata in place of 4n.
+	// the reduced wire size: ceil(n·bits/8) + 8 metadata in place of 4n
+	// (+1 width byte under adaptive quantization).
 	quantBits int
-	// efs[s*nparts+t], when error feedback is enabled, carries the residual
-	// store of the ordered pair s→t. A pair is touched by exactly one worker
-	// per round (its src part forward, its dst part backward), with a barrier
-	// between rounds, so the stores need no locking.
-	efs []*compress.ErrorFeedback
+	// Method configuration behind the stateful paths; rebuildPairs derives
+	// the per-pair state below from these.
+	sampleRate  float64
+	sampleNodes bool
+	seed        int64
+	adaptive    bool
+	efOn        bool
+	delayPeriod int
+	// pairs[s*nparts+t] holds the ordered pair's sampler / adaptive
+	// quantizer / error-feedback residual store (nil when no stateful method
+	// is enabled). A pair is touched by exactly one worker per round (its
+	// src part forward, its dst part backward), with a barrier between
+	// rounds, so the state needs no locking.
+	pairs []pairState
+
+	// delaySlots[round] is the retained remote-delta matrix of one
+	// aggregate-round slot (layer × direction); delayFilled marks slots that
+	// hold a usable cached delta. Only the coordinator touches these outside
+	// a round; workers write disjoint rows during fresh rounds.
+	delaySlots  []*tensor.Matrix
+	delayFilled []bool
 
 	// Traffic accounting mirrors the engine's shard-and-merge scheme instead
 	// of hot-loop atomics: each worker records its sends on its own
@@ -118,13 +159,24 @@ type Cluster struct {
 	roundH        *tensor.Matrix
 	roundOut      *tensor.Matrix
 	roundBackward bool
+	// roundTarget is where workers accumulate remote contributions this
+	// round: roundOut normally, a delay slot on fresh delayed rounds, the
+	// filled slot on replay rounds.
+	roundTarget *tensor.Matrix
+	// roundReplay marks a delayed-replay round: no send/receive, just add
+	// the cached slot (decided by the coordinator, so all workers agree).
+	roundReplay bool
 	// roundErrs[p] is worker p's decode error for the round (nil if clean);
 	// each entry is written only by its owner during the round.
 	roundErrs []error
 	// round is the aggregate-round slot within the current epoch (layer ×
-	// direction), the stable half of error-feedback unit keys. StartEpoch
-	// resets it.
+	// direction), the stable half of error-feedback unit keys and the delay
+	// cache index. StartEpoch resets it.
 	round int
+	// epoch and freshEval drive the delayed-transmission schedule (set by
+	// StartEpoch / StartEvalEpoch).
+	epoch     int
+	freshEval bool
 	// err poisons the cluster after the first failed round.
 	err error
 
@@ -132,6 +184,21 @@ type Cluster struct {
 	// decode vectors, error-feedback staging.
 	ws []workerScratch
 }
+
+// pairState is the per-ordered-partition-pair compression state, mirroring
+// the engine's struct of the same name: every stream is seeded and consumed
+// identically, so the two runtimes make identical drop and width decisions.
+type pairState struct {
+	sampler     *compress.Sampler
+	nodeSampler *compress.NodeSampler
+	adaptive    *compress.AdaptiveQuantizer
+	ef          *compress.ErrorFeedback
+}
+
+// groupCoinKey maps a plan-group index into the dedicated negative key space
+// of the per-pair node sampler, disjoint from boundary-node ids (always ≥ 0)
+// — the engine's exact keying, so group coins replay identically.
+func groupCoinKey(gi int) int32 { return int32(-1 - gi) }
 
 // workerScratch is the per-worker buffer set retained across rounds. Slices
 // grow to the largest feature dimension seen and are then reused; after
@@ -161,6 +228,53 @@ func (c *Cluster) SetQuantization(bits int) {
 		compress.NewQuantizer(bits) // validate range, panics on bad input
 	}
 	c.quantBits = bits
+	c.rebuildPairs()
+}
+
+// SetAdaptiveQuant switches the quantized wire path to variance-adaptive bit
+// allocation: each message picks its width in [2, quantBits] from the
+// payload's dynamic range (AdaQP's adaptive idea), shipped in the wire
+// format's adaptive variant whose extra width byte matches the engine's
+// +9-byte metadata accounting. Takes effect only when quantization is
+// enabled. Call before training starts; must not race a round in flight.
+func (c *Cluster) SetAdaptiveQuant(on bool) {
+	c.adaptive = on
+	c.rebuildPairs()
+}
+
+// SetSampling enables Bernoulli sampling of transfer units at the given keep
+// rate: per-edge coins by default, per-boundary-node coins (BNS-GCN's
+// granularity; one coin per (node, destination pair) per round, groups keyed
+// separately) when nodes is true. Kept units rescale by 1/rate. Every
+// ordered pair derives its own decorrelated stream from seed via
+// compress.DeriveSeed — the engine's exact scheme, so drop decisions match
+// it coin for coin. A rate outside (0,1) disables sampling. Call before
+// training starts; must not race a round in flight.
+func (c *Cluster) SetSampling(rate float64, nodes bool, seed int64) {
+	if rate <= 0 || rate >= 1 {
+		rate = 0
+	}
+	c.sampleRate = rate
+	c.sampleNodes = nodes
+	c.seed = seed
+	c.rebuildPairs()
+}
+
+// SetDelay enables delayed transmission with the given period: fresh values
+// every period epochs (per aggregate-round slot), cached replays with zero
+// traffic in between. Callers must mark epoch boundaries with StartEpoch so
+// the schedule advances, and should use StartEvalEpoch for measurement
+// passes (see the package comment). A period ≤ 1 disables. Call before
+// training starts; must not race a round in flight.
+func (c *Cluster) SetDelay(period int) {
+	if period > 1 {
+		compress.NewDelayCache(period) // validate, panics on bad input
+		c.delayPeriod = period
+	} else {
+		c.delayPeriod = 0
+	}
+	c.delaySlots = nil
+	c.delayFilled = nil
 }
 
 // SetErrorFeedback toggles residual error feedback on the quantized wire
@@ -171,24 +285,77 @@ func (c *Cluster) SetQuantization(bits int) {
 // StartEpoch so residual keys line up across epochs. Call before training
 // starts; must not race a round in flight.
 func (c *Cluster) SetErrorFeedback(on bool) {
-	if !on {
-		c.efs = nil
+	c.efOn = on
+	c.rebuildPairs()
+}
+
+// rebuildPairs derives the per-pair compression state from the current
+// method configuration. Setters call it, so configuration is
+// order-independent and always starts training from pristine streams.
+func (c *Cluster) rebuildPairs() {
+	samplingOn := c.sampleRate > 0 && c.sampleRate < 1
+	adaptiveOn := c.adaptive && c.quantBits > 0
+	efOn := c.efOn && c.quantBits > 0
+	if !samplingOn && !adaptiveOn && !efOn {
+		c.pairs = nil
 		return
 	}
-	c.efs = make([]*compress.ErrorFeedback, c.nparts*c.nparts)
-	for idx := range c.efs {
-		if idx/c.nparts != idx%c.nparts {
-			c.efs[idx] = compress.NewErrorFeedback()
+	c.pairs = make([]pairState, c.nparts*c.nparts)
+	for idx := range c.pairs {
+		if idx/c.nparts == idx%c.nparts {
+			continue
+		}
+		ps := &c.pairs[idx]
+		if samplingOn {
+			pairSeed := compress.DeriveSeed(c.seed, idx)
+			if c.sampleNodes {
+				ps.nodeSampler = compress.NewNodeSampler(c.sampleRate, pairSeed)
+			} else {
+				ps.sampler = compress.NewSampler(c.sampleRate, pairSeed)
+			}
+		}
+		if adaptiveOn {
+			minBits := 2
+			if c.quantBits < minBits {
+				minBits = c.quantBits
+			}
+			ps.adaptive = compress.NewAdaptiveQuantizer(minBits, c.quantBits, 0)
+		}
+		if efOn {
+			ps.ef = compress.NewErrorFeedback()
 		}
 	}
 }
 
-// StartEpoch marks an epoch boundary, resetting the aggregate-round slot that
-// keys error-feedback residuals (gnn.Train calls this through the
-// gnn.EpochMarker interface). Harmless when error feedback is off.
+// pairAt returns the ordered pair's compression state, or nil when no
+// stateful method is configured.
+func (c *Cluster) pairAt(idx int) *pairState {
+	if c.pairs == nil {
+		return nil
+	}
+	return &c.pairs[idx]
+}
+
+// StartEpoch marks an epoch boundary: it resets the aggregate-round slot
+// that keys error-feedback residuals and the delay cache, and advances the
+// delayed-transmission schedule to the given epoch (gnn.Train calls this
+// through the gnn.EpochMarker interface). Harmless when neither method is
+// on.
 func (c *Cluster) StartEpoch(epoch int) {
-	_ = epoch
+	c.epoch = epoch
 	c.round = 0
+	c.freshEval = false
+}
+
+// StartEvalEpoch prepares a measurement-only pass: like StartEpoch, but
+// delayed transmission is bypassed — the pass computes fresh remote
+// contributions without reading or writing the delay cache, so a final
+// evaluation never scores the model against stale replays. gnn.Train calls
+// this through the gnn.EvalMarker interface with the actual next epoch
+// before the final accuracy pass.
+func (c *Cluster) StartEvalEpoch(epoch int) {
+	c.StartEpoch(epoch)
+	c.freshEval = true
 }
 
 // NewCluster builds the worker runtime and spawns its nparts persistent
@@ -245,6 +412,28 @@ func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg c
 	}
 	for p := 0; p < nparts; p++ {
 		go c.run(p)
+	}
+	return c
+}
+
+// NewClusterFromConfig builds a cluster running the same method combination
+// as a dist.Engine configured with cfg — the canonical mapping used by
+// TrainConcurrent, the ablation harness, and the cross-engine equivalence
+// tests. Gates mirror the engine exactly: quantization is active for
+// QuantBits in (0,32), sampling for SampleRate in (0,1), delay for
+// DelayPeriod > 1; AdaptiveQuant and ErrorFeedback ride on quantization.
+func NewClusterFromConfig(g *graph.Graph, part []int, nparts int, cfg dist.Config) *Cluster {
+	c := NewCluster(g, part, nparts, cfg.Semantic, cfg.Plan)
+	if cfg.QuantBits > 0 && cfg.QuantBits < 32 {
+		c.SetQuantization(cfg.QuantBits)
+		c.SetAdaptiveQuant(cfg.AdaptiveQuant)
+		c.SetErrorFeedback(cfg.ErrorFeedback)
+	}
+	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
+		c.SetSampling(cfg.SampleRate, cfg.SampleNodes, cfg.Seed)
+	}
+	if cfg.DelayPeriod > 1 {
+		c.SetDelay(cfg.DelayPeriod)
 	}
 	return c
 }
@@ -320,13 +509,44 @@ func (c *Cluster) AggregateInto(dst, h *tensor.Matrix, backward bool) error {
 		panic(fmt.Sprintf("worker: dst shape (%d,%d), want (%d,%d)", dst.Rows, dst.Cols, n, h.Cols))
 	}
 	dst.Zero()
+	round := c.round
+	// Delayed transmission: the coordinator decides replay vs fresh before
+	// the workers are released, so every worker agrees on the round shape.
+	// Fresh delayed rounds accumulate the remote delta into the round slot's
+	// retained matrix (the wire-runtime analogue of DelayCache.Store, without
+	// the per-round clone); replay rounds add the cached slot with zero
+	// traffic; a forced-fresh eval pass bypasses the cache in both directions.
+	delayOn := c.delayPeriod > 1 && !c.freshEval
+	replay := false
+	target := dst
+	if delayOn {
+		transmit := c.epoch%c.delayPeriod == 0
+		filled := round < len(c.delayFilled) && c.delayFilled[round]
+		if !transmit && filled {
+			replay = true
+			target = c.delaySlots[round]
+		} else {
+			for len(c.delaySlots) <= round {
+				c.delaySlots = append(c.delaySlots, nil)
+				c.delayFilled = append(c.delayFilled, false)
+			}
+			slot := c.delaySlots[round]
+			if slot == nil || slot.Rows != dst.Rows || slot.Cols != dst.Cols {
+				slot = tensor.New(dst.Rows, dst.Cols)
+				c.delaySlots[round] = slot
+				c.delayFilled[round] = false
+			}
+			target = slot
+		}
+	}
 	c.roundH, c.roundOut, c.roundBackward = h, dst, backward
+	c.roundTarget, c.roundReplay = target, replay
 	c.barrier.Add(c.nparts)
 	for _, ch := range c.start {
 		ch <- struct{}{}
 	}
 	c.barrier.Wait()
-	c.roundH, c.roundOut = nil, nil
+	c.roundH, c.roundOut, c.roundTarget = nil, nil, nil
 	c.round++
 	// Drain each worker's round traffic into the fabric after the barrier,
 	// in worker order — totals are independent of goroutine scheduling.
@@ -341,6 +561,9 @@ func (c *Cluster) AggregateInto(dst, h *tensor.Matrix, backward bool) error {
 			return err
 		}
 	}
+	if delayOn && !replay {
+		c.delayFilled[round] = true
+	}
 	return nil
 }
 
@@ -354,10 +577,36 @@ func (c *Cluster) run(me int) {
 		case <-c.start[me]:
 		}
 		h, out, backward := c.roundH, c.roundOut, c.roundBackward
+		target, replay := c.roundTarget, c.roundReplay
 		c.ws[me].ensure(h.Cols)
 		c.localPhase(me, h, out)
+		if replay {
+			// Delayed replay: no exchange at all — add the cached remote
+			// delta for the rows this worker owns (the engine's AddInPlace,
+			// row-sharded).
+			for _, u := range c.own[me] {
+				tensor.AXPY(1, target.Row(int(u)), out.Row(int(u)))
+			}
+			c.roundErrs[me] = nil
+			c.barrier.Done()
+			continue
+		}
+		if target != out {
+			// Fresh delayed round: the slot holds last period's delta; clear
+			// this worker's rows before accumulating the new one. Every row
+			// is owned by exactly one worker, so the slot is fully rewritten.
+			for _, u := range c.own[me] {
+				clear(target.Row(int(u)))
+			}
+		}
 		c.sendPhase(me, h, backward)
-		c.roundErrs[me] = c.receivePhase(me, backward, out)
+		err := c.receivePhase(me, backward, target)
+		if err == nil && target != out {
+			for _, u := range c.own[me] {
+				tensor.AXPY(1, target.Row(int(u)), out.Row(int(u)))
+			}
+		}
+		c.roundErrs[me] = err
 		c.barrier.Done()
 	}
 }
@@ -411,12 +660,18 @@ func (c *Cluster) addMsg(me int, batch *wire.Batch, m *wire.Message, pairIdx int
 		batch.Add(m)
 		return
 	}
+	ps := c.pairAt(pairIdx)
 	var ef *compress.ErrorFeedback
-	if c.efs != nil {
-		ef = c.efs[pairIdx]
+	var aq *compress.AdaptiveQuantizer
+	if ps != nil {
+		ef, aq = ps.ef, ps.adaptive
 	}
 	if ef == nil {
-		batch.AddQuantized(m, c.quantBits)
+		if aq != nil {
+			batch.AddAdaptive(m, aq.ChooseBits(m.Payload))
+		} else {
+			batch.AddQuantized(m, c.quantBits)
+		}
 		return
 	}
 	ws := &c.ws[me]
@@ -425,7 +680,13 @@ func (c *Cluster) addMsg(me int, batch *wire.Batch, m *wire.Message, pairIdx int
 	trueVals := append(ws.efTrue[:0], m.Payload...)
 	ws.efTrue = trueVals
 	sent := ws.efSent[:len(m.Payload)]
-	batch.AddQuantizedRoundtrip(m, c.quantBits, sent)
+	if aq != nil {
+		// Width is chosen on the residual-corrected payload — the values the
+		// engine's Roundtrip sees after its own PreCompress.
+		batch.AddAdaptiveRoundtrip(m, aq.ChooseBits(m.Payload), sent)
+	} else {
+		batch.AddQuantizedRoundtrip(m, c.quantBits, sent)
+	}
 	ef.PostCompress(key, trueVals, sent)
 }
 
@@ -441,22 +702,47 @@ func (c *Cluster) encodeVanilla(batch *wire.Batch, me, peer int, h *tensor.Matri
 		idx = me*c.nparts + peer
 	}
 	edges := c.crossOut[idx]
+	if len(edges) == 0 {
+		return
+	}
 	ws := &c.ws[me]
 	payload := ws.payload[:h.Cols]
 	msg := &ws.msg
 	msg.Kind = wire.KindNode
 	msg.SrcPart = int32(me)
 	msg.Payload = payload
+	var sampler *compress.Sampler
+	var nodeSampler *compress.NodeSampler
+	if ps := c.pairAt(idx); ps != nil {
+		sampler, nodeSampler = ps.sampler, ps.nodeSampler
+	}
+	if nodeSampler != nil {
+		nodeSampler.StartRound()
+	}
 	var unit int64
 	for _, e := range edges {
 		sender, receiver := e.U, e.V
 		if backward {
 			sender, receiver = e.V, e.U
 		}
+		scale := c.coeff[sender]
+		switch {
+		case sampler != nil:
+			if !sampler.Keep() {
+				unit++
+				continue
+			}
+			scale *= sampler.Scale()
+		case nodeSampler != nil:
+			if !nodeSampler.Keep(sender) {
+				unit++
+				continue
+			}
+			scale *= nodeSampler.Scale()
+		}
 		src := h.Row(int(sender))
-		fs := c.coeff[sender]
 		for i, v := range src {
-			payload[i] = fs * v
+			payload[i] = scale * v
 		}
 		msg.Target = receiver
 		c.addMsg(me, batch, msg, idx, unit)
@@ -488,15 +774,42 @@ func (c *Cluster) encodeSemantic(batch *wire.Batch, me, peer int, h *tensor.Matr
 	msg := &ws.msg
 	msg.SrcPart = int32(me)
 	msg.Payload = payload
+	var sampler *compress.Sampler
+	var nodeSampler *compress.NodeSampler
+	if ps := c.pairAt(idx); ps != nil {
+		sampler, nodeSampler = ps.sampler, ps.nodeSampler
+	}
+	if nodeSampler != nil {
+		nodeSampler.StartRound()
+	}
 	var unit int64
 	for gi, grp := range groups {
+		scale := 1.0
+		switch {
+		case sampler != nil:
+			if !sampler.Keep() {
+				unit++
+				continue
+			}
+			scale = sampler.Scale()
+		case nodeSampler != nil:
+			// Under node-granularity sampling a group is the transfer unit:
+			// one coin per (pair, group) per round, keyed in the negative key
+			// space so it can never collide with the boundary-node coins of
+			// the O2O path below.
+			if !nodeSampler.Keep(groupCoinKey(gi)) {
+				unit++
+				continue
+			}
+			scale = nodeSampler.Scale()
+		}
 		// Fuse into the retained scratch (pre-sized once per round, zeroed
 		// per group) instead of a fresh hg slice per group.
 		for i := range payload {
 			payload[i] = 0
 		}
 		for k, u := range grp.SrcNodes {
-			tensor.AXPY(grp.WOut[k]*c.coeff[u], h.Row(int(u)), payload)
+			tensor.AXPY(grp.WOut[k]*c.coeff[u]*scale, h.Row(int(u)), payload)
 		}
 		msg.Kind = wire.KindGroup
 		msg.Target = int32(gi)
@@ -509,10 +822,24 @@ func (c *Cluster) encodeSemantic(batch *wire.Batch, me, peer int, h *tensor.Matr
 		if backward {
 			sender, receiver = o.Dst, o.Src
 		}
+		scale := c.coeff[sender]
+		switch {
+		case sampler != nil:
+			if !sampler.Keep() {
+				unit++
+				continue
+			}
+			scale *= sampler.Scale()
+		case nodeSampler != nil:
+			if !nodeSampler.Keep(sender) {
+				unit++
+				continue
+			}
+			scale *= nodeSampler.Scale()
+		}
 		src := h.Row(int(sender))
-		fs := c.coeff[sender]
 		for i, v := range src {
-			payload[i] = fs * v
+			payload[i] = scale * v
 		}
 		msg.Target = receiver
 		c.addMsg(me, batch, msg, idx, unit)

@@ -30,11 +30,21 @@ func TestClusterSteadyStateAllocs(t *testing.T) {
 		semantic bool
 		bits     int
 		ef       bool
+		rate     float64
+		nodes    bool
+		adaptive bool
+		delay    int
 	}{
-		{"vanilla", false, 0, false},
-		{"semantic", true, 0, false},
-		{"quant8", false, 8, false},
-		{"quant8+ef", false, 8, true},
+		{name: "vanilla"},
+		{name: "semantic", semantic: true},
+		{name: "quant8", bits: 8},
+		{name: "quant8+ef", bits: 8, ef: true},
+		{name: "sampling", rate: 0.5},
+		{name: "nsampling", rate: 0.5, nodes: true},
+		{name: "aquant", bits: 8, adaptive: true},
+		{name: "delay3", delay: 3},
+		{name: "semantic+nsampling", semantic: true, rate: 0.5, nodes: true},
+		{name: "semantic+delay", semantic: true, delay: 2},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -46,8 +56,19 @@ func TestClusterSteadyStateAllocs(t *testing.T) {
 			if tc.ef {
 				c.SetErrorFeedback(true)
 			}
+			if tc.adaptive {
+				c.SetAdaptiveQuant(true)
+			}
+			if tc.rate > 0 {
+				c.SetSampling(tc.rate, tc.nodes, 7)
+			}
+			if tc.delay > 1 {
+				c.SetDelay(tc.delay)
+			}
 			// Warm up both directions so scratch buffers, batch capacities,
-			// and (for ef) the residual stores reach steady state.
+			// the delay slots, and (for ef) the residual stores reach steady
+			// state. Three epochs cover a full delay period, so both fresh
+			// and replay rounds are measured below.
 			for i := 0; i < 3; i++ {
 				c.StartEpoch(i)
 				if err := c.AggregateInto(out, h, false); err != nil {
@@ -251,29 +272,51 @@ func TestClusterErrorFeedbackMatchesEngine(t *testing.T) {
 	}
 }
 
-// BenchmarkClusterRoundVanillaInto / ...SemanticInto measure the allocation-
-// free steady state: a preallocated output and AggregateInto, the loop a
+// BenchmarkClusterRound*Into measure the allocation-free steady state of
+// each wire path: a preallocated output and AggregateInto, the loop a
 // training run's inner rounds actually execute.
 func BenchmarkClusterRoundVanillaInto(b *testing.B) {
-	benchInto(b, false)
+	benchInto(b, false, func(c *Cluster) {})
 }
 
 func BenchmarkClusterRoundSemanticInto(b *testing.B) {
-	benchInto(b, true)
+	benchInto(b, true, func(c *Cluster) {})
 }
 
-func benchInto(b *testing.B, semantic bool) {
+func BenchmarkClusterRoundSampledInto(b *testing.B) {
+	benchInto(b, false, func(c *Cluster) { c.SetSampling(0.5, true, 7) })
+}
+
+func BenchmarkClusterRoundAdaptiveInto(b *testing.B) {
+	benchInto(b, false, func(c *Cluster) {
+		c.SetQuantization(8)
+		c.SetAdaptiveQuant(true)
+	})
+}
+
+func BenchmarkClusterRoundDelayInto(b *testing.B) {
+	// Period 2 with a fixed epoch alternates fresh and replay rounds —
+	// the steady-state mix of a delayed-transmission training run.
+	benchInto(b, false, func(c *Cluster) { c.SetDelay(2) })
+}
+
+func benchInto(b *testing.B, semantic bool, configure func(*Cluster)) {
 	d, part := benchSetup()
 	c := NewCluster(d.Graph, part, 4, semantic, core.PlanConfig{Grouping: core.GroupingConfig{Seed: 1}})
 	defer c.Close()
+	configure(c)
 	h := randMat(d.NumNodes(), 16, 1)
 	out := tensor.New(d.NumNodes(), 16)
+	epoch := 0
+	c.StartEpoch(epoch)
 	if err := c.AggregateInto(out, h, false); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
+		epoch++
+		c.StartEpoch(epoch)
 		if err := c.AggregateInto(out, h, false); err != nil {
 			b.Fatal(err)
 		}

@@ -206,14 +206,16 @@ type ConcurrentResult struct {
 
 // TrainConcurrent trains a GCN on the goroutine-based distributed runtime
 // (internal/worker): one goroutine per partition, real serialized message
-// passing for every halo exchange. Only the vanilla and semantic methods
-// run concurrently; semantic=false selects the per-edge exchange.
+// passing for every halo exchange. The full Method matrix runs concurrently
+// — vanilla, semantic, sampling, fixed/adaptive quantization, error
+// feedback, delayed transmission, and their Fig. 12(b) combinations — with
+// the same flags Train accepts.
 //
-// Use Train for the full method matrix (sampling/quant/delay and
-// combinations) with analytic traffic accounting; use TrainConcurrent when
-// you want actual concurrency and measured wire bytes.
-func TrainConcurrent(ds *Dataset, part []int, nparts int, semantic bool, opt SemanticOptions, train TrainOptions) *ConcurrentResult {
-	cluster := worker.NewCluster(ds.Graph, part, nparts, semantic, opt.planConfig())
+// Use Train for analytic traffic accounting and the modeled epoch-time cost;
+// use TrainConcurrent when you want actual concurrency and measured wire
+// bytes.
+func TrainConcurrent(ds *Dataset, part []int, nparts int, m Method, train TrainOptions) *ConcurrentResult {
+	cluster := worker.NewClusterFromConfig(ds.Graph, part, nparts, m)
 	defer cluster.Close()
 
 	if train.Hidden == 0 {

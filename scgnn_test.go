@@ -96,9 +96,9 @@ func TestGenerateDatasetFacade(t *testing.T) {
 func TestTrainConcurrentFacade(t *testing.T) {
 	ds, _ := scgnn.LoadDataset("pubmed-sim", 1)
 	part := scgnn.PartitionGraph(ds, 2, scgnn.NodeCut, 1)
-	van := scgnn.TrainConcurrent(ds, part, 2, false, scgnn.SemanticOptions{Seed: 1},
+	van := scgnn.TrainConcurrent(ds, part, 2, scgnn.Vanilla(),
 		scgnn.TrainOptions{Epochs: 20, Seed: 1})
-	sem := scgnn.TrainConcurrent(ds, part, 2, true, scgnn.SemanticOptions{Seed: 1},
+	sem := scgnn.TrainConcurrent(ds, part, 2, scgnn.SemanticWith(scgnn.SemanticOptions{Seed: 1}),
 		scgnn.TrainOptions{Epochs: 20, Seed: 1})
 	if van.Bytes == 0 || sem.Bytes == 0 {
 		t.Fatal("no wire traffic measured")
