@@ -5,6 +5,7 @@
 package scgnn_test
 
 import (
+	"math/rand"
 	"testing"
 
 	"scgnn/internal/core"
@@ -45,8 +46,11 @@ func benchPlanPipeline(b *testing.B, nparts, workers int) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		plans := core.BuildAllPlans(ds.Graph, part, nparts,
+		plans, err := core.BuildAllPlans(ds.Graph, part, nparts,
 			core.PlanConfig{Grouping: core.GroupingConfig{Seed: 1}, Workers: workers})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(plans) == 0 {
 			b.Fatal("no plans")
 		}
@@ -63,3 +67,90 @@ func BenchmarkPlanPipeline16P(b *testing.B) { benchPlanPipeline(b, 16, 0) }
 // single-core host the scheduling-overhead floor.
 func BenchmarkPlanPipeline8PSequential(b *testing.B) { benchPlanPipeline(b, 8, 1) }
 func BenchmarkPlanPipeline8PParallel(b *testing.B)   { benchPlanPipeline(b, 8, 8) }
+
+// BenchmarkReplan* measures the incremental replanning cost as a function of
+// the dirty-pair fraction. Each lane alternates the PlanCache between two
+// fixed partitions, so every iteration is a Repartition whose dirty set is
+// the bucket diff between them: Noop diffs an identical partition (0 dirty
+// pairs — the cost floor is the O(N+E) re-bucketing sweep and the diff),
+// TwoParts moves a dozen nodes between partitions 0 and 1 (only pairs
+// touching those partitions rebuild), Shuffle reassigns 10% of all nodes
+// (essentially every pair rebuilds), and Scratch is the from-scratch
+// NewPlanCache ceiling. The dirtypairs/op metric makes the scaling explicit.
+func benchReplan(b *testing.B, nparts int, perturb func([]int) []int) {
+	ds, part := planBenchSetup(b, nparts)
+	cfg := core.PlanConfig{Grouping: core.GroupingConfig{Seed: 1}}
+	next := perturb(part)
+	if err := graph.ValidatePartition(ds.NumNodes(), next, nparts); err != nil {
+		b.Fatal(err)
+	}
+	pc, err := core.NewPlanCache(ds.Graph, part, nparts, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := [2][]int{next, part}
+	var dirty int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := pc.Repartition(parts[i%2])
+		if err != nil {
+			b.Fatal(err)
+		}
+		dirty += int64(len(d))
+	}
+	b.ReportMetric(float64(dirty)/float64(b.N), "dirtypairs/op")
+}
+
+func replanNoop(part []int) []int {
+	return append([]int(nil), part...)
+}
+
+func replanTwoParts(part []int) []int {
+	next := append([]int(nil), part...)
+	moved := 0
+	for u := range next {
+		if next[u] == 0 {
+			next[u] = 1
+			if moved++; moved == 12 {
+				break
+			}
+		}
+	}
+	return next
+}
+
+func replanShuffle(part []int) []int {
+	next := append([]int(nil), part...)
+	rng := rand.New(rand.NewSource(7))
+	nparts := 0
+	for _, p := range part {
+		if p+1 > nparts {
+			nparts = p + 1
+		}
+	}
+	for m := 0; m < len(next)/10; m++ {
+		next[rng.Intn(len(next))] = rng.Intn(nparts)
+	}
+	return next
+}
+
+func BenchmarkReplanNoop8P(b *testing.B)     { benchReplan(b, 8, replanNoop) }
+func BenchmarkReplanTwoParts8P(b *testing.B) { benchReplan(b, 8, replanTwoParts) }
+func BenchmarkReplanShuffle8P(b *testing.B)  { benchReplan(b, 8, replanShuffle) }
+
+func BenchmarkReplanScratch8P(b *testing.B) {
+	ds, part := planBenchSetup(b, 8)
+	cfg := core.PlanConfig{Grouping: core.GroupingConfig{Seed: 1}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pc, err := core.NewPlanCache(ds.Graph, part, 8, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(pc.Plans()) == 0 {
+			b.Fatal("no plans")
+		}
+	}
+}

@@ -81,8 +81,11 @@ func BenchmarkSemanticPlanBuild(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		plans := core.BuildAllPlans(ds.Graph, part, 4,
+		plans, err := core.BuildAllPlans(ds.Graph, part, 4,
 			core.PlanConfig{Grouping: core.GroupingConfig{K: 8, Seed: int64(i)}})
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(plans) == 0 {
 			b.Fatal("no plans")
 		}

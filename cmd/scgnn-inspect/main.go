@@ -63,8 +63,12 @@ func main() {
 	fmt.Println()
 
 	// Semantic plans and their compression.
-	plans := core.BuildAllPlans(ds.Graph, part, *parts,
+	plans, err := core.BuildAllPlans(ds.Graph, part, *parts,
 		core.PlanConfig{Grouping: core.GroupingConfig{K: *groups, Seed: *seed}})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scgnn-inspect:", err)
+		os.Exit(2)
+	}
 	pt := trace.NewTable("semantic plans", "pair", "groups", "o2o", "edges", "vectors/round", "ratio")
 	var totVec, totEdge int
 	for _, p := range plans {

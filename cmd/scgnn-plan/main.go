@@ -51,7 +51,10 @@ func main() {
 	if *dropO2O {
 		cfg.Drop = core.DropO2O
 	}
-	plans := core.BuildAllPlans(ds.Graph, part, *parts, cfg)
+	plans, err := core.BuildAllPlans(ds.Graph, part, *parts, cfg)
+	if err != nil {
+		fatal(err)
+	}
 
 	if *summary {
 		var edges, vectors, dropped int

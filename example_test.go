@@ -27,7 +27,10 @@ func ExampleBuildPlans() {
 		Name: "demo", Nodes: 200, AvgDegree: 8, Classes: 4, FeatureDim: 8, Seed: 7,
 	})
 	part := scgnn.PartitionGraph(ds, 2, scgnn.NodeCut, 7)
-	plans := scgnn.BuildPlans(ds, part, 2, scgnn.SemanticOptions{Seed: 7})
+	plans, err := scgnn.BuildPlans(ds, part, 2, scgnn.SemanticOptions{Seed: 7})
+	if err != nil {
+		panic(err)
+	}
 	allCompress := true
 	for _, p := range plans {
 		if p.CompressionRatio() < 1 {

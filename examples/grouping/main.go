@@ -27,9 +27,15 @@ func main() {
 	fmt.Printf("  O2O carries %.2f%%\n\n", 100*census.EdgeShare(0))
 
 	// Semantic plans under the paper's similarity...
-	semPlans := scgnn.BuildPlans(ds, part, 4, scgnn.SemanticOptions{Seed: 1})
+	semPlans, err := scgnn.BuildPlans(ds, part, 4, scgnn.SemanticOptions{Seed: 1})
+	if err != nil {
+		log.Fatal(err)
+	}
 	// ...and under the Jaccard baseline for contrast (Fig. 6).
-	jacPlans := scgnn.BuildPlans(ds, part, 4, scgnn.SemanticOptions{Seed: 1, Jaccard: true})
+	jacPlans, err := scgnn.BuildPlans(ds, part, 4, scgnn.SemanticOptions{Seed: 1, Jaccard: true})
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	report := func(label string, plans []*scgnn.Plan) (edges, vectors int) {
 		for _, p := range plans {

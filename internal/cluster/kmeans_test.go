@@ -359,3 +359,28 @@ func TestSilhouetteAllocs(t *testing.T) {
 		t.Fatalf("Silhouette allocates %v per call, want O(1)", allocs)
 	}
 }
+
+// TestSweepSourceSeedReplays: the splitmix64 sweep source must satisfy the
+// full rand.Source contract — Seed resets the stream so a re-seeded source
+// replays exactly the sequence a fresh one produces. The EEP sweep's
+// worker-count invariance rests on this replayability.
+func TestSweepSourceSeedReplays(t *testing.T) {
+	a := &sweepSource{state: 42}
+	var first [8]int64
+	for i := range first {
+		first[i] = a.Int63()
+		if first[i] < 0 {
+			t.Fatalf("Int63 returned negative %d", first[i])
+		}
+	}
+	a.Seed(42)
+	b := &sweepSource{state: 42}
+	for i := range first {
+		if got := a.Int63(); got != first[i] {
+			t.Fatalf("re-seeded source diverged at %d", i)
+		}
+		if got := b.Int63(); got != first[i] {
+			t.Fatalf("fresh source diverged at %d", i)
+		}
+	}
+}

@@ -155,3 +155,10 @@ func (d *DelayCache) Load(round int) *tensor.Matrix {
 
 // ResetCounters zeroes the touched-value counter (per epoch).
 func (d *DelayCache) ResetCounters() { d.Touched = 0 }
+
+// Invalidate drops every stored round slot. Slots hold whole-round aggregate
+// matrices — the sum over all pairs — so when a repartition dirties any
+// pair's plan the replays are stale and the next delayed rounds must
+// transmit fresh values; a repartition that leaves every boundary set intact
+// keeps its slots (callers skip the call).
+func (d *DelayCache) Invalidate() { clear(d.slots) }

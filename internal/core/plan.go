@@ -146,36 +146,83 @@ func planFromDBG(d *graph.DBG, cfg PlanConfig) *PairPlan {
 }
 
 // BuildAllPlans builds the plan for every ordered partition pair with cross
-// edges, in ascending (src, dst) order. All DBGs are extracted in one sweep
-// of the graph (graph.AllDBGs), then the per-pair plan builds — which are
+// edges, in ascending (src, dst) order. The partition is validated at this
+// boundary — out-of-range ids, a wrong-length vector, or an empty partition
+// return an error instead of panicking (or silently dropping arcs) deep in
+// the extraction sweep. All cross arcs are bucketed in one sweep of the graph
+// (graph.ExtractArcBuckets), then the per-pair plan builds — which are
 // independent — fan out over a bounded worker pool (cfg.Workers). Every pair
 // derives its k-means seed from the base seed with compress.DeriveSeed, so
 // seeding differs across DBGs while the result depends only on (seed, pair),
 // never on which goroutine built the plan: output is identical for any
 // worker count.
-func BuildAllPlans(g *graph.Graph, part []int, nparts int, cfg PlanConfig) []*PairPlan {
-	dbgs := graph.AllDBGs(g, part, nparts)
-	out := make([]*PairPlan, len(dbgs))
+func BuildAllPlans(g *graph.Graph, part []int, nparts int, cfg PlanConfig) ([]*PairPlan, error) {
+	if err := graph.ValidatePartition(g.NumNodes(), part, nparts); err != nil {
+		return nil, fmt.Errorf("core: BuildAllPlans: %w", err)
+	}
+	b := graph.ExtractArcBuckets(g, part, nparts)
+	table := make([]*PairPlan, nparts*nparts)
+	buildPairsInto(table, b, nonEmptyPairs(b), cfg)
+	return compactPlans(table), nil
+}
+
+// nonEmptyPairs lists the ascending pair indices with at least one cross arc.
+func nonEmptyPairs(b *graph.ArcBuckets) []int {
+	var idxs []int
+	for idx := 0; idx < b.NParts*b.NParts; idx++ {
+		if b.Off[idx+1] > b.Off[idx] {
+			idxs = append(idxs, idx)
+		}
+	}
+	return idxs
+}
+
+// compactPlans collects the non-nil slots of an nparts²-entry plan table in
+// ascending pair order — the public BuildAllPlans output shape.
+func compactPlans(table []*PairPlan) []*PairPlan {
+	out := make([]*PairPlan, 0, len(table))
+	for _, p := range table {
+		if p != nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// buildPairsInto materializes the plan for every listed pair index from its
+// arc bucket into the nparts²-slot table, fanning the independent builds over
+// the bounded pool (cfg.Workers). Every pair's k-means seed is
+// compress.DeriveSeed(base, src*nparts+dst) — a function of (seed, pair)
+// only, never of which goroutine built it or which other pairs are in the
+// batch. That is the property incremental replanning leans on: rebuilding one
+// dirty pair replays exactly the seed stream a from-scratch build would use,
+// so reused and rebuilt plans are both bit-identical to from-scratch output.
+func buildPairsInto(table []*PairPlan, b *graph.ArcBuckets, idxs []int, cfg PlanConfig) {
 	workers := cfg.workerCount()
-	if workers > len(dbgs) {
-		workers = len(dbgs)
+	if workers > len(idxs) {
+		workers = len(idxs)
 	}
 	build := func(i int) {
-		d := dbgs[i]
+		idx := idxs[i]
+		d := b.DBG(idx)
+		if d == nil {
+			table[idx] = nil
+			return
+		}
 		pairCfg := cfg
-		pairCfg.Grouping.Seed = compress.DeriveSeed(cfg.Grouping.Seed, d.SrcPart*nparts+d.DstPart)
+		pairCfg.Grouping.Seed = compress.DeriveSeed(cfg.Grouping.Seed, idx)
 		if workers > 1 {
 			// The pair fan-out already saturates the pool; keep each build's
 			// inner embedding/sweep parallelism off (same output either way).
 			pairCfg.Grouping.Workers = 1
 		}
-		out[i] = planFromDBG(d, pairCfg)
+		table[idx] = planFromDBG(d, pairCfg)
 	}
 	if workers <= 1 {
-		for i := range dbgs {
+		for i := range idxs {
 			build(i)
 		}
-		return out
+		return
 	}
 	var next int64
 	var wg sync.WaitGroup
@@ -185,7 +232,7 @@ func BuildAllPlans(g *graph.Graph, part []int, nparts int, cfg PlanConfig) []*Pa
 			defer wg.Done()
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(dbgs) {
+				if i >= len(idxs) {
 					return
 				}
 				build(i)
@@ -193,7 +240,6 @@ func BuildAllPlans(g *graph.Graph, part []int, nparts int, cfg PlanConfig) []*Pa
 		}()
 	}
 	wg.Wait()
-	return out
 }
 
 // VectorsPerRound returns how many payload vectors this plan transmits per

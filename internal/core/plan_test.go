@@ -94,7 +94,7 @@ func TestBuildAllPlans(t *testing.T) {
 	// Add reverse traffic so both ordered pairs exist.
 	edges := append(g.Edges(), graph.Edge{U: 6, V: 0}, graph.Edge{U: 7, V: 0})
 	g2 := graph.New(12, edges)
-	plans := BuildAllPlans(g2, part, 2, PlanConfig{Grouping: GroupingConfig{K: 1, Seed: 1}})
+	plans := mustBuildAllPlans(t, g2, part, 2, PlanConfig{Grouping: GroupingConfig{K: 1, Seed: 1}})
 	if len(plans) != 2 {
 		t.Fatalf("plans = %d, want 2", len(plans))
 	}
@@ -140,16 +140,22 @@ func TestPlanAccountingProperty(t *testing.T) {
 		for i := range part {
 			part[i] = rng.Intn(nparts)
 		}
+		for p := 0; p < nparts; p++ {
+			part[p] = p // every partition occupied (a validation requirement)
+		}
 		var edges []graph.Edge
 		for k := 0; k < 5*n; k++ {
 			edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
 		}
 		g := graph.New(n, edges)
 		mask := DropMask{O2O: rng.Intn(2) == 0, M2M: rng.Intn(4) == 0}
-		plans := BuildAllPlans(g, part, nparts, PlanConfig{
+		plans, err := BuildAllPlans(g, part, nparts, PlanConfig{
 			Grouping: GroupingConfig{K: 1 + rng.Intn(3), Seed: seed},
 			Drop:     mask,
 		})
+		if err != nil {
+			return false
+		}
 		for _, p := range plans {
 			live := 0
 			for _, grp := range p.Groups {
@@ -193,6 +199,15 @@ func TestUniformWeightsAblation(t *testing.T) {
 			}
 		}
 	}
+}
+
+func mustBuildAllPlans(t *testing.T, g *graph.Graph, part []int, nparts int, cfg PlanConfig) []*PairPlan {
+	t.Helper()
+	plans, err := BuildAllPlans(g, part, nparts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return plans
 }
 
 func plansIdentical(t *testing.T, got, want []*PairPlan) {
@@ -254,6 +269,9 @@ func denseMultiPartGraph(seed int64, n, nparts, degree int) (*graph.Graph, []int
 	for i := range part {
 		part[i] = rng.Intn(nparts)
 	}
+	for p := 0; p < nparts; p++ {
+		part[p] = p // every partition occupied (a validation requirement)
+	}
 	var edges []graph.Edge
 	for k := 0; k < degree*n; k++ {
 		edges = append(edges, graph.Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
@@ -266,7 +284,7 @@ func denseMultiPartGraph(seed int64, n, nparts, degree int) (*graph.Graph, []int
 // output, chunk-sharded inner loops).
 func TestBuildAllPlansWorkerInvariance(t *testing.T) {
 	g, part := denseMultiPartGraph(11, 160, 4, 8)
-	base := BuildAllPlans(g, part, 4, PlanConfig{
+	base := mustBuildAllPlans(t, g, part, 4, PlanConfig{
 		Grouping: GroupingConfig{Seed: 5}, // auto-K: exercises the EEP sweep
 		Workers:  1,
 	})
@@ -279,7 +297,7 @@ func TestBuildAllPlansWorkerInvariance(t *testing.T) {
 		}
 	}
 	for _, workers := range []int{4, 64} {
-		got := BuildAllPlans(g, part, 4, PlanConfig{
+		got := mustBuildAllPlans(t, g, part, 4, PlanConfig{
 			Grouping: GroupingConfig{Seed: 5},
 			Workers:  workers,
 		})
@@ -291,7 +309,7 @@ func TestBuildAllPlansWorkerInvariance(t *testing.T) {
 // order regardless of the fan-out schedule.
 func TestBuildAllPlansAscendingPairs(t *testing.T) {
 	g, part := denseMultiPartGraph(13, 120, 5, 6)
-	plans := BuildAllPlans(g, part, 5, PlanConfig{Grouping: GroupingConfig{K: 2, Seed: 1}, Workers: 8})
+	plans := mustBuildAllPlans(t, g, part, 5, PlanConfig{Grouping: GroupingConfig{K: 2, Seed: 1}, Workers: 8})
 	for i := 1; i < len(plans); i++ {
 		prev := plans[i-1].SrcPart*5 + plans[i-1].DstPart
 		cur := plans[i].SrcPart*5 + plans[i].DstPart

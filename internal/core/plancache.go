@@ -1,0 +1,90 @@
+package core
+
+import (
+	"fmt"
+
+	"scgnn/internal/graph"
+)
+
+// PlanCache retains everything the planning pipeline derived from one
+// partition — the CSR-of-pairs arc buckets, and per ordered pair the
+// grouping and plan — so a repartition only rebuilds the pairs whose
+// boundary sets actually changed. The cache owns its buckets and plan table
+// outright: callers hand a partition in, never a bucketing, and the slices
+// returned by Plans are fresh (the cached plans themselves are shared and
+// must be treated as immutable, the same contract as BuildAllPlans output).
+//
+// Correctness rests on two determinism properties, both test-pinned:
+// graph.DiffDBGs reports clean exactly when a pair's rebuilt DBG would be
+// byte-identical (so reuse is sound), and buildPairsInto seeds each rebuild
+// with compress.DeriveSeed(base, pair) — a function of the pair index alone —
+// so a rebuilt plan is bit-identical to what a from-scratch BuildAllPlans
+// would produce (the metamorphic suite asserts this after every
+// perturbation, at several worker counts).
+type PlanCache struct {
+	g       *graph.Graph
+	nparts  int
+	cfg     PlanConfig
+	buckets *graph.ArcBuckets
+	// table has nparts² slots; nil for pairs with no cross edges.
+	table []*PairPlan
+}
+
+// NewPlanCache validates the partition, buckets its cross arcs, and builds
+// every pair's plan from scratch — the same work (and bit-identical output)
+// as BuildAllPlans, but retained for incremental repartitioning.
+func NewPlanCache(g *graph.Graph, part []int, nparts int, cfg PlanConfig) (*PlanCache, error) {
+	if err := graph.ValidatePartition(g.NumNodes(), part, nparts); err != nil {
+		return nil, fmt.Errorf("core: NewPlanCache: %w", err)
+	}
+	c := &PlanCache{
+		g:       g,
+		nparts:  nparts,
+		cfg:     cfg,
+		buckets: graph.ExtractArcBuckets(g, part, nparts),
+		table:   make([]*PairPlan, nparts*nparts),
+	}
+	buildPairsInto(c.table, c.buckets, nonEmptyPairs(c.buckets), cfg)
+	return c, nil
+}
+
+// NParts returns the partition count the cache was built for.
+func (c *PlanCache) NParts() int { return c.nparts }
+
+// Buckets returns the cached arc bucketing (read-only; the cache owns it).
+func (c *PlanCache) Buckets() *graph.ArcBuckets { return c.buckets }
+
+// Plan returns the cached plan for ordered pair index idx (src*nparts+dst),
+// or nil when the pair has no cross edges.
+func (c *PlanCache) Plan(idx int) *PairPlan { return c.table[idx] }
+
+// Plans returns the non-nil plans in ascending (src, dst) order — the
+// BuildAllPlans output shape — in a freshly allocated slice.
+func (c *PlanCache) Plans() []*PairPlan { return compactPlans(c.table) }
+
+// Repartition validates the new partition, re-buckets the graph's cross
+// arcs, and rebuilds exactly the pairs whose boundary sets changed, fanning
+// the rebuilds over the bounded pool. It returns the ascending dirty pair
+// indices; pairs absent from the list kept their cached plan verbatim. After
+// a successful call the cache state is bit-identical to a from-scratch
+// NewPlanCache on the new partition. On error the cache is unchanged.
+func (c *PlanCache) Repartition(part []int) ([]int, error) {
+	if err := graph.ValidatePartition(c.g.NumNodes(), part, c.nparts); err != nil {
+		return nil, fmt.Errorf("core: Repartition: %w", err)
+	}
+	return c.RepartitionBuckets(graph.ExtractArcBuckets(c.g, part, c.nparts)), nil
+}
+
+// RepartitionBuckets is Repartition for callers that already extracted the
+// new partition's arc buckets (the dist engine and worker cluster share one
+// extraction and one diff per repartition this way). The cache takes
+// ownership of b; the caller must not mutate it afterwards.
+func (c *PlanCache) RepartitionBuckets(b *graph.ArcBuckets) []int {
+	if b.NParts != c.nparts {
+		panic(fmt.Sprintf("core: RepartitionBuckets partition counts %d vs %d", b.NParts, c.nparts))
+	}
+	dirty := graph.DiffDBGs(c.buckets, b)
+	c.buckets = b
+	buildPairsInto(c.table, b, dirty, c.cfg)
+	return dirty
+}

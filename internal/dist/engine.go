@@ -224,11 +224,18 @@ type Engine struct {
 
 	fabric *simnet.Fabric
 
+	// buckets is the CSR-of-pairs bucketing of the current partition's cross
+	// arcs, retained so Repartition can diff against it and touch only the
+	// pairs whose boundary sets changed.
+	buckets *graph.ArcBuckets
 	// crossOut[s*nparts+t] lists the cross arcs u→v with part[u]=s,
-	// part[v]=t (baseline per-edge exchange).
+	// part[v]=t (baseline per-edge exchange) — pair (s→t)'s arc bucket.
 	crossOut [][]graph.Edge
 	// own[p] lists the nodes owned by partition p, ascending.
 	own [][]int32
+	// planCache owns the semantic plans and rebuilds only dirty pairs on
+	// Repartition (nil when Semantic is off).
+	planCache *core.PlanCache
 	// plans holds the semantic pair plans (nil entries for pairs without
 	// cross edges or when Semantic is off).
 	plans []*core.PairPlan
@@ -267,7 +274,9 @@ type Engine struct {
 }
 
 // NewEngine validates the partition vector and precomputes the cross-edge
-// structures and (when enabled) the semantic plans.
+// structures and (when enabled) the semantic plans. Invalid partitions panic
+// here; callers wanting an error instead go through the public scgnn API,
+// which validates first.
 func NewEngine(g *graph.Graph, part []int, nparts int, cfg Config) *Engine {
 	cfg = cfg.withDefaults()
 	if len(part) != g.NumNodes() {
@@ -281,67 +290,30 @@ func NewEngine(g *graph.Graph, part []int, nparts int, cfg Config) *Engine {
 		coeff:  g.SymNormCoeffs(),
 		fabric: simnet.NewFabric(nparts),
 	}
+	e.buckets = graph.ExtractArcBuckets(g, part, nparts)
 	e.crossOut = make([][]graph.Edge, nparts*nparts)
-	e.own = make([][]int32, nparts)
-	for u := int32(0); int(u) < g.NumNodes(); u++ {
-		s := part[u]
-		e.own[s] = append(e.own[s], u)
-		for _, v := range g.Neighbors(u) {
-			if t := part[v]; t != s {
-				idx := s*nparts + t
-				e.crossOut[idx] = append(e.crossOut[idx], graph.Edge{U: u, V: v})
-			}
-		}
+	for idx := range e.crossOut {
+		e.crossOut[idx] = e.buckets.Edges(idx)
 	}
+	e.rebuildOwnership(part)
 	if cfg.Semantic {
-		planCfg := cfg.Plan
-		if planCfg.Workers == 0 {
-			// The engine's Workers cap also bounds offline planning.
-			planCfg.Workers = cfg.Workers
+		pc, err := core.NewPlanCache(g, part, nparts, e.planConfig())
+		if err != nil {
+			panic("dist: " + err.Error())
 		}
+		e.planCache = pc
 		e.plans = make([]*core.PairPlan, nparts*nparts)
 		e.revGroups = make([][]*core.Group, nparts*nparts)
-		for _, p := range core.BuildAllPlans(g, part, nparts, planCfg) {
-			idx := p.SrcPart*nparts + p.DstPart
-			e.plans[idx] = p
-			rev := make([]*core.Group, len(p.Groups))
-			for i, grp := range p.Groups {
-				rev[i] = grp.Reverse()
-			}
-			e.revGroups[idx] = rev
+		for idx := range e.plans {
+			e.installPlan(idx)
 		}
 	}
 	if cfg.QuantBits > 0 && cfg.QuantBits < 32 && !cfg.AdaptiveQuant {
 		e.quant = compress.NewQuantizer(cfg.QuantBits)
 	}
 	e.pairs = make([]pairState, nparts*nparts)
-	samplingOn := cfg.SampleRate > 0 && cfg.SampleRate < 1
-	adaptiveOn := cfg.QuantBits > 0 && cfg.QuantBits < 32 && cfg.AdaptiveQuant
-	efOn := cfg.ErrorFeedback && cfg.QuantBits > 0 && cfg.QuantBits < 32
 	for idx := range e.pairs {
-		s, t := idx/nparts, idx%nparts
-		if s == t {
-			continue
-		}
-		ps := &e.pairs[idx]
-		if samplingOn {
-			pairSeed := compress.DeriveSeed(cfg.Seed, idx)
-			if cfg.SampleNodes {
-				ps.nodeSampler = compress.NewNodeSampler(cfg.SampleRate, pairSeed)
-			} else {
-				ps.sampler = compress.NewSampler(cfg.SampleRate, pairSeed)
-			}
-		}
-		if adaptiveOn {
-			minBits := 2
-			if cfg.QuantBits < minBits {
-				minBits = cfg.QuantBits
-			}
-			ps.adaptive = compress.NewAdaptiveQuantizer(minBits, cfg.QuantBits, 0)
-		}
-		if efOn {
-			ps.ef = compress.NewErrorFeedback()
-		}
+		e.initPairState(idx)
 	}
 	if cfg.DelayPeriod > 1 {
 		e.delay = compress.NewDelayCache(cfg.DelayPeriod)
@@ -351,6 +323,119 @@ func NewEngine(g *graph.Graph, part []int, nparts int, cfg Config) *Engine {
 		e.shards[r] = &shard{traffic: simnet.NewShardCounter(nparts)}
 	}
 	return e
+}
+
+// planConfig resolves the offline-planning configuration: the engine's
+// Workers cap also bounds planning when the plan config leaves it unset.
+func (e *Engine) planConfig() core.PlanConfig {
+	planCfg := e.cfg.Plan
+	if planCfg.Workers == 0 {
+		planCfg.Workers = e.cfg.Workers
+	}
+	return planCfg
+}
+
+// rebuildOwnership recomputes own[p] (ascending node ids per partition) from
+// a partition vector.
+func (e *Engine) rebuildOwnership(part []int) {
+	e.own = make([][]int32, e.nparts)
+	for u := int32(0); int(u) < e.g.NumNodes(); u++ {
+		s := part[u]
+		e.own[s] = append(e.own[s], u)
+	}
+}
+
+// installPlan refreshes the engine's view of pair idx's semantic plan from
+// the plan cache, including the cached reversed groups for the backward pass.
+func (e *Engine) installPlan(idx int) {
+	p := e.planCache.Plan(idx)
+	e.plans[idx] = p
+	if p == nil {
+		e.revGroups[idx] = nil
+		return
+	}
+	rev := make([]*core.Group, len(p.Groups))
+	for i, grp := range p.Groups {
+		rev[i] = grp.Reverse()
+	}
+	e.revGroups[idx] = rev
+}
+
+// initPairState (re)creates pair idx's stateful compression from scratch:
+// the sampler restarts its DeriveSeed(seed, idx) stream at the beginning,
+// the adaptive quantizer and error-feedback store drop their history. Used
+// at construction for every pair and by Repartition for dirty pairs only —
+// a freshly re-seeded pair behaves exactly like the same pair in a brand-new
+// engine, which is what keeps engine and worker-cluster repartitions
+// equivalent.
+func (e *Engine) initPairState(idx int) {
+	ps := &e.pairs[idx]
+	*ps = pairState{}
+	s, t := idx/e.nparts, idx%e.nparts
+	if s == t {
+		return
+	}
+	cfg := e.cfg
+	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
+		pairSeed := compress.DeriveSeed(cfg.Seed, idx)
+		if cfg.SampleNodes {
+			ps.nodeSampler = compress.NewNodeSampler(cfg.SampleRate, pairSeed)
+		} else {
+			ps.sampler = compress.NewSampler(cfg.SampleRate, pairSeed)
+		}
+	}
+	if cfg.QuantBits > 0 && cfg.QuantBits < 32 && cfg.AdaptiveQuant {
+		minBits := 2
+		if cfg.QuantBits < minBits {
+			minBits = cfg.QuantBits
+		}
+		ps.adaptive = compress.NewAdaptiveQuantizer(minBits, cfg.QuantBits, 0)
+	}
+	if cfg.ErrorFeedback && cfg.QuantBits > 0 && cfg.QuantBits < 32 {
+		ps.ef = compress.NewErrorFeedback()
+	}
+}
+
+// Repartition moves the engine to a new partition of the same graph,
+// rebuilding only what the partition change actually touched. The new
+// partition's cross arcs are bucketed in one sweep and diffed against the
+// retained bucketing; pairs whose boundary sets are unchanged keep their
+// plan, cross-edge list, sampler stream, adaptive-quantizer history, and
+// error-feedback residuals verbatim, while dirty pairs get a rebuilt plan
+// (bit-identical to a from-scratch build, via the plan cache's per-pair
+// DeriveSeed streams) and freshly re-seeded compression state. Delay slots
+// hold whole-round aggregates, so they are invalidated iff any pair is
+// dirty; a boundary-preserving repartition keeps its replays. The partition
+// vector is copied. Returns the ascending dirty pair indices; on error the
+// engine is unchanged.
+func (e *Engine) Repartition(part []int) ([]int, error) {
+	if err := graph.ValidatePartition(e.g.NumNodes(), part, e.nparts); err != nil {
+		return nil, fmt.Errorf("dist: Repartition: %w", err)
+	}
+	nb := graph.ExtractArcBuckets(e.g, part, e.nparts)
+	var dirty []int
+	if e.planCache != nil {
+		// The cache diffs against its own retained buckets (content-equal to
+		// e.buckets — both were extracted from the same (graph, partition)),
+		// so one diff serves both.
+		dirty = e.planCache.RepartitionBuckets(nb)
+		for _, idx := range dirty {
+			e.installPlan(idx)
+		}
+	} else {
+		dirty = graph.DiffDBGs(e.buckets, nb)
+	}
+	e.buckets = nb
+	e.part = append([]int(nil), part...)
+	e.rebuildOwnership(e.part)
+	for _, idx := range dirty {
+		e.crossOut[idx] = nb.Edges(idx)
+		e.initPairState(idx)
+	}
+	if e.delay != nil && len(dirty) > 0 {
+		e.delay.Invalidate()
+	}
+	return dirty, nil
 }
 
 // Fabric exposes the traffic accounting (read-only use intended).

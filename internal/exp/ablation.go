@@ -50,7 +50,10 @@ func AblSimilarity(o Options) *Report {
 				cfg.Sim = core.JaccardSimilarity{}
 				name = "jaccard"
 			}
-			plans := core.BuildAllPlans(ds.Graph, part, o.Partitions, core.PlanConfig{Grouping: cfg})
+			plans, err := core.BuildAllPlans(ds.Graph, part, o.Partitions, core.PlanConfig{Grouping: cfg})
+			if err != nil {
+				panic(err) // benchmark partitioners never produce invalid partitions
+			}
 			groups := 0
 			for _, p := range plans {
 				groups += len(p.Groups)

@@ -59,8 +59,11 @@ func Fig10(o Options) *Report {
 
 	for _, ds := range benchDatasets(o) {
 		part := partitionFor(ds, o.Partitions, o.Seed)
-		plans := core.BuildAllPlans(ds.Graph, part, o.Partitions,
+		plans, err := core.BuildAllPlans(ds.Graph, part, o.Partitions,
 			core.PlanConfig{Grouping: core.GroupingConfig{Seed: o.Seed}})
+		if err != nil {
+			panic(err) // benchmark partitioners never produce invalid partitions
+		}
 		var sizes []int
 		var o2o, edges int
 		for _, p := range plans {

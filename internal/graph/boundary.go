@@ -123,66 +123,11 @@ func ExtractDBG(g *Graph, part []int, src, dst int) *DBG {
 // are sorted once per bucket) instead of per-pair hash sets. The output is
 // identical to calling ExtractDBG for every pair, which stays as the
 // reference implementation (TestAllDBGsMatchesExtractDBG).
+// The CSR bucketing is retained as a first-class structure (ArcBuckets) so
+// incremental replanning can diff two partitions' buckets pair by pair; this
+// wrapper keeps the original all-at-once contract.
 func AllDBGs(g *Graph, part []int, nparts int) []*DBG {
-	if len(part) != g.NumNodes() {
-		panic(fmt.Sprintf("graph: partition vector len %d want %d", len(part), g.NumNodes()))
-	}
-	npairs := nparts * nparts
-	counts := make([]int, npairs)
-	for u := int32(0); int(u) < g.NumNodes(); u++ {
-		p := part[u]
-		if p < 0 || p >= nparts {
-			continue
-		}
-		for _, v := range g.Neighbors(u) {
-			q := part[v]
-			if q == p || q < 0 || q >= nparts {
-				continue
-			}
-			counts[p*nparts+q]++
-		}
-	}
-	off := make([]int, npairs+1)
-	for i, c := range counts {
-		off[i+1] = off[i] + c
-	}
-	if off[npairs] == 0 {
-		return nil
-	}
-	srcs := make([]int32, off[npairs])
-	dsts := make([]int32, off[npairs])
-	cur := counts // reuse the counting pass's slice as the fill cursor
-	copy(cur, off[:npairs])
-	for u := int32(0); int(u) < g.NumNodes(); u++ {
-		p := part[u]
-		if p < 0 || p >= nparts {
-			continue
-		}
-		for _, v := range g.Neighbors(u) {
-			q := part[v]
-			if q == p || q < 0 || q >= nparts {
-				continue
-			}
-			k := cur[p*nparts+q]
-			srcs[k] = u
-			dsts[k] = v
-			cur[p*nparts+q] = k + 1
-		}
-	}
-	out := make([]*DBG, 0, npairs)
-	var scratch []int32 // sink-sort buffer shared across buckets
-	for s := 0; s < nparts; s++ {
-		for t := 0; t < nparts; t++ {
-			pr := s*nparts + t
-			if off[pr] == off[pr+1] {
-				continue
-			}
-			var d *DBG
-			d, scratch = dbgFromArcs(s, t, srcs[off[pr]:off[pr+1]], dsts[off[pr]:off[pr+1]], scratch)
-			out = append(out, d)
-		}
-	}
-	return out
+	return ExtractArcBuckets(g, part, nparts).DBGs()
 }
 
 // dbgFromArcs materializes one DBG from its bucket of cross arcs, which the

@@ -1,0 +1,189 @@
+package graph
+
+import "fmt"
+
+// ArcBuckets is the retained CSR-of-pairs bucketing of every cross-partition
+// arc: the counting sweep of AllDBGs, kept around instead of discarded. Pair
+// (s→t) owns the arc slice [Off[s*NParts+t], Off[s*NParts+t+1]) of Srcs/Dsts,
+// in (src ascending, dst ascending per src) order — the order the CSR sweep
+// emits, which is deterministic for a given (graph, partition).
+//
+// The bucketing is the unit of incremental replanning: two partitions of the
+// same graph produce byte-identical DBGs for exactly the pairs whose buckets
+// are identical (the graph's arc set is deduplicated, so a bucket *is* the
+// pair's cross-edge set), which is what DiffDBGs exploits.
+type ArcBuckets struct {
+	NParts int
+	// Off has NParts²+1 entries; pair idx owns Srcs[Off[idx]:Off[idx+1]].
+	Off []int
+	// Srcs/Dsts are the bucketed arc endpoints (global node ids).
+	Srcs, Dsts []int32
+}
+
+// ExtractArcBuckets runs the single O(N+E) sweep that buckets every
+// cross-partition arc by ordered pair. Nodes whose partition id falls outside
+// [0, nparts) contribute no arcs (matching AllDBGs); a short partition vector
+// panics — callers wanting an error instead should run ValidatePartition
+// first (core.BuildAllPlans and the Repartition entry points do).
+func ExtractArcBuckets(g *Graph, part []int, nparts int) *ArcBuckets {
+	if len(part) != g.NumNodes() {
+		panic(fmt.Sprintf("graph: partition vector len %d want %d", len(part), g.NumNodes()))
+	}
+	npairs := nparts * nparts
+	counts := make([]int, npairs)
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		p := part[u]
+		if p < 0 || p >= nparts {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			q := part[v]
+			if q == p || q < 0 || q >= nparts {
+				continue
+			}
+			counts[p*nparts+q]++
+		}
+	}
+	off := make([]int, npairs+1)
+	for i, c := range counts {
+		off[i+1] = off[i] + c
+	}
+	b := &ArcBuckets{
+		NParts: nparts,
+		Off:    off,
+		Srcs:   make([]int32, off[npairs]),
+		Dsts:   make([]int32, off[npairs]),
+	}
+	cur := counts // reuse the counting pass's slice as the fill cursor
+	copy(cur, off[:npairs])
+	for u := int32(0); int(u) < g.NumNodes(); u++ {
+		p := part[u]
+		if p < 0 || p >= nparts {
+			continue
+		}
+		for _, v := range g.Neighbors(u) {
+			q := part[v]
+			if q == p || q < 0 || q >= nparts {
+				continue
+			}
+			k := cur[p*nparts+q]
+			b.Srcs[k] = u
+			b.Dsts[k] = v
+			cur[p*nparts+q] = k + 1
+		}
+	}
+	return b
+}
+
+// NumArcs returns the total cross-partition arc count.
+func (b *ArcBuckets) NumArcs() int { return b.Off[len(b.Off)-1] }
+
+// Pair returns ordered pair idx's arc endpoints (views into the bucketing;
+// callers must not mutate them).
+func (b *ArcBuckets) Pair(idx int) (srcs, dsts []int32) {
+	return b.Srcs[b.Off[idx]:b.Off[idx+1]], b.Dsts[b.Off[idx]:b.Off[idx+1]]
+}
+
+// Edges materializes pair idx's arc bucket as an edge list, in bucket order.
+func (b *ArcBuckets) Edges(idx int) []Edge {
+	srcs, dsts := b.Pair(idx)
+	if len(srcs) == 0 {
+		return nil
+	}
+	out := make([]Edge, len(srcs))
+	for k := range srcs {
+		out[k] = Edge{U: srcs[k], V: dsts[k]}
+	}
+	return out
+}
+
+// DBG materializes pair idx's directed bipartite boundary graph, or nil when
+// the bucket is empty. The result is byte-identical to ExtractDBG for the
+// same (graph, partition, pair).
+func (b *ArcBuckets) DBG(idx int) *DBG {
+	srcs, dsts := b.Pair(idx)
+	if len(srcs) == 0 {
+		return nil
+	}
+	d, _ := dbgFromArcs(idx/b.NParts, idx%b.NParts, srcs, dsts, nil)
+	return d
+}
+
+// DBGs materializes every non-empty pair's DBG in ascending (src, dst) order
+// — the output contract of AllDBGs. Returns nil when nothing crosses.
+func (b *ArcBuckets) DBGs() []*DBG {
+	if b.NumArcs() == 0 {
+		return nil
+	}
+	out := make([]*DBG, 0, b.NParts*b.NParts)
+	var scratch []int32 // sink-sort buffer shared across buckets
+	for idx := 0; idx < b.NParts*b.NParts; idx++ {
+		srcs, dsts := b.Pair(idx)
+		if len(srcs) == 0 {
+			continue
+		}
+		var d *DBG
+		d, scratch = dbgFromArcs(idx/b.NParts, idx%b.NParts, srcs, dsts, scratch)
+		out = append(out, d)
+	}
+	return out
+}
+
+// DiffDBGs compares two bucketings of the same graph in one sweep and returns
+// the ascending pair indices whose arc buckets differ. Because the CSR sweep
+// is deterministic and the graph's arc set is deduplicated, equal buckets
+// guarantee byte-identical DBGs — so a pair absent from the diff can reuse
+// its cached DBG, grouping, and plan verbatim, and the dirty set is exactly
+// the pairs whose boundary structure changed (FuzzDiffDBGs checks both
+// directions differentially). Panics when the two bucketings disagree on the
+// partition count.
+func DiffDBGs(old, new *ArcBuckets) []int {
+	if old.NParts != new.NParts {
+		panic(fmt.Sprintf("graph: DiffDBGs partition counts %d vs %d", old.NParts, new.NParts))
+	}
+	var dirty []int
+	npairs := old.NParts * old.NParts
+	for idx := 0; idx < npairs; idx++ {
+		o0, o1 := old.Off[idx], old.Off[idx+1]
+		n0, n1 := new.Off[idx], new.Off[idx+1]
+		if o1-o0 != n1-n0 {
+			dirty = append(dirty, idx)
+			continue
+		}
+		for k := 0; k < o1-o0; k++ {
+			if old.Srcs[o0+k] != new.Srcs[n0+k] || old.Dsts[o0+k] != new.Dsts[n0+k] {
+				dirty = append(dirty, idx)
+				break
+			}
+		}
+	}
+	return dirty
+}
+
+// ValidatePartition checks a node→partition assignment at the API boundary:
+// the vector must cover all n nodes, every id must fall in [0, nparts), and
+// every partition must own at least one node. Planning and repartitioning
+// entry points (core.BuildAllPlans, PlanCache.Repartition, the engine and
+// cluster Repartition) run this so hostile inputs surface as errors instead
+// of panics (or silently dropped arcs) deep in the extraction sweep.
+func ValidatePartition(n int, part []int, nparts int) error {
+	if nparts < 1 {
+		return fmt.Errorf("graph: partition count %d < 1", nparts)
+	}
+	if len(part) != n {
+		return fmt.Errorf("graph: partition vector has %d entries, graph has %d nodes", len(part), n)
+	}
+	occupied := make([]bool, nparts)
+	for u, p := range part {
+		if p < 0 || p >= nparts {
+			return fmt.Errorf("graph: node %d assigned to partition %d, want [0,%d)", u, p, nparts)
+		}
+		occupied[p] = true
+	}
+	for p, ok := range occupied {
+		if !ok {
+			return fmt.Errorf("graph: partition %d is empty", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+)
+
+// DiffDBGs is the trust anchor of incremental replanning: every pair it
+// reports clean keeps its cached DBG, grouping, and plan verbatim, so a
+// missed dirty pair silently trains on a stale communication plan.
+// FuzzDiffDBGs locks the contract down differentially: for an arbitrary base
+// partition and an arbitrary mutation script, the diff-reported dirty set
+// must be a superset of the pairs whose rebuilt DBGs differ, and every clean
+// pair's rebuilt DBG must be byte-identical to the cached one. (On
+// deduplicated graphs the diff is in fact exact — dirty pairs must differ —
+// which the harness also asserts.)
+//
+// The fuzzed partition bytes deliberately map into [-1, nparts], one past
+// both ends of the valid range, so the extraction sweep's skip paths for
+// out-of-range ids are exercised too: DiffDBGs must stay correct on inputs
+// that bypassed API-boundary validation.
+
+// fuzzDiffNParts is the partition count of the fuzz harness.
+const fuzzDiffNParts = 3
+
+// fuzzDiffGraph is the fixed deterministic graph the fuzz harness partitions:
+// a 24-node ring with chords, dense enough that most byte flips move a
+// boundary.
+func fuzzDiffGraph() *Graph {
+	const n = 24
+	var edges []Edge
+	for u := int32(0); u < n; u++ {
+		edges = append(edges,
+			Edge{U: u, V: (u + 1) % n},
+			Edge{U: u, V: (u + 5) % n},
+			Edge{U: (u + 11) % n, V: u},
+		)
+	}
+	return New(n, edges)
+}
+
+// fuzzDiffPartition maps fuzz bytes to a partition vector over [-1, nparts]
+// (one id past each end of the valid range, exercising the skip paths).
+func fuzzDiffPartition(n int, data []byte) []int {
+	part := make([]int, n)
+	for i := range part {
+		if len(data) == 0 {
+			continue
+		}
+		part[i] = int(data[i%len(data)])%(fuzzDiffNParts+2) - 1
+	}
+	return part
+}
+
+func FuzzDiffDBGs(f *testing.F) {
+	for _, seed := range diffDBGsSeeds() {
+		f.Add(seed.base, seed.mut)
+	}
+	g := fuzzDiffGraph()
+	n := g.NumNodes()
+	f.Fuzz(func(t *testing.T, base, mut []byte) {
+		partA := fuzzDiffPartition(n, base)
+		// The mutation script reassigns one node per byte pair.
+		partB := append([]int(nil), partA...)
+		for i := 0; i+1 < len(mut) && i < 64; i += 2 {
+			partB[int(mut[i])%n] = int(mut[i+1])%(fuzzDiffNParts+2) - 1
+		}
+		bA := ExtractArcBuckets(g, partA, fuzzDiffNParts)
+		bB := ExtractArcBuckets(g, partB, fuzzDiffNParts)
+		dirtySet := make(map[int]bool)
+		for _, idx := range DiffDBGs(bA, bB) {
+			if idx < 0 || idx >= fuzzDiffNParts*fuzzDiffNParts {
+				t.Fatalf("dirty pair %d out of range", idx)
+			}
+			dirtySet[idx] = true
+		}
+		for idx := 0; idx < fuzzDiffNParts*fuzzDiffNParts; idx++ {
+			same := dbgBytesEqual(bA.DBG(idx), bB.DBG(idx))
+			if !dirtySet[idx] && !same {
+				t.Fatalf("pair %d reported clean but rebuilt DBG differs", idx)
+			}
+			if dirtySet[idx] && same {
+				t.Fatalf("pair %d reported dirty but rebuilt DBG identical", idx)
+			}
+		}
+		// Symmetry: diffing the other way dirties the same pairs.
+		rev := DiffDBGs(bB, bA)
+		if len(rev) != len(dirtySet) {
+			t.Fatalf("reverse diff has %d pairs, forward %d", len(rev), len(dirtySet))
+		}
+		for _, idx := range rev {
+			if !dirtySet[idx] {
+				t.Fatalf("reverse diff pair %d missing from forward diff", idx)
+			}
+		}
+	})
+}
+
+type diffSeed struct {
+	name      string
+	base, mut []byte
+}
+
+// diffDBGsSeeds is the checked-in seed corpus: a no-op, single-node moves,
+// a wholesale partition swap, out-of-range ids, and empty inputs.
+func diffDBGsSeeds() []diffSeed {
+	return []diffSeed{
+		{"noop", []byte{1, 2, 3, 0, 1, 2}, nil},
+		{"empty", nil, nil},
+		{"move-one", []byte{1, 1, 1, 2, 2, 2, 3, 3}, []byte{0, 3}},
+		{"move-several", []byte{1, 2, 3, 1, 2, 3}, []byte{0, 2, 5, 3, 11, 1, 23, 2}},
+		{"swap-heavy", []byte{1, 1, 2, 2, 3, 3}, []byte{0, 3, 1, 3, 2, 1, 3, 1, 4, 2, 5, 2}},
+		{"out-of-range", []byte{0, 1, 2, 3, 4}, []byte{7, 0, 9, 4}},
+	}
+}
+
+var updateCorpus = flag.Bool("update-corpus", false,
+	"rewrite the checked-in fuzz seed corpus under testdata/fuzz/")
+
+// TestFuzzDiffDBGsSeedCorpus pins the checked-in seed corpus to
+// diffDBGsSeeds: every seed must exist under testdata/fuzz/FuzzDiffDBGs/
+// with the exact "go test fuzz v1" encoding. Run with -update-corpus to
+// regenerate after changing the seeds (mirroring the wire package's scheme).
+func TestFuzzDiffDBGsSeedCorpus(t *testing.T) {
+	dir := filepath.Join("testdata", "fuzz", "FuzzDiffDBGs")
+	if *updateCorpus {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, seed := range diffDBGsSeeds() {
+		path := filepath.Join(dir, seed.name)
+		want := "go test fuzz v1\n[]byte(" + strconv.Quote(string(seed.base)) + ")\n" +
+			"[]byte(" + strconv.Quote(string(seed.mut)) + ")\n"
+		if *updateCorpus {
+			if err := os.WriteFile(path, []byte(want), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		got, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("seed corpus file missing (regenerate with -update-corpus): %v", err)
+		}
+		if string(got) != want {
+			t.Fatalf("%s is stale (regenerate with -update-corpus)", path)
+		}
+	}
+	if *updateCorpus {
+		t.Log("seed corpus rewritten")
+	}
+}

@@ -103,8 +103,11 @@ func TestLoadPartitionValidates(t *testing.T) {
 func TestExportPlansJSON(t *testing.T) {
 	ds := testDataset()
 	part := partition.Partition(ds.Graph, 2, partition.NodeCut, partition.Config{Seed: 3})
-	plans := core.BuildAllPlans(ds.Graph, part, 2,
+	plans, err := core.BuildAllPlans(ds.Graph, part, 2,
 		core.PlanConfig{Grouping: core.GroupingConfig{K: 2, Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(plans) == 0 {
 		t.Skip("no cross edges")
 	}

@@ -99,11 +99,18 @@ type Cluster struct {
 	nparts int
 	coeff  []float64
 
-	semantic  bool
+	semantic bool
+	// planCache owns the semantic plans and rebuilds only dirty pairs on
+	// Repartition (nil when semantic is off).
+	planCache *core.PlanCache
 	plans     []*core.PairPlan // index s*nparts+t; nil when no cross edges
 	revGroups [][]*core.Group
 
-	// crossOut[s*nparts+t] lists arcs u→v with part[u]=s, part[v]=t.
+	// buckets is the CSR-of-pairs bucketing of the current partition's cross
+	// arcs, retained so Repartition can diff against it.
+	buckets *graph.ArcBuckets
+	// crossOut[s*nparts+t] lists arcs u→v with part[u]=s, part[v]=t —
+	// pair (s→t)'s arc bucket.
 	crossOut [][]graph.Edge
 	// own[p] lists the nodes owned by worker p.
 	own [][]int32
@@ -302,28 +309,42 @@ func (c *Cluster) rebuildPairs() {
 	}
 	c.pairs = make([]pairState, c.nparts*c.nparts)
 	for idx := range c.pairs {
-		if idx/c.nparts == idx%c.nparts {
-			continue
+		c.reseedPair(idx)
+	}
+}
+
+// reseedPair (re)creates one ordered pair's compression state from scratch —
+// the sampler restarts its DeriveSeed(seed, idx) stream, the adaptive
+// quantizer and error-feedback store drop their history — exactly like the
+// same pair in a freshly built cluster. Repartition calls this for dirty
+// pairs only, mirroring the engine's initPairState so the two runtimes stay
+// equivalent after a repartition.
+func (c *Cluster) reseedPair(idx int) {
+	if c.pairs == nil {
+		return
+	}
+	ps := &c.pairs[idx]
+	*ps = pairState{}
+	if idx/c.nparts == idx%c.nparts {
+		return
+	}
+	if c.sampleRate > 0 && c.sampleRate < 1 {
+		pairSeed := compress.DeriveSeed(c.seed, idx)
+		if c.sampleNodes {
+			ps.nodeSampler = compress.NewNodeSampler(c.sampleRate, pairSeed)
+		} else {
+			ps.sampler = compress.NewSampler(c.sampleRate, pairSeed)
 		}
-		ps := &c.pairs[idx]
-		if samplingOn {
-			pairSeed := compress.DeriveSeed(c.seed, idx)
-			if c.sampleNodes {
-				ps.nodeSampler = compress.NewNodeSampler(c.sampleRate, pairSeed)
-			} else {
-				ps.sampler = compress.NewSampler(c.sampleRate, pairSeed)
-			}
+	}
+	if c.adaptive && c.quantBits > 0 {
+		minBits := 2
+		if c.quantBits < minBits {
+			minBits = c.quantBits
 		}
-		if adaptiveOn {
-			minBits := 2
-			if c.quantBits < minBits {
-				minBits = c.quantBits
-			}
-			ps.adaptive = compress.NewAdaptiveQuantizer(minBits, c.quantBits, 0)
-		}
-		if efOn {
-			ps.ef = compress.NewErrorFeedback()
-		}
+		ps.adaptive = compress.NewAdaptiveQuantizer(minBits, c.quantBits, 0)
+	}
+	if c.efOn && c.quantBits > 0 {
+		ps.ef = compress.NewErrorFeedback()
 	}
 }
 
@@ -388,32 +409,94 @@ func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg c
 		c.start[p] = make(chan struct{})
 		c.ws[p].batches = make([]wire.Batch, nparts)
 	}
-	for u := int32(0); int(u) < g.NumNodes(); u++ {
-		s := part[u]
-		c.own[s] = append(c.own[s], u)
-		for _, v := range g.Neighbors(u) {
-			if t := part[v]; t != s {
-				c.crossOut[s*nparts+t] = append(c.crossOut[s*nparts+t], graph.Edge{U: u, V: v})
-			}
-		}
+	c.buckets = graph.ExtractArcBuckets(g, part, nparts)
+	for idx := range c.crossOut {
+		c.crossOut[idx] = c.buckets.Edges(idx)
 	}
+	c.rebuildOwnership(part)
 	if semantic {
+		pc, err := core.NewPlanCache(g, part, nparts, planCfg)
+		if err != nil {
+			panic("worker: " + err.Error())
+		}
+		c.planCache = pc
 		c.plans = make([]*core.PairPlan, nparts*nparts)
 		c.revGroups = make([][]*core.Group, nparts*nparts)
-		for _, p := range core.BuildAllPlans(g, part, nparts, planCfg) {
-			idx := p.SrcPart*nparts + p.DstPart
-			c.plans[idx] = p
-			rev := make([]*core.Group, len(p.Groups))
-			for i, grp := range p.Groups {
-				rev[i] = grp.Reverse()
-			}
-			c.revGroups[idx] = rev
+		for idx := range c.plans {
+			c.installPlan(idx)
 		}
 	}
 	for p := 0; p < nparts; p++ {
 		go c.run(p)
 	}
 	return c
+}
+
+// rebuildOwnership recomputes own[p] (ascending node ids per worker) from a
+// partition vector.
+func (c *Cluster) rebuildOwnership(part []int) {
+	c.own = make([][]int32, c.nparts)
+	for u := int32(0); int(u) < c.g.NumNodes(); u++ {
+		c.own[part[u]] = append(c.own[part[u]], u)
+	}
+}
+
+// installPlan refreshes the cluster's view of pair idx's semantic plan from
+// the plan cache, including the cached reversed groups for the backward pass.
+func (c *Cluster) installPlan(idx int) {
+	p := c.planCache.Plan(idx)
+	c.plans[idx] = p
+	if p == nil {
+		c.revGroups[idx] = nil
+		return
+	}
+	rev := make([]*core.Group, len(p.Groups))
+	for i, grp := range p.Groups {
+		rev[i] = grp.Reverse()
+	}
+	c.revGroups[idx] = rev
+}
+
+// Repartition moves the cluster to a new partition of the same graph,
+// rebuilding only what the partition change actually touched — the worker
+// runtime's mirror of dist.Engine.Repartition, and subject to the same
+// contract: pairs whose boundary sets are unchanged keep their plan,
+// cross-edge list, and compression state verbatim; dirty pairs get a rebuilt
+// plan (bit-identical to a from-scratch build) and freshly re-seeded
+// sampler/adaptive/EF streams; delay slots (whole-round aggregates) are
+// invalidated iff any pair is dirty. The partition vector is copied. Must
+// not race a round in flight. Returns the ascending dirty pair indices; on
+// error the cluster is unchanged.
+func (c *Cluster) Repartition(part []int) ([]int, error) {
+	if err := graph.ValidatePartition(c.g.NumNodes(), part, c.nparts); err != nil {
+		return nil, fmt.Errorf("worker: Repartition: %w", err)
+	}
+	nb := graph.ExtractArcBuckets(c.g, part, c.nparts)
+	var dirty []int
+	if c.planCache != nil {
+		dirty = c.planCache.RepartitionBuckets(nb)
+		for _, idx := range dirty {
+			c.installPlan(idx)
+		}
+	} else {
+		dirty = graph.DiffDBGs(c.buckets, nb)
+	}
+	c.buckets = nb
+	c.part = append([]int(nil), part...)
+	c.rebuildOwnership(c.part)
+	for _, idx := range dirty {
+		c.crossOut[idx] = nb.Edges(idx)
+		c.reseedPair(idx)
+	}
+	if len(dirty) > 0 {
+		// Slots hold whole-round aggregates over all pairs; any dirty plan
+		// makes every replay stale. Matrices are retained (fresh rounds fully
+		// rewrite them), only the filled marks drop.
+		for i := range c.delayFilled {
+			c.delayFilled[i] = false
+		}
+	}
+	return dirty, nil
 }
 
 // NewClusterFromConfig builds a cluster running the same method combination

@@ -1,0 +1,134 @@
+package worker
+
+import (
+	"testing"
+
+	"scgnn/internal/dist"
+	"scgnn/internal/graph"
+)
+
+// movedPart deterministically moves every 7th node to the next partition,
+// asserting the result still validates (all partitions occupied).
+func movedPart(t *testing.T, n int, part []int, nparts int) []int {
+	t.Helper()
+	next := append([]int(nil), part...)
+	for u := 0; u < len(next); u += 7 {
+		next[u] = (next[u] + 1) % nparts
+	}
+	if err := graph.ValidatePartition(n, next, nparts); err != nil {
+		t.Fatalf("perturbation produced an invalid partition: %v", err)
+	}
+	return next
+}
+
+// TestClusterEngineRepartitionLockstep extends the cross-engine equivalence
+// matrix across a mid-training repartition: for every Fig. 12(b) method
+// combination, engine and cluster run two epochs, Repartition onto the same
+// perturbed partition (same dirty sets), and run two more — aggregates must
+// stay within fp32 wire tolerance and traffic must match exactly throughout.
+// This is the strongest check on the stateful methods (sampling, adaptive
+// quantization, error feedback): their per-pair streams must survive on
+// clean pairs and re-seed identically on dirty pairs in both runtimes.
+func TestClusterEngineRepartitionLockstep(t *testing.T) {
+	d, part := setup(t, 3)
+	const nparts = 3
+	next := movedPart(t, d.NumNodes(), part, nparts)
+	h := randMat(d.NumNodes(), 5, 81)
+	g := randMat(d.NumNodes(), 5, 82)
+
+	for name, cfg := range dist.MethodMatrix(9) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			cl := NewClusterFromConfig(d.Graph, part, nparts, cfg)
+			defer cl.Close()
+			eng := dist.NewEngine(d.Graph, part, nparts, cfg)
+
+			compare := func(epoch int, stage string) {
+				t.Helper()
+				cl.ResetTraffic()
+				cl.StartEpoch(epoch)
+				gotF := cl.Forward(h)
+				gotB := cl.Backward(g)
+				snap := cl.Snapshot()
+				eng.StartEpoch(epoch)
+				wantF := eng.Forward(h)
+				wantB := eng.Backward(g)
+				if tol := 1e-3 * (1 + wantF.MaxAbs()); !gotF.Equal(wantF, tol) {
+					t.Fatalf("%s epoch %d: forward diverged from engine", stage, epoch)
+				}
+				if tol := 1e-3 * (1 + wantB.MaxAbs()); !gotB.Equal(wantB, tol) {
+					t.Fatalf("%s epoch %d: backward diverged from engine", stage, epoch)
+				}
+				if es := eng.CaptureEpoch(); snap.TotalBytes != es.TotalBytes ||
+					snap.TotalMessages != es.TotalMessages {
+					t.Fatalf("%s epoch %d: wire traffic %+v vs engine %+v", stage, epoch, snap, es)
+				}
+			}
+
+			for epoch := 0; epoch < 2; epoch++ {
+				compare(epoch, "pre-repartition")
+			}
+			dEng, err := eng.Repartition(next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dCl, err := cl.Repartition(next)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(dEng) != len(dCl) {
+				t.Fatalf("dirty sets differ: engine %v vs cluster %v", dEng, dCl)
+			}
+			for i := range dEng {
+				if dEng[i] != dCl[i] {
+					t.Fatalf("dirty sets differ: engine %v vs cluster %v", dEng, dCl)
+				}
+			}
+			if len(dEng) == 0 {
+				t.Fatal("a real perturbation must dirty at least one pair")
+			}
+			for epoch := 2; epoch < 4; epoch++ {
+				compare(epoch, "post-repartition")
+			}
+		})
+	}
+}
+
+// TestClusterRepartitionHostileInput: the cluster rejects malformed
+// partitions with an error and keeps serving rounds unchanged.
+func TestClusterRepartitionHostileInput(t *testing.T) {
+	d, part := setup(t, 3)
+	const nparts = 3
+	cl := NewClusterFromConfig(d.Graph, part, nparts, dist.Vanilla())
+	defer cl.Close()
+	h := randMat(d.NumNodes(), 5, 83)
+	cl.StartEpoch(0)
+	// Clone: the pooled cluster reuses its output buffer across rounds.
+	before := cl.Forward(h).Clone()
+
+	n := d.NumNodes()
+	outOfRange := append([]int(nil), part...)
+	outOfRange[0] = nparts
+	empty := make([]int, n) // partitions 1 and 2 empty
+	cases := []struct {
+		name string
+		part []int
+	}{
+		{"short vector", part[:n-1]},
+		{"id out of range", outOfRange},
+		{"empty partition", empty},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := cl.Repartition(c.part); err == nil {
+				t.Fatal("Repartition accepted a malformed partition")
+			}
+			cl.StartEpoch(0)
+			// 1e-9: channel arrival order can reorder the accumulation
+			// (same bound as TestClusterDeterministicUnderConcurrency).
+			if !cl.Forward(h).Equal(before, 1e-9) {
+				t.Fatal("failed Repartition changed the cluster's aggregate")
+			}
+		})
+	}
+}

@@ -189,9 +189,21 @@ type Plan = core.PairPlan
 
 // BuildPlans constructs the semantic compression plan for every ordered
 // partition pair (the offline step of Fig. 8, between graph partition and
-// node update).
-func BuildPlans(ds *Dataset, part []int, nparts int, opt SemanticOptions) []*Plan {
+// node update). The partition is validated first: a wrong-length vector,
+// out-of-range ids, or an empty partition return an error.
+func BuildPlans(ds *Dataset, part []int, nparts int, opt SemanticOptions) ([]*Plan, error) {
 	return core.BuildAllPlans(ds.Graph, part, nparts, opt.planConfig())
+}
+
+// PlanCache retains per-pair plans across repartitions: Repartition diffs the
+// new partition's boundary sets against the cached ones and rebuilds only the
+// pairs that changed, with output bit-identical to a from-scratch BuildPlans.
+type PlanCache = core.PlanCache
+
+// NewPlanCache builds every pair's plan from scratch (same output as
+// BuildPlans) and retains the state incremental repartitioning needs.
+func NewPlanCache(ds *Dataset, part []int, nparts int, opt SemanticOptions) (*PlanCache, error) {
+	return core.NewPlanCache(ds.Graph, part, nparts, opt.planConfig())
 }
 
 // ConcurrentResult reports a goroutine-runtime training run: accuracy plus

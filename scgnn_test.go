@@ -51,7 +51,10 @@ func TestBuildPlansAndCensus(t *testing.T) {
 	if census.TotalEdges() == 0 {
 		t.Fatal("empty census")
 	}
-	plans := scgnn.BuildPlans(ds, part, 4, scgnn.SemanticOptions{Seed: 1})
+	plans, err := scgnn.BuildPlans(ds, part, 4, scgnn.SemanticOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(plans) == 0 {
 		t.Fatal("no plans")
 	}
@@ -67,10 +70,38 @@ func TestBuildPlansAndCensus(t *testing.T) {
 	}
 }
 
+func TestPlanCacheFacade(t *testing.T) {
+	ds, _ := scgnn.LoadDataset("pubmed-sim", 1)
+	part := scgnn.PartitionGraph(ds, 3, scgnn.NodeCut, 1)
+	pc, err := scgnn.NewPlanCache(ds, part, 3, scgnn.SemanticOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pc.Plans()) == 0 {
+		t.Fatal("no plans")
+	}
+	if dirty, err := pc.Repartition(part); err != nil || len(dirty) != 0 {
+		t.Fatalf("no-op repartition: dirty=%v err=%v", dirty, err)
+	}
+	moved := append([]int(nil), part...)
+	for u := range moved {
+		if moved[u] == 0 {
+			moved[u] = 1
+			break
+		}
+	}
+	if _, err := pc.Repartition(moved); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pc.Repartition(part[:10]); err == nil {
+		t.Fatal("short partition accepted")
+	}
+}
+
 func TestExperimentFacade(t *testing.T) {
 	ids := scgnn.ExperimentIDs()
-	if len(ids) != 22 { // 12 paper experiments + 10 ablations
-		t.Fatalf("experiment count = %d, want 22", len(ids))
+	if len(ids) != 23 { // 12 paper experiments + 11 ablations
+		t.Fatalf("experiment count = %d, want 23", len(ids))
 	}
 	out := scgnn.RunExperiment("fig4a", 1, 5)
 	if !strings.Contains(out, "fig4a") {
