@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover fuzz fuzz-smoke bench bench-all experiments quick-experiments clean
+.PHONY: all build vet test race verify cover fuzz fuzz-smoke bench bench-all bench-scale experiments quick-experiments clean
 
 all: build vet test race
 
@@ -19,7 +19,8 @@ test:
 # equivalence matrix over all Fig. 12(b) method combinations), the
 # receiver-sharded parallel engine, and the planning pipeline (single-sweep
 # DBG extraction fanned into concurrent per-pair plan builds and the sharded
-# k-means sweep).
+# k-means sweep). The core package's TestScale100KSmoke makes this lane
+# build the 100k streaming preset under the race detector on every verify.
 race:
 	$(GO) test -race ./internal/dist/... ./internal/worker/... \
 		./internal/cluster/... ./internal/core/... ./internal/graph/...
@@ -70,6 +71,19 @@ bench:
 		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_worker.json -key after
 	$(GO) test -run '^$$' -bench 'BenchmarkAllDBGs|BenchmarkPlanPipeline|BenchmarkReplan' -benchmem . \
 		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_plan.json -key after
+
+# The million-node scale lane (ROADMAP "out-of-core scale"): the flat-vs-
+# reference CSR constructor micro-benchmarks at the 100k preset land under
+# "csr-construct" (both variants in one run: the Reference row is the seed
+# constructor, the acceptance bar is ≥2× lower B/op for the flat row), and
+# the full-pipeline rows — generation, plan, 1%-perturbation replan,
+# worker-cluster rounds/sec, peak runtime footprint at 10k/100k/1M — land
+# under "scale".
+bench-scale:
+	$(GO) test -run '^$$' -bench 'BenchmarkCSRConstruct' -benchmem ./internal/graph/ \
+		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_scale.json -key csr-construct
+	$(GO) run ./cmd/scgnn-bench -scale all \
+		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_scale.json -key scale
 
 # Every benchmark in the repo (paper figures included; slower).
 bench-all:

@@ -34,6 +34,7 @@ func main() {
 		svgDir = flag.String("svg", "", "directory to write per-figure SVG plots")
 		logY   = flag.Bool("svg-logy", false, "log-scale the y axis of SVG plots")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
+		scale  = flag.String("scale", "", "run the scale study over comma-separated presets ('all' = reddit-sim-{10k,100k,1m}) and print benchmark-format rows for scgnn-benchjson")
 	)
 	flag.Parse()
 
@@ -45,6 +46,11 @@ func main() {
 	}
 
 	opts := exp.Options{Seed: *seed, Epochs: *epochs, Partitions: *parts, Quick: *quick}
+
+	if *scale != "" {
+		runScale(*scale, opts)
+		return
+	}
 
 	var ids []string
 	if *expID == "all" {
@@ -74,6 +80,24 @@ func main() {
 		if *svgDir != "" {
 			writeFigures(*svgDir, id, report, *logY)
 		}
+	}
+}
+
+// runScale executes the scale study (exp.ScaleBench) and prints one
+// `go test -bench`-shaped line per preset, so the rows flow through the same
+// scgnn-benchjson merge as the micro-benchmarks (make bench-scale →
+// BENCH_scale.json). The non-standard units land in the JSON metrics map.
+func runScale(sel string, opts exp.Options) {
+	var names []string
+	if sel != "all" {
+		names = strings.Split(sel, ",")
+	}
+	for _, r := range exp.ScaleBench(opts, names) {
+		fmt.Printf("BenchmarkScalePipeline/%s 1 %.0f gen-ns %.0f plan-ns %.0f replan-ns %.4f rounds/sec %d peak-rss-B %d nodes %d arcs %d cross-arcs %d dirty-pairs\n",
+			r.Dataset,
+			r.GenSeconds*1e9, r.PlanSeconds*1e9, r.ReplanSeconds*1e9,
+			r.RoundsPerSec, r.PeakRSSBytes,
+			r.Nodes, r.Arcs, r.CrossArcs, r.DirtyPairs)
 	}
 }
 

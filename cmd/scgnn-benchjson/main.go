@@ -22,6 +22,10 @@ type benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Metrics collects value/unit pairs beyond the three standard ones —
+	// testing.B.ReportMetric output and the scale-study rows (plan-ns,
+	// replan-ns, rounds/sec, peak-rss-B, …), keyed by unit.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 type run struct {
@@ -101,6 +105,13 @@ func parseLine(line string) (benchmark, bool) {
 			b.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 		case "allocs/op":
 			b.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+		default:
+			if f, err := strconv.ParseFloat(val, 64); err == nil {
+				if b.Metrics == nil {
+					b.Metrics = make(map[string]float64)
+				}
+				b.Metrics[unit] = f
+			}
 		}
 	}
 	return b, true

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 
@@ -237,20 +238,20 @@ func fillEmbedding(d *graph.DBG, sim Similarity, poolSrc, pivots []int, emb *ten
 func buildGroup(d *graph.DBG, srcIdx, dstIdx []int) *Group {
 	srcNodes := make([]int32, len(srcIdx))
 	srcDeg := make([]int, len(srcIdx))
-	dstPos := make(map[int]int, len(dstIdx))
-	for k, vi := range dstIdx {
-		dstPos[vi] = k
-	}
 	dstNodes := make([]int32, len(dstIdx))
 	dstDeg := make([]int, len(dstIdx))
 	for k, vi := range dstIdx {
 		dstNodes[k] = d.DstNodes[vi]
 	}
+	// dstIdx is ascending at both call sites (Connections appends sinks in
+	// index order; bitvec Indices() is sorted), so membership is a binary
+	// search instead of a per-group map — this runs once per group per plan
+	// and dominated allocation at the 100k/1M presets.
 	edges := 0
 	for k, ui := range srcIdx {
 		srcNodes[k] = d.SrcNodes[ui]
 		for _, vi := range d.Neighbors(ui) {
-			if p, ok := dstPos[vi]; ok {
+			if p, ok := slices.BinarySearch(dstIdx, vi); ok {
 				srcDeg[k]++
 				dstDeg[p]++
 				edges++

@@ -26,6 +26,11 @@ type PlanCache struct {
 	nparts  int
 	cfg     PlanConfig
 	buckets *graph.ArcBuckets
+	// spare is the bucketing displaced by the previous Repartition, recycled
+	// as extraction scratch so steady-state repartitioning allocates no arc
+	// arrays. Only the partition-vector entry point manages it; callers of
+	// RepartitionBuckets own their extraction (and its reuse) themselves.
+	spare *graph.ArcBuckets
 	// table has nparts² slots; nil for pairs with no cross edges.
 	table []*PairPlan
 }
@@ -72,7 +77,14 @@ func (c *PlanCache) Repartition(part []int) ([]int, error) {
 	if err := graph.ValidatePartition(c.g.NumNodes(), part, c.nparts); err != nil {
 		return nil, fmt.Errorf("core: Repartition: %w", err)
 	}
-	return c.RepartitionBuckets(graph.ExtractArcBuckets(c.g, part, c.nparts)), nil
+	// Recycle the bucketing displaced two calls ago as extraction scratch;
+	// the current bucketing must outlive the diff inside RepartitionBuckets,
+	// so it becomes the next spare only after the swap.
+	old := c.buckets
+	nb := graph.ExtractArcBucketsInto(c.spare, c.g, part, c.nparts)
+	dirty := c.RepartitionBuckets(nb)
+	c.spare = old
+	return dirty, nil
 }
 
 // RepartitionBuckets is Repartition for callers that already extracted the

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled steers the scale suite: the full 100k plan-equivalence test is
+// minutes under the race detector's instrumentation on one core, so the race
+// lane runs TestScale100KSmoke instead (same preset, cheaper pipeline slice).
+const raceEnabled = true

@@ -135,6 +135,88 @@ func TestHubSkew(t *testing.T) {
 	}
 }
 
+// TestRealizedDegreeWithinTwoPercent: with duplicates and self-loops rejected
+// at sampling time, the realized average degree of a dense spec must land
+// within 2% of Spec.AvgDegree. The pre-fix path counted duplicate draws
+// toward the target and then dropped them in graph.New, so dense specs (hub
+// skew makes repeats common) silently under-delivered — the drift that broke
+// the Fig. 12(a) density ordering at scaled presets.
+func TestRealizedDegreeWithinTwoPercent(t *testing.T) {
+	for _, spec := range []Spec{
+		{Name: "dense", Nodes: 800, AvgDegree: 40, Classes: 4, FeatureDim: 4, Seed: 1},
+		{Name: "hubby", Nodes: 1200, AvgDegree: 56, Classes: 8, FeatureDim: 4, HubExponent: 0.8, Seed: 2},
+		{Name: "sparse", Nodes: 2000, AvgDegree: 6, Classes: 5, FeatureDim: 4, Seed: 3},
+	} {
+		d := Generate(spec)
+		got := d.Graph.AvgDegree()
+		if rel := math.Abs(got-spec.AvgDegree) / spec.AvgDegree; rel > 0.02 {
+			t.Errorf("%s: realized avg degree %.3f vs target %.1f (%.1f%% off)",
+				spec.Name, got, spec.AvgDegree, 100*rel)
+		}
+	}
+}
+
+// TestEdgeSet pins the dedup filter: orientation-canonical, duplicate-
+// rejecting, growable, and replaying exactly the accepted pairs.
+func TestEdgeSet(t *testing.T) {
+	s := newEdgeSet(4)
+	if !s.add(3, 7) || s.add(7, 3) || s.add(3, 7) {
+		t.Fatal("orientation canonicalization broken")
+	}
+	rng := rand.New(rand.NewSource(5))
+	want := map[[2]int32]bool{{3, 7}: true}
+	for i := 0; i < 5000; i++ {
+		u, v := int32(rng.Intn(300)), int32(rng.Intn(300))
+		if u == v {
+			continue
+		}
+		k := [2]int32{min(u, v), max(u, v)}
+		if s.add(u, v) == want[k] {
+			t.Fatalf("add(%d,%d) disagreed with model", u, v)
+		}
+		want[k] = true
+	}
+	if s.size != len(want) {
+		t.Fatalf("size %d vs model %d", s.size, len(want))
+	}
+	got := map[[2]int32]bool{}
+	s.each(func(u, v int32) {
+		if u >= v {
+			t.Fatalf("each emitted non-canonical pair (%d,%d)", u, v)
+		}
+		got[[2]int32{u, v}] = true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("each replayed %d pairs, want %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Fatalf("each lost pair %v", k)
+		}
+	}
+}
+
+// TestScalePresetRegistry: the scale family resolves by name and keeps the
+// density-dominance contract over the paper presets at a trimmed node count
+// (the full presets are exercised by the scale suite and bench lane, not the
+// unit tests).
+func TestScalePresetRegistry(t *testing.T) {
+	if names := ScaleNames(); len(names) != 3 || names[0] != "reddit-sim-10k" || names[2] != "reddit-sim-1m" {
+		t.Fatalf("ScaleNames = %v", names)
+	}
+	// Only the smallest member is cheap enough to generate in a unit test.
+	d, err := ByName("reddit-sim-10k", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumNodes() != 10_000 || d.Name != "reddit-sim-10k" {
+		t.Fatalf("10k preset shape wrong: %d nodes, %q", d.NumNodes(), d.Name)
+	}
+	if avg := d.Graph.AvgDegree(); math.Abs(avg-48)/48 > 0.02 {
+		t.Fatalf("10k realized degree %.2f, want 48±2%%", avg)
+	}
+}
+
 func TestRegistry(t *testing.T) {
 	for _, name := range Names() {
 		d, err := ByName(name, 1)

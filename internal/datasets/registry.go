@@ -82,6 +82,68 @@ func PubMedSim(seed int64) *Dataset {
 	})
 }
 
+// The scale-out family: Reddit-shaped synthetics at 10k/100k/1M nodes, the
+// workloads behind BENCH_scale.json and the million-node ROADMAP item. They
+// stream through the dedup sampler into the flat CSR constructor, so peak
+// generation memory is the dedup set plus the final CSR — never an edge
+// slice. Average degree tapers as N grows: real Reddit's 489 would put the
+// 1M preset at ~10⁹ arcs (beyond the int32 CSR boundary and far beyond a
+// single-host planning budget), so the family instead preserves the
+// density *dominance* over every other preset (all ≤14) while keeping the
+// largest graph tractable end to end — generate, partition, plan, and run
+// worker-cluster rounds — on one machine.
+
+// RedditSim10K is the 10k-node member of the scale family.
+func RedditSim10K(seed int64) *Dataset {
+	return Generate(Spec{
+		Name:       "reddit-sim-10k",
+		Nodes:      10_000,
+		AvgDegree:  48,
+		Classes:    16,
+		FeatureDim: 32,
+		Homophily:  0.85,
+		LabelNoise: 0.034,
+		Seed:       seed,
+	})
+}
+
+// RedditSim100K is the 100k-node member of the scale family — the preset the
+// verify-gate race smoke and TestPlanPipelineAtScale build.
+func RedditSim100K(seed int64) *Dataset {
+	return Generate(Spec{
+		Name:       "reddit-sim-100k",
+		Nodes:      100_000,
+		AvgDegree:  32,
+		Classes:    32,
+		FeatureDim: 32,
+		Homophily:  0.88,
+		LabelNoise: 0.034,
+		Seed:       seed,
+	})
+}
+
+// RedditSim1M is the million-node member of the scale family: 8M undirected
+// edges / 16M directed arcs. Homophily is raised so the cross-partition
+// boundary (and with it the dense per-pair DBG bit matrices) stays within a
+// single host's memory at 8 partitions.
+func RedditSim1M(seed int64) *Dataset {
+	return Generate(Spec{
+		Name:       "reddit-sim-1m",
+		Nodes:      1_000_000,
+		AvgDegree:  16,
+		Classes:    64,
+		FeatureDim: 32,
+		Homophily:  0.9,
+		LabelNoise: 0.034,
+		Seed:       seed,
+	})
+}
+
+// ScaleNames lists the scale-out presets smallest first.
+func ScaleNames() []string {
+	return []string{"reddit-sim-10k", "reddit-sim-100k", "reddit-sim-1m"}
+}
+
 // ByName returns the named benchmark dataset generator output.
 func ByName(name string, seed int64) (*Dataset, error) {
 	switch name {
@@ -93,8 +155,14 @@ func ByName(name string, seed int64) (*Dataset, error) {
 		return OgbnProductsSim(seed), nil
 	case "pubmed-sim", "pubmed":
 		return PubMedSim(seed), nil
+	case "reddit-sim-10k", "reddit-10k":
+		return RedditSim10K(seed), nil
+	case "reddit-sim-100k", "reddit-100k":
+		return RedditSim100K(seed), nil
+	case "reddit-sim-1m", "reddit-1m":
+		return RedditSim1M(seed), nil
 	}
-	return nil, fmt.Errorf("datasets: unknown dataset %q (want reddit-sim, yelp-sim, ogbn-products-sim, or pubmed-sim)", name)
+	return nil, fmt.Errorf("datasets: unknown dataset %q (want reddit-sim, yelp-sim, ogbn-products-sim, pubmed-sim, or a scale preset reddit-sim-{10k,100k,1m})", name)
 }
 
 // Names lists the four benchmark datasets in the paper's display order.

@@ -226,8 +226,9 @@ type Engine struct {
 
 	// buckets is the CSR-of-pairs bucketing of the current partition's cross
 	// arcs, retained so Repartition can diff against it and touch only the
-	// pairs whose boundary sets changed.
-	buckets *graph.ArcBuckets
+	// pairs whose boundary sets changed. spare is the bucketing the previous
+	// Repartition displaced, recycled as extraction scratch.
+	buckets, spare *graph.ArcBuckets
 	// crossOut[s*nparts+t] lists the cross arcs u→v with part[u]=s,
 	// part[v]=t (baseline per-edge exchange) — pair (s→t)'s arc bucket.
 	crossOut [][]graph.Edge
@@ -412,7 +413,7 @@ func (e *Engine) Repartition(part []int) ([]int, error) {
 	if err := graph.ValidatePartition(e.g.NumNodes(), part, e.nparts); err != nil {
 		return nil, fmt.Errorf("dist: Repartition: %w", err)
 	}
-	nb := graph.ExtractArcBuckets(e.g, part, e.nparts)
+	nb := graph.ExtractArcBucketsInto(e.spare, e.g, part, e.nparts)
 	var dirty []int
 	if e.planCache != nil {
 		// The cache diffs against its own retained buckets (content-equal to
@@ -425,6 +426,7 @@ func (e *Engine) Repartition(part []int) ([]int, error) {
 	} else {
 		dirty = graph.DiffDBGs(e.buckets, nb)
 	}
+	e.spare = e.buckets // displaced; recycled by the next extraction
 	e.buckets = nb
 	e.part = append([]int(nil), part...)
 	e.rebuildOwnership(e.part)

@@ -1,0 +1,168 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"scgnn/internal/core"
+	"scgnn/internal/datasets"
+	"scgnn/internal/dist"
+	"scgnn/internal/partition"
+	"scgnn/internal/tensor"
+	"scgnn/internal/trace"
+	"scgnn/internal/worker"
+)
+
+func init() {
+	Registry["scale"] = Scale
+}
+
+// ScaleResult is one row of the million-node scale study: the full pipeline —
+// streaming generation, edge-cut partitioning, plan-cache construction,
+// an incremental replan after a 1% perturbation, and concurrent
+// worker-cluster rounds — timed at one preset size, with the peak Go-runtime
+// footprint sampled across stages.
+type ScaleResult struct {
+	Dataset      string
+	Nodes        int
+	Arcs         int
+	CrossArcs    int
+	GenSeconds   float64
+	PlanSeconds  float64
+	// ReplanSeconds times PlanCache.Repartition after moving 1% of nodes to
+	// random partitions; DirtyPairs is how many of the nparts² pair plans
+	// that perturbation actually rebuilt.
+	ReplanSeconds float64
+	DirtyPairs    int
+	// RoundsPerSec is measured over Rounds forward AggregateInto rounds of
+	// the semantic worker cluster on the dataset's feature matrix.
+	Rounds       int
+	RoundsPerSec float64
+	// PeakRSSBytes is the maximum runtime.MemStats.Sys observed across the
+	// stages — the Go runtime's total OS footprint, the closest in-process
+	// proxy for peak RSS.
+	PeakRSSBytes uint64
+}
+
+// scalePlanConfig bounds planning to what a single host affords at 10⁵–10⁶
+// nodes: a fixed group count (no 19-run EEP sweep) and a trimmed pivot
+// embedding. TestPlanPipelineAtScale pins the same shape, so the BENCH rows
+// and the equivalence suite measure one configuration.
+func scalePlanConfig(seed int64) core.PlanConfig {
+	return core.PlanConfig{Grouping: core.GroupingConfig{K: 8, MaxPivots: 8, Seed: seed}}
+}
+
+// ScaleBench runs the scale study over the named presets (datasets.ScaleNames
+// order when names is nil). Partitions defaults to 8 — the acceptance
+// configuration of the million-node ROADMAP item — rather than the 4 the
+// table experiments use.
+func ScaleBench(o Options, names []string) []ScaleResult {
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Partitions == 0 {
+		o.Partitions = 8
+	}
+	if names == nil {
+		names = datasets.ScaleNames()
+	}
+	out := make([]ScaleResult, 0, len(names))
+	for _, name := range names {
+		out = append(out, scaleOne(name, o))
+	}
+	return out
+}
+
+func scaleOne(name string, o Options) ScaleResult {
+	nparts := o.Partitions
+	res := ScaleResult{Dataset: name, Rounds: 3}
+	var peak uint64
+	sample := func() {
+		var m runtime.MemStats
+		runtime.ReadMemStats(&m)
+		if m.Sys > peak {
+			peak = m.Sys
+		}
+	}
+
+	start := time.Now()
+	d, err := datasets.ByName(name, o.Seed)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	res.GenSeconds = time.Since(start).Seconds()
+	res.Nodes = d.NumNodes()
+	res.Arcs = d.Graph.NumEdges()
+	sample()
+
+	part := partition.Partition(d.Graph, nparts, partition.EdgeCut, partition.Config{Seed: o.Seed})
+	sample()
+
+	cfg := scalePlanConfig(o.Seed)
+	start = time.Now()
+	pc, err := core.NewPlanCache(d.Graph, part, nparts, cfg)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	res.PlanSeconds = time.Since(start).Seconds()
+	res.CrossArcs = pc.Buckets().NumArcs()
+	sample()
+
+	rng := rand.New(rand.NewSource(o.Seed))
+	next := perturbFraction(rng, part, nparts, 0.01, d.NumNodes())
+	start = time.Now()
+	dirty, err := pc.Repartition(next)
+	if err != nil {
+		panic("exp: " + err.Error())
+	}
+	res.ReplanSeconds = time.Since(start).Seconds()
+	res.DirtyPairs = len(dirty)
+	sample()
+
+	// Worker-cluster rounds on the original partition (the perturbed one
+	// only exists to time the replan) with the semantic plans.
+	c := worker.NewClusterFromConfig(d.Graph, part, nparts, dist.Semantic(cfg))
+	defer c.Close()
+	dst := tensor.New(d.NumNodes(), d.FeatureDim())
+	start = time.Now()
+	for r := 0; r < res.Rounds; r++ {
+		if err := c.AggregateInto(dst, d.Features, false); err != nil {
+			panic("exp: " + err.Error())
+		}
+	}
+	res.RoundsPerSec = float64(res.Rounds) / time.Since(start).Seconds()
+	sample()
+
+	res.PeakRSSBytes = peak
+	return res
+}
+
+// Scale is the registry wrapper: Quick mode trims to the 10k preset so the
+// experiment-suite tests stay fast; the bench lane runs all three sizes.
+func Scale(o Options) *Report {
+	names := datasets.ScaleNames()
+	if o.Quick {
+		names = names[:1]
+	}
+	r := &Report{ID: "scale"}
+	tb := trace.NewTable("scale: pipeline wall and footprint vs N",
+		"dataset", "nodes", "arcs", "cross", "gen s", "plan s", "replan s", "dirty", "rounds/s", "peak MB")
+	for _, sr := range ScaleBench(o, names) {
+		tb.AddRow(sr.Dataset, sr.Nodes, sr.Arcs, sr.CrossArcs,
+			fmt.Sprintf("%.2f", sr.GenSeconds),
+			fmt.Sprintf("%.2f", sr.PlanSeconds),
+			fmt.Sprintf("%.2f", sr.ReplanSeconds),
+			sr.DirtyPairs,
+			fmt.Sprintf("%.2f", sr.RoundsPerSec),
+			fmt.Sprintf("%.0f", float64(sr.PeakRSSBytes)/(1<<20)))
+	}
+	r.Tables = append(r.Tables, tb)
+	nparts := o.Partitions
+	if nparts == 0 {
+		nparts = 8
+	}
+	r.AddNote("plan config: fixed K=8, MaxPivots=8 (no EEP sweep); partitions=%d edge-cut", nparts)
+	return r
+}

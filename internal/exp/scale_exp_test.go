@@ -1,0 +1,37 @@
+package exp
+
+import "testing"
+
+// TestScaleQuickShape runs the scale study's Quick slice (the 10k preset
+// only) and sanity-checks the row the bench lane would emit: every stage
+// must have run, the perturbation must dirty at least one pair, and the
+// footprint sample must be live.
+func TestScaleQuickShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k preset in -short mode")
+	}
+	r := Scale(Options{Seed: 1, Quick: true})
+	if len(r.Tables) != 1 || len(r.Tables[0].Rows) != 1 {
+		t.Fatalf("quick scale report shape: %d tables", len(r.Tables))
+	}
+	rows := ScaleBench(Options{Seed: 1}, []string{"reddit-sim-10k"})
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	sr := rows[0]
+	if sr.Nodes != 10_000 || sr.Arcs == 0 || sr.CrossArcs == 0 {
+		t.Fatalf("graph shape: %+v", sr)
+	}
+	if sr.PlanSeconds <= 0 || sr.ReplanSeconds <= 0 || sr.GenSeconds <= 0 {
+		t.Fatalf("missing stage timing: %+v", sr)
+	}
+	if sr.DirtyPairs == 0 {
+		t.Fatal("1% perturbation at 10k dirtied no pairs")
+	}
+	if sr.RoundsPerSec <= 0 || sr.Rounds != 3 {
+		t.Fatalf("rounds: %+v", sr)
+	}
+	if sr.PeakRSSBytes == 0 {
+		t.Fatal("no footprint sample")
+	}
+}

@@ -2,7 +2,7 @@ package graph
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"scgnn/internal/bitvec"
 )
@@ -303,7 +303,7 @@ func sortedKeys(set map[int32]bool) []int32 {
 }
 
 func sortInt32(s []int32) {
-	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	slices.Sort(s)
 }
 
 func indexOf(nodes []int32) map[int32]int {

@@ -26,11 +26,32 @@ type ArcBuckets struct {
 // panics — callers wanting an error instead should run ValidatePartition
 // first (core.BuildAllPlans and the Repartition entry points do).
 func ExtractArcBuckets(g *Graph, part []int, nparts int) *ArcBuckets {
+	return ExtractArcBucketsInto(nil, g, part, nparts)
+}
+
+// ExtractArcBucketsInto is ExtractArcBuckets with scratch reuse: when prev is
+// non-nil its Off/Srcs/Dsts backing arrays are recycled (grown only when the
+// new bucketing needs more room), so a repartition-in-the-loop caller extracts
+// each round's bucketing with zero steady-state allocation. prev's contents
+// are destroyed; the returned value is a fresh header (callers holding the old
+// header — e.g. a PlanCache about to diff old vs new — must pass a bucketing
+// they own exclusively). prev == nil allocates everything, which is exactly
+// ExtractArcBuckets.
+func ExtractArcBucketsInto(prev *ArcBuckets, g *Graph, part []int, nparts int) *ArcBuckets {
 	if len(part) != g.NumNodes() {
 		panic(fmt.Sprintf("graph: partition vector len %d want %d", len(part), g.NumNodes()))
 	}
 	npairs := nparts * nparts
-	counts := make([]int, npairs)
+	var off []int
+	if prev != nil && cap(prev.Off) >= npairs+1 {
+		off = prev.Off[:npairs+1]
+		for i := range off {
+			off[i] = 0
+		}
+	} else {
+		off = make([]int, npairs+1)
+	}
+	counts := off[1:] // count into the offset slots, then prefix-sum in place
 	for u := int32(0); int(u) < g.NumNodes(); u++ {
 		p := part[u]
 		if p < 0 || p >= nparts {
@@ -44,17 +65,18 @@ func ExtractArcBuckets(g *Graph, part []int, nparts int) *ArcBuckets {
 			counts[p*nparts+q]++
 		}
 	}
-	off := make([]int, npairs+1)
-	for i, c := range counts {
-		off[i+1] = off[i] + c
+	for i := 1; i <= npairs; i++ {
+		off[i] += off[i-1]
 	}
-	b := &ArcBuckets{
-		NParts: nparts,
-		Off:    off,
-		Srcs:   make([]int32, off[npairs]),
-		Dsts:   make([]int32, off[npairs]),
+	narcs := off[npairs]
+	b := &ArcBuckets{NParts: nparts, Off: off}
+	if prev != nil && cap(prev.Srcs) >= narcs && cap(prev.Dsts) >= narcs {
+		b.Srcs, b.Dsts = prev.Srcs[:narcs], prev.Dsts[:narcs]
+	} else {
+		b.Srcs = make([]int32, narcs)
+		b.Dsts = make([]int32, narcs)
 	}
-	cur := counts // reuse the counting pass's slice as the fill cursor
+	cur := make([]int, npairs) // fill cursors (npairs ints — noise next to the arc arrays)
 	copy(cur, off[:npairs])
 	for u := int32(0); int(u) < g.NumNodes(); u++ {
 		p := part[u]

@@ -47,6 +47,50 @@ func TestArcBucketsAccessors(t *testing.T) {
 	dbgsEqual(t, b.DBGs(), allDBGsReference(g, part, 2))
 }
 
+// TestExtractArcBucketsInto: the reuse path is byte-identical to a fresh
+// extraction across random (graph, partition) sequences — growing, shrinking,
+// and changing the pair count — and actually recycles the backing arrays when
+// capacity suffices.
+func TestExtractArcBucketsInto(t *testing.T) {
+	bucketsEqual := func(a, b *ArcBuckets) bool {
+		if a.NParts != b.NParts || len(a.Off) != len(b.Off) || a.NumArcs() != b.NumArcs() {
+			return false
+		}
+		for i := range a.Off {
+			if a.Off[i] != b.Off[i] {
+				return false
+			}
+		}
+		for i := range a.Srcs {
+			if a.Srcs[i] != b.Srcs[i] || a.Dsts[i] != b.Dsts[i] {
+				return false
+			}
+		}
+		return true
+	}
+	rng := rand.New(rand.NewSource(7))
+	var prev *ArcBuckets
+	for step := 0; step < 40; step++ {
+		g, part, nparts := randPartitioned(rng)
+		want := ExtractArcBuckets(g, part, nparts)
+		got := ExtractArcBucketsInto(prev, g, part, nparts)
+		if !bucketsEqual(got, want) {
+			t.Fatalf("step %d: reuse extraction diverged from fresh", step)
+		}
+		prev = got
+	}
+
+	// Capacity reuse: same shape twice must keep the backing arrays.
+	g := New(6, []Edge{{0, 3}, {1, 4}, {2, 5}, {3, 0}})
+	part := []int{0, 0, 0, 1, 1, 1}
+	a := ExtractArcBuckets(g, part, 2)
+	srcs0 := &a.Srcs[0]
+	b := ExtractArcBucketsInto(a, g, part, 2)
+	if len(b.Srcs) == 0 || &b.Srcs[0] != srcs0 {
+		t.Fatal("same-shape re-extraction did not reuse the arc arrays")
+	}
+}
+
 func TestArcBucketsDBGsEmpty(t *testing.T) {
 	g := New(4, []Edge{{U: 0, V: 1}, {U: 2, V: 3}})
 	b := ExtractArcBuckets(g, []int{0, 0, 1, 1}, 2)

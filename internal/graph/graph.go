@@ -10,6 +10,7 @@ package graph
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -26,52 +27,151 @@ type Graph struct {
 // Edge is a directed edge u→v.
 type Edge struct{ U, V int32 }
 
+// EdgeStream feeds edges to the streaming CSR constructors. The constructor
+// invokes the stream twice — a counting pass, then a fill pass — so the
+// stream must emit the same multiset of edges on every invocation (a
+// generator replaying a fixed seed, or an iteration over retained state).
+// NewFromStream requires the same ordered pairs both times; for
+// NewUndirectedFromStream the orientation of each pair may differ between
+// invocations, since both arc directions are inserted anyway. Emission order
+// is free: adjacency is sorted after the fill.
+type EdgeStream func(emit func(u, v int32))
+
 // New builds a directed graph with n nodes from the given edge list.
 // Duplicate edges and self-loops are dropped; neighbor lists are sorted.
 func New(n int, edges []Edge) *Graph {
-	if n < 0 {
-		panic(fmt.Sprintf("graph: negative node count %d", n))
-	}
-	adjSets := make([][]int32, n)
-	for _, e := range edges {
-		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
-			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", e.U, e.V, n))
-		}
-		if e.U == e.V {
-			continue
-		}
-		adjSets[e.U] = append(adjSets[e.U], e.V)
-	}
-	g := &Graph{n: n, Off: make([]int32, n+1)}
-	for u, nbrs := range adjSets {
-		sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
-		// Dedup in place.
-		w := 0
-		for i, v := range nbrs {
-			if i > 0 && v == nbrs[i-1] {
-				continue
-			}
-			nbrs[w] = v
-			w++
-		}
-		adjSets[u] = nbrs[:w]
-		g.Off[u+1] = g.Off[u] + int32(w)
-	}
-	g.Adj = make([]int32, g.Off[n])
-	for u, nbrs := range adjSets {
-		copy(g.Adj[g.Off[u]:], nbrs)
-	}
-	return g
+	return NewFromStream(n, sliceStream(edges))
 }
 
 // NewUndirected builds a graph in which every input edge is inserted in both
 // directions (the standard form for GCN datasets).
 func NewUndirected(n int, edges []Edge) *Graph {
-	both := make([]Edge, 0, 2*len(edges))
-	for _, e := range edges {
-		both = append(both, e, Edge{U: e.V, V: e.U})
+	return NewUndirectedFromStream(n, sliceStream(edges))
+}
+
+func sliceStream(edges []Edge) EdgeStream {
+	return func(emit func(u, v int32)) {
+		for _, e := range edges {
+			emit(e.U, e.V)
+		}
 	}
-	return New(n, both)
+}
+
+// NewFromStream builds a directed graph from a replayable edge stream with
+// flat count→prefix→fill construction: no per-node adjacency slices are ever
+// materialized, so the peak side memory is one int32 count per node plus the
+// final CSR arrays. Duplicate edges and self-loops are dropped; neighbor
+// lists are sorted.
+func NewFromStream(n int, stream EdgeStream) *Graph {
+	return newFromStream(n, stream, false)
+}
+
+// NewUndirectedFromStream is NewFromStream with both arc directions inserted
+// during the fill pass — the scaled-generator path that never materializes a
+// doubled edge slice (or any edge slice at all).
+func NewUndirectedFromStream(n int, stream EdgeStream) *Graph {
+	return newFromStream(n, stream, true)
+}
+
+func newFromStream(n int, stream EdgeStream, undirected bool) *Graph {
+	if n < 0 {
+		panic(fmt.Sprintf("graph: negative node count %d", n))
+	}
+	// Counting pass. The running arc total is tracked in int64 and checked
+	// against the int32 CSR boundary on every emission, so per-node counts
+	// (bounded by the total) can never wrap either.
+	deg := make([]int32, n)
+	var total int64
+	count := func(u, v int32) {
+		if u < 0 || int(u) >= n || v < 0 || int(v) >= n {
+			panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, n))
+		}
+		if u == v {
+			return
+		}
+		total++
+		if undirected {
+			total++
+		}
+		if total > math.MaxInt32 {
+			panic(fmt.Sprintf("graph: %d arcs overflow the int32 CSR offsets (max %d)", total, math.MaxInt32))
+		}
+		deg[u]++
+		if undirected {
+			deg[v]++
+		}
+	}
+	stream(count)
+
+	g := &Graph{n: n, Off: makeOffsets(deg)}
+	g.Adj = make([]int32, total)
+
+	// Fill pass: deg doubles as the per-node write cursor.
+	cur := deg
+	copy(cur, g.Off[:n])
+	fill := func(u, v int32) {
+		if u == v {
+			return
+		}
+		place := func(src, dst int32) {
+			k := cur[src]
+			if k >= g.Off[src+1] {
+				panic("graph: edge stream emitted different edges across passes")
+			}
+			g.Adj[k] = dst
+			cur[src] = k + 1
+		}
+		place(u, v)
+		if undirected {
+			place(v, u)
+		}
+	}
+	stream(fill)
+	for u := 0; u < n; u++ {
+		if cur[u] != g.Off[u+1] {
+			panic("graph: edge stream emitted different edges across passes")
+		}
+	}
+
+	// Sort each adjacency segment, dedup in place, and compact the survivors
+	// leftward (the write cursor w never overtakes the read position).
+	var w int32
+	for u := 0; u < n; u++ {
+		seg := g.Adj[g.Off[u]:g.Off[u+1]]
+		slices.Sort(seg)
+		start := w
+		prev := int32(-1)
+		for _, v := range seg {
+			if v == prev {
+				continue
+			}
+			g.Adj[w] = v
+			prev = v
+			w++
+		}
+		g.Off[u] = start
+	}
+	g.Off[n] = w
+	g.Adj = g.Adj[:w]
+	return g
+}
+
+// makeOffsets converts per-node arc counts into the int32 CSR offset array,
+// accumulating in int64 and panicking with a clear message if the running
+// total crosses the int32 boundary — the guard that replaces the silent
+// `Off[u+1] = Off[u] + int32(w)` wraparound of the per-node-slice
+// constructor.
+func makeOffsets(counts []int32) []int32 {
+	off := make([]int32, len(counts)+1)
+	var total int64
+	for i, c := range counts {
+		total += int64(c)
+		if total > math.MaxInt32 {
+			panic(fmt.Sprintf("graph: %d arcs overflow the int32 CSR offsets (max %d)", total, math.MaxInt32))
+		}
+		off[i+1] = int32(total)
+	}
+	return off
 }
 
 // NumNodes returns the node count.

@@ -148,7 +148,13 @@ func growBFS(g *graph.Graph, nparts int, rng *rand.Rand, cfg Config) []int {
 	}
 	capacity := int(float64(n)/float64(nparts)*(1+cfg.Slack)) + 1
 	sizes := make([]int, nparts)
+	// Per-partition FIFO queues with explicit head cursors: popping advances
+	// heads[p] instead of re-slicing, so each queue's backing array is
+	// append-only and the whole growth phase touches O(N + claims) queue
+	// slots — the flat-array form of the original `queues[p][1:]` loop, with
+	// identical pop/requeue order and therefore identical output.
 	queues := make([][]int32, nparts)
+	heads := make([]int, nparts)
 
 	// Seeds: distinct random nodes.
 	seedPerm := rng.Perm(n)
@@ -169,9 +175,9 @@ func growBFS(g *graph.Graph, nparts int, rng *rand.Rand, cfg Config) []int {
 				continue
 			}
 			claimed := false
-			for len(queues[p]) > 0 && !claimed {
-				u := queues[p][0]
-				queues[p] = queues[p][1:]
+			for heads[p] < len(queues[p]) && !claimed {
+				u := queues[p][heads[p]]
+				heads[p]++
 				for _, v := range g.Neighbors(u) {
 					if part[v] == -1 && sizes[p] < capacity {
 						part[v] = p
@@ -274,6 +280,14 @@ func refine(g *graph.Graph, part []int, nparts int, cfg Config, gain gainFunc) {
 	minSize := int(float64(n) / float64(nparts) * (1 - cfg.Slack))
 	maxSize := int(float64(n)/float64(nparts)*(1+cfg.Slack)) + 1
 
+	// Epoch-stamped candidate dedup: seen[p] == stamp means partition p was
+	// already considered for the current node. One flat array across the
+	// whole refinement replaces the per-node map the original allocated N
+	// times per sweep; candidate acceptance order is unchanged, so the
+	// refined partition is identical.
+	seen := make([]int, nparts)
+	stamp := 0
+
 	for round := 0; round < cfg.RefineRounds; round++ {
 		moved := 0
 		for u := int32(0); int(u) < n; u++ {
@@ -283,13 +297,14 @@ func refine(g *graph.Graph, part []int, nparts int, cfg Config, gain gainFunc) {
 			}
 			// Candidate partitions: those of u's neighbors.
 			bestP, bestG := -1, 0.0
-			seen := map[int]bool{cur: true}
+			stamp++
+			seen[cur] = stamp
 			for _, v := range g.Neighbors(u) {
 				p := part[v]
-				if seen[p] || sizes[p] >= maxSize {
+				if seen[p] == stamp || sizes[p] >= maxSize {
 					continue
 				}
-				seen[p] = true
+				seen[p] = stamp
 				if gn := gain(g, part, u, p); gn > bestG {
 					bestG, bestP = gn, p
 				}

@@ -107,8 +107,10 @@ type Cluster struct {
 	revGroups [][]*core.Group
 
 	// buckets is the CSR-of-pairs bucketing of the current partition's cross
-	// arcs, retained so Repartition can diff against it.
-	buckets *graph.ArcBuckets
+	// arcs, retained so Repartition can diff against it. spare is the
+	// bucketing the previous Repartition displaced, recycled as extraction
+	// scratch.
+	buckets, spare *graph.ArcBuckets
 	// crossOut[s*nparts+t] lists arcs u→v with part[u]=s, part[v]=t —
 	// pair (s→t)'s arc bucket.
 	crossOut [][]graph.Edge
@@ -471,7 +473,7 @@ func (c *Cluster) Repartition(part []int) ([]int, error) {
 	if err := graph.ValidatePartition(c.g.NumNodes(), part, c.nparts); err != nil {
 		return nil, fmt.Errorf("worker: Repartition: %w", err)
 	}
-	nb := graph.ExtractArcBuckets(c.g, part, c.nparts)
+	nb := graph.ExtractArcBucketsInto(c.spare, c.g, part, c.nparts)
 	var dirty []int
 	if c.planCache != nil {
 		dirty = c.planCache.RepartitionBuckets(nb)
@@ -481,6 +483,7 @@ func (c *Cluster) Repartition(part []int) ([]int, error) {
 	} else {
 		dirty = graph.DiffDBGs(c.buckets, nb)
 	}
+	c.spare = c.buckets // displaced; recycled by the next extraction
 	c.buckets = nb
 	c.part = append([]int(nil), part...)
 	c.rebuildOwnership(c.part)
