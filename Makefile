@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover fuzz fuzz-smoke bench bench-all bench-scale experiments quick-experiments clean
+.PHONY: all build vet test race verify cover fuzz fuzz-smoke bench bench-all bench-scale profile experiments quick-experiments clean
 
 all: build vet test race
 
@@ -64,7 +64,8 @@ verify: build vet test race cover fuzz-smoke
 # Cluster-round + halo-exchange benchmarks with allocation counts; the JSON
 # lands in BENCH_worker.json under "after" (the committed "before" baseline
 # is preserved by the merge). The planning-pipeline benchmarks (one-sweep DBG
-# extraction + concurrent plan builds + EEP sweep) refresh BENCH_plan.json
+# extraction + concurrent plan builds + EEP sweep, plus the 100k-preset
+# dirty-fraction replan sweep BenchmarkReplan100K*) refresh BENCH_plan.json
 # the same way.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkClusterRound|BenchmarkEngineExchange' -benchmem . ./internal/worker/ \
@@ -78,12 +79,26 @@ bench:
 # constructor, the acceptance bar is ≥2× lower B/op for the flat row), and
 # the full-pipeline rows — generation, plan, 1%-perturbation replan,
 # worker-cluster rounds/sec, peak runtime footprint at 10k/100k/1M — land
-# under "scale".
+# under "scale", now with per-phase heap high-waters (gen/plan/replan) from
+# the continuous memWatch sampler.
 bench-scale:
 	$(GO) test -run '^$$' -bench 'BenchmarkCSRConstruct' -benchmem ./internal/graph/ \
 		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_scale.json -key csr-construct
 	$(GO) run ./cmd/scgnn-bench -scale all \
 		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_scale.json -key scale
+
+# CPU + heap profiles of the scale pipeline at the 100k preset, for digging
+# into what a BENCH_scale.json regression actually spends its time/bytes on.
+# PROFILE_PRESET=reddit-sim-1m for the full-size run; add PROFILE_FLAGS=-mmap
+# to profile the out-of-core mode. Inspect with `go tool pprof`.
+PROFILE_PRESET ?= reddit-sim-100k
+PROFILE_FLAGS ?=
+profile:
+	mkdir -p results
+	$(GO) run ./cmd/scgnn-bench -scale $(PROFILE_PRESET) $(PROFILE_FLAGS) \
+		-cpuprofile results/scale_cpu.pprof -memprofile results/scale_mem.pprof
+	@echo "profile: go tool pprof results/scale_cpu.pprof   # CPU"
+	@echo "profile: go tool pprof results/scale_mem.pprof   # live heap"
 
 # Every benchmark in the repo (paper figures included; slower).
 bench-all:

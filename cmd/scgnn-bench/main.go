@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -35,6 +37,9 @@ func main() {
 		logY   = flag.Bool("svg-logy", false, "log-scale the y axis of SVG plots")
 		list   = flag.Bool("list", false, "list experiment ids and exit")
 		scale  = flag.String("scale", "", "run the scale study over comma-separated presets ('all' = reddit-sim-{10k,100k,1m}) and print benchmark-format rows for scgnn-benchjson")
+		mmap   = flag.Bool("mmap", false, "back scale-study feature matrices with mmap'd files (out-of-core mode; bit-identical results)")
+		cpuPro = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memPro = flag.String("memprofile", "", "write an end-of-run heap profile to this file")
 	)
 	flag.Parse()
 
@@ -45,7 +50,24 @@ func main() {
 		return
 	}
 
-	opts := exp.Options{Seed: *seed, Epochs: *epochs, Partitions: *parts, Quick: *quick}
+	if *cpuPro != "" {
+		f, err := os.Create(*cpuPro)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "scgnn-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "scgnn-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	defer writeMemProfile(*memPro)
+
+	opts := exp.Options{Seed: *seed, Epochs: *epochs, Partitions: *parts, Quick: *quick, MmapFeatures: *mmap}
 
 	if *scale != "" {
 		runScale(*scale, opts)
@@ -93,11 +115,29 @@ func runScale(sel string, opts exp.Options) {
 		names = strings.Split(sel, ",")
 	}
 	for _, r := range exp.ScaleBench(opts, names) {
-		fmt.Printf("BenchmarkScalePipeline/%s 1 %.0f gen-ns %.0f plan-ns %.0f replan-ns %.4f rounds/sec %d peak-rss-B %d nodes %d arcs %d cross-arcs %d dirty-pairs\n",
+		fmt.Printf("BenchmarkScalePipeline/%s 1 %.0f gen-ns %.0f plan-ns %.0f replan-ns %.4f rounds/sec %d peak-rss-B %d peak-heap-B %d gen-peak-B %d plan-peak-B %d replan-peak-B %d nodes %d arcs %d cross-arcs %d dirty-pairs\n",
 			r.Dataset,
 			r.GenSeconds*1e9, r.PlanSeconds*1e9, r.ReplanSeconds*1e9,
-			r.RoundsPerSec, r.PeakRSSBytes,
+			r.RoundsPerSec, r.PeakRSSBytes, r.PeakHeapBytes,
+			r.GenPeakBytes, r.PlanPeakBytes, r.ReplanPeakBytes,
 			r.Nodes, r.Arcs, r.CrossArcs, r.DirtyPairs)
+	}
+}
+
+// writeMemProfile snapshots the post-GC live heap into path ("" = off).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "scgnn-bench: %v\n", err)
+		return
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "scgnn-bench: %v\n", err)
 	}
 }
 

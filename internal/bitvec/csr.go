@@ -1,0 +1,228 @@
+package bitvec
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Bits is the read interface over a DBG adjacency bit matrix. Two
+// implementations exist: the dense word-packed Matrix (the original, retained
+// as the equality oracle) and the sparse CSR below. Every method is defined
+// in terms of set cardinalities and ascending index lists, so the two
+// representations are observationally identical — similarity scores, group
+// construction, and connection classification produce bit-identical results
+// on either (pinned by TestCSRMatchesDense and the forced-representation
+// plan-equality suite in core).
+type Bits interface {
+	// Rows and Cols are the matrix dimensions.
+	Rows() int
+	Cols() int
+	// RowCount returns the number of set bits in row i (C_A[i] of Eq. 2).
+	RowCount(i int) int
+	// TotalCount returns the total number of set bits.
+	TotalCount() int
+	// Get reports bit (i, j).
+	Get(i, j int) bool
+	// RowIndices returns the ascending set-column indices of row i. The
+	// slice may be a view into internal storage: callers must not mutate it
+	// and must not assume it survives the matrix.
+	RowIndices(i int) []int32
+	// RowAndCount returns |row i ∩ row j| — the inner product A_u1·A_u2ᵀ.
+	RowAndCount(i, j int) int
+	// RowOrCount returns |row i ∪ row j|.
+	RowOrCount(i, j int) int
+	// OrRowInto sets v ← v ∪ row i; v must have Cols() bits.
+	OrRowInto(v *Vector, i int)
+}
+
+// CSR is a sparse bit matrix: per row, the ascending column indices of its
+// set bits, packed into one shared index array (compressed sparse row). A
+// DBG adjacency with E edges costs 4(E+rows+1) bytes instead of the dense
+// rows×cols/8 — the representation that keeps million-node boundary
+// structures in memory (a 40k×40k pair costs ~200 MB dense, ~250 KB sparse).
+//
+// Dense-row operations are replaced by sorted-list kernels: intersection is
+// a two-pointer merge that switches to binary-search galloping when the rows
+// are badly skewed, union cardinality is inclusion–exclusion, and the union
+// accumulation used by grouping densifies one small row block on demand into
+// the caller's cols-bit Vector (never a full dense matrix).
+type CSR struct {
+	cols int
+	off  []int32 // len rows+1; row i owns idx[off[i]:off[i+1]]
+	idx  []int32 // ascending within each row
+}
+
+// NewCSR wraps the given CSR arrays as a sparse bit matrix with len(off)-1
+// rows. off must be non-decreasing with off[0]==0 and off[rows]==len(idx);
+// every row's indices must be strictly ascending within [0, cols). The
+// arrays are retained, not copied.
+func NewCSR(cols int, off, idx []int32) *CSR {
+	if cols < 0 || len(off) == 0 || off[0] != 0 || int(off[len(off)-1]) != len(idx) {
+		panic(fmt.Sprintf("bitvec: malformed CSR header (cols %d, %d offsets, %d indices)", cols, len(off), len(idx)))
+	}
+	for r := 0; r+1 < len(off); r++ {
+		if off[r] > off[r+1] {
+			panic(fmt.Sprintf("bitvec: CSR offsets decrease at row %d", r))
+		}
+		row := idx[off[r]:off[r+1]]
+		for k, j := range row {
+			if j < 0 || int(j) >= cols || (k > 0 && row[k-1] >= j) {
+				panic(fmt.Sprintf("bitvec: CSR row %d not strictly ascending in [0,%d)", r, cols))
+			}
+		}
+	}
+	return &CSR{cols: cols, off: off, idx: idx}
+}
+
+// CSRFromMatrix converts a dense matrix to its sparse form (used by tests
+// and the on-demand densification oracle checks).
+func CSRFromMatrix(m *Matrix) *CSR {
+	off := make([]int32, m.Rows()+1)
+	idx := make([]int32, 0, m.TotalCount())
+	for i := 0; i < m.Rows(); i++ {
+		idx = append(idx, m.RowIndices(i)...)
+		off[i+1] = int32(len(idx))
+	}
+	return &CSR{cols: m.Cols(), off: off, idx: idx}
+}
+
+// Rows implements Bits.
+func (c *CSR) Rows() int { return len(c.off) - 1 }
+
+// Cols implements Bits.
+func (c *CSR) Cols() int { return c.cols }
+
+// RowCount implements Bits in O(1).
+func (c *CSR) RowCount(i int) int { return int(c.off[i+1] - c.off[i]) }
+
+// TotalCount implements Bits in O(1).
+func (c *CSR) TotalCount() int { return len(c.idx) }
+
+// RowIndices implements Bits: a zero-copy view of row i.
+func (c *CSR) RowIndices(i int) []int32 { return c.idx[c.off[i]:c.off[i+1]] }
+
+// Get implements Bits (binary search within the row).
+func (c *CSR) Get(i, j int) bool {
+	if j < 0 || j >= c.cols {
+		panic(fmt.Sprintf("bitvec: index %d out of range [0,%d)", j, c.cols))
+	}
+	row := c.RowIndices(i)
+	lo, hi := 0, len(row)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if row[mid] < int32(j) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(row) && row[lo] == int32(j)
+}
+
+// RowAndCount implements Bits: |row i ∩ row j| over the sorted index lists.
+func (c *CSR) RowAndCount(i, j int) int {
+	return intersectCount(c.RowIndices(i), c.RowIndices(j))
+}
+
+// RowOrCount implements Bits by inclusion–exclusion (exact in integers, so
+// it matches the dense OrCount bit for bit).
+func (c *CSR) RowOrCount(i, j int) int {
+	return c.RowCount(i) + c.RowCount(j) - c.RowAndCount(i, j)
+}
+
+// OrRowInto implements Bits: the on-demand densification path — one row is
+// scattered into the caller's cols-bit accumulator without ever building a
+// dense matrix.
+func (c *CSR) OrRowInto(v *Vector, i int) {
+	if v.n != c.cols {
+		panic(fmt.Sprintf("bitvec: length mismatch %d vs %d", v.n, c.cols))
+	}
+	for _, j := range c.RowIndices(i) {
+		v.words[j/wordBits] |= 1 << uint(j%wordBits)
+	}
+}
+
+// gallopRatio is the size skew beyond which intersectCount abandons the
+// linear merge for per-element binary search in the longer list.
+const gallopRatio = 16
+
+// intersectCount returns the intersection cardinality of two strictly
+// ascending int32 lists: a two-pointer merge in the balanced case, binary
+// search of each short-list element in the long list when the sizes are
+// skewed by more than gallopRatio (the hub-row case of skewed boundary
+// degrees, where the merge would walk the hub row end to end).
+func intersectCount(a, b []int32) int {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	if len(b) > gallopRatio*len(a) {
+		n := 0
+		for _, x := range a {
+			lo, hi := 0, len(b)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if b[mid] < x {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			if lo < len(b) && b[lo] == x {
+				n++
+			}
+			b = b[lo:]
+			if len(b) == 0 {
+				break
+			}
+		}
+		return n
+	}
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		ai, bj := a[i], b[j]
+		if ai == bj {
+			n++
+			i++
+			j++
+		} else if ai < bj {
+			i++
+		} else {
+			j++
+		}
+	}
+	return n
+}
+
+// --- dense Matrix side of the Bits interface ---
+
+// RowIndices implements Bits: the ascending set-column indices of row i,
+// freshly allocated (the dense representation has no index list to share).
+func (m *Matrix) RowIndices(i int) []int32 {
+	r := m.rows[i]
+	out := make([]int32, 0, m.counts[i])
+	for wi, w := range r.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			out = append(out, int32(wi*wordBits+b))
+			w &= w - 1
+		}
+	}
+	return out
+}
+
+// RowAndCount implements Bits via the word-parallel AND+popcount kernel.
+func (m *Matrix) RowAndCount(i, j int) int { return AndCount(m.rows[i], m.rows[j]) }
+
+// RowOrCount implements Bits via the word-parallel OR+popcount kernel.
+func (m *Matrix) RowOrCount(i, j int) int { return OrCount(m.rows[i], m.rows[j]) }
+
+// OrRowInto implements Bits: v ← v ∪ row i, word-parallel.
+func (m *Matrix) OrRowInto(v *Vector, i int) { v.OrWith(m.rows[i]) }
+
+var (
+	_ Bits = (*Matrix)(nil)
+	_ Bits = (*CSR)(nil)
+)

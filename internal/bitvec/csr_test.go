@@ -1,0 +1,199 @@
+package bitvec
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomMatrix fills an r×c dense matrix at the given bit density.
+func randomMatrix(rng *rand.Rand, r, c int, density float64) *Matrix {
+	m := NewMatrix(r, c)
+	for i := 0; i < r; i++ {
+		for j := 0; j < c; j++ {
+			if rng.Float64() < density {
+				m.SetBit(i, j)
+			}
+		}
+	}
+	return m
+}
+
+// TestCSRMatchesDense: every Bits method agrees between a dense matrix and
+// its CSR conversion, over random shapes and densities — including the
+// degenerate empty-row, full-row, and zero-matrix cases. This is the
+// representation-equality oracle the hybrid DBG adjacency rests on.
+func TestCSRMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := []struct {
+		r, c    int
+		density float64
+	}{
+		{1, 1, 0}, {1, 1, 1}, {3, 200, 0}, {5, 64, 1},
+		{7, 63, 0.5}, {8, 64, 0.5}, {9, 65, 0.5},
+		{40, 300, 0.02}, {40, 300, 0.9}, {128, 128, 0.1},
+		{1, 1000, 0.005}, {200, 3, 0.3},
+	}
+	for _, sh := range shapes {
+		m := randomMatrix(rng, sh.r, sh.c, sh.density)
+		s := CSRFromMatrix(m)
+		if s.Rows() != m.Rows() || s.Cols() != m.Cols() {
+			t.Fatalf("%dx%d: shape mismatch %dx%d", sh.r, sh.c, s.Rows(), s.Cols())
+		}
+		if s.TotalCount() != m.TotalCount() {
+			t.Fatalf("%dx%d: TotalCount %d want %d", sh.r, sh.c, s.TotalCount(), m.TotalCount())
+		}
+		for i := 0; i < sh.r; i++ {
+			if s.RowCount(i) != m.RowCount(i) {
+				t.Fatalf("%dx%d row %d: RowCount %d want %d", sh.r, sh.c, i, s.RowCount(i), m.RowCount(i))
+			}
+			di, si := m.RowIndices(i), s.RowIndices(i)
+			if len(di) != len(si) {
+				t.Fatalf("%dx%d row %d: RowIndices len %d want %d", sh.r, sh.c, i, len(si), len(di))
+			}
+			for k := range di {
+				if di[k] != si[k] {
+					t.Fatalf("%dx%d row %d: RowIndices[%d] = %d want %d", sh.r, sh.c, i, k, si[k], di[k])
+				}
+			}
+			for j := 0; j < sh.c; j++ {
+				if s.Get(i, j) != m.Get(i, j) {
+					t.Fatalf("%dx%d: Get(%d,%d) = %v want %v", sh.r, sh.c, i, j, s.Get(i, j), m.Get(i, j))
+				}
+			}
+		}
+		for trial := 0; trial < 4*sh.r; trial++ {
+			i, j := rng.Intn(sh.r), rng.Intn(sh.r)
+			if got, want := s.RowAndCount(i, j), m.RowAndCount(i, j); got != want {
+				t.Fatalf("%dx%d: RowAndCount(%d,%d) = %d want %d", sh.r, sh.c, i, j, got, want)
+			}
+			if got, want := s.RowOrCount(i, j), m.RowOrCount(i, j); got != want {
+				t.Fatalf("%dx%d: RowOrCount(%d,%d) = %d want %d", sh.r, sh.c, i, j, got, want)
+			}
+		}
+		// OrRowInto accumulation over every row must reproduce the dense
+		// column union.
+		vs, vm := New(sh.c), New(sh.c)
+		for i := 0; i < sh.r; i++ {
+			s.OrRowInto(vs, i)
+			m.OrRowInto(vm, i)
+		}
+		if !vs.Equal(vm) {
+			t.Fatalf("%dx%d: OrRowInto union differs", sh.r, sh.c)
+		}
+	}
+}
+
+// TestIntersectCountGalloping pins the galloping path against the plain merge
+// on heavily skewed list sizes (the kernel switches strategies at
+// gallopRatio; both must count identically).
+func TestIntersectCountGalloping(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	naive := func(a, b []int32) int {
+		set := make(map[int32]bool, len(a))
+		for _, x := range a {
+			set[x] = true
+		}
+		n := 0
+		for _, x := range b {
+			if set[x] {
+				n++
+			}
+		}
+		return n
+	}
+	randAsc := func(n, space int) []int32 {
+		seen := make(map[int32]bool)
+		for len(seen) < n {
+			seen[int32(rng.Intn(space))] = true
+		}
+		out := make([]int32, 0, n)
+		for x := range seen {
+			out = append(out, x)
+		}
+		sortInt32s(out)
+		return out
+	}
+	cases := []struct{ na, nb, space int }{
+		{0, 100, 1000}, {1, 100, 1000}, {3, 1000, 5000},
+		{5, 5, 50}, {64, 64, 100}, {2, 33, 40}, {10, 500, 600},
+	}
+	for _, c := range cases {
+		a, b := randAsc(c.na, c.space), randAsc(c.nb, c.space)
+		want := naive(a, b)
+		if got := intersectCount(a, b); got != want {
+			t.Fatalf("intersectCount(|a|=%d,|b|=%d) = %d want %d", c.na, c.nb, got, want)
+		}
+		if got := intersectCount(b, a); got != want {
+			t.Fatalf("intersectCount(|b|=%d,|a|=%d) = %d want %d", c.nb, c.na, got, want)
+		}
+	}
+}
+
+func sortInt32s(s []int32) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j-1] > s[j]; j-- {
+			s[j-1], s[j] = s[j], s[j-1]
+		}
+	}
+}
+
+// TestNewCSRValidates: malformed headers and non-ascending rows must panic —
+// the constructor is the trust boundary for externally built index arrays.
+func TestNewCSRValidates(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("neg-cols", func() { NewCSR(-1, []int32{0}, nil) })
+	mustPanic("empty-off", func() { NewCSR(4, nil, nil) })
+	mustPanic("off0", func() { NewCSR(4, []int32{1, 2}, []int32{0, 1}) })
+	mustPanic("tail", func() { NewCSR(4, []int32{0, 2}, []int32{0}) })
+	mustPanic("decreasing-off", func() { NewCSR(4, []int32{0, 2, 1, 3}, []int32{0, 1, 2}) })
+	mustPanic("dup-in-row", func() { NewCSR(4, []int32{0, 2}, []int32{1, 1}) })
+	mustPanic("descending-row", func() { NewCSR(4, []int32{0, 2}, []int32{2, 1}) })
+	mustPanic("col-range", func() { NewCSR(4, []int32{0, 1}, []int32{4}) })
+	mustPanic("neg-col", func() { NewCSR(4, []int32{0, 1}, []int32{-1}) })
+
+	// The valid empty and populated cases must not panic.
+	if got := NewCSR(4, []int32{0, 0}, nil).RowCount(0); got != 0 {
+		t.Fatalf("empty row count = %d", got)
+	}
+	c := NewCSR(4, []int32{0, 2, 3}, []int32{0, 3, 2})
+	if c.Rows() != 2 || c.Cols() != 4 || c.TotalCount() != 3 {
+		t.Fatalf("valid CSR misparsed: %dx%d total %d", c.Rows(), c.Cols(), c.TotalCount())
+	}
+	if !c.Get(0, 3) || c.Get(1, 3) {
+		t.Fatal("Get misreads valid CSR")
+	}
+}
+
+// TestCSRGetOutOfRange: column bounds are checked like the dense Get.
+func TestCSRGetOutOfRange(t *testing.T) {
+	c := NewCSR(4, []int32{0, 1}, []int32{2})
+	for _, j := range []int{-1, 4} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("Get(0,%d): no panic", j)
+				}
+			}()
+			c.Get(0, j)
+		}()
+	}
+}
+
+// TestCSROrRowIntoLengthMismatch mirrors the dense vector-length contract.
+func TestCSROrRowIntoLengthMismatch(t *testing.T) {
+	c := NewCSR(4, []int32{0, 1}, []int32{2})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	c.OrRowInto(New(5), 0)
+}

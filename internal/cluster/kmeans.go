@@ -86,6 +86,47 @@ func (s *kmeansScratch) centroidView(k, d int) *tensor.Matrix {
 	return &tensor.Matrix{Rows: k, Cols: d, Data: s.cents.Data[:k*d]}
 }
 
+// Arena is a grow-only pool of k-means scratch buffers that survives across
+// runs — one arena per goroutine. The repartition pipeline threads one arena
+// through every dirty pair's grouping so the assignment/centroid/D² buffers
+// are sized once for the largest pair a worker sees instead of re-grown per
+// pair (the steady-state Repartition alloc guard pins this). A zero Arena is
+// ready to use; results never alias arena storage (retained outputs are
+// copied out), so recycling it is always safe.
+type Arena struct {
+	sc *kmeansScratch
+}
+
+// scratch returns arena scratch with capacity for an (n, d, kmax) run,
+// growing the pooled buffers only when a dimension exceeds every prior run.
+func (a *Arena) scratch(n, d, kmax int) *kmeansScratch {
+	nchunks := (n + assignChunkRows - 1) / assignChunkRows
+	sc := a.sc
+	if sc == nil || cap(sc.assign) < n || cap(sc.counts) < kmax ||
+		cap(sc.cents.Data) < kmax*d || cap(sc.d2) < n || cap(sc.partial) < nchunks {
+		grow := func(have, want int) int {
+			if have > want {
+				return have
+			}
+			return want
+		}
+		var haveN, haveK, haveKD, haveC int
+		if sc != nil {
+			haveN, haveK = cap(sc.assign), cap(sc.counts)
+			haveKD, haveC = cap(sc.cents.Data), cap(sc.partial)
+		}
+		sc = &kmeansScratch{
+			assign:  make([]int, grow(haveN, n)),
+			counts:  make([]int, grow(haveK, kmax)),
+			cents:   &tensor.Matrix{Rows: 1, Cols: grow(haveKD, kmax*d), Data: make([]float64, grow(haveKD, kmax*d))},
+			d2:      make([]float64, grow(haveN, n)),
+			partial: make([]float64, grow(haveC, nchunks)),
+		}
+		a.sc = sc
+	}
+	return sc
+}
+
 // KMeans clusters the rows of points into k clusters using k-means++ seeding
 // followed by Lloyd iterations. rng drives seeding; the iteration itself is
 // deterministic given the seeds (for any cfg.Workers value). Panics if k < 1
@@ -108,6 +149,38 @@ func KMeans(points *tensor.Matrix, k int, rng *rand.Rand, cfg KMeansConfig) *KMe
 		K:          k,
 		Assign:     sc.assign,
 		Centroids:  sc.centroidView(k, points.Cols),
+		Inertia:    inertia,
+		Iterations: iters,
+	}
+}
+
+// KMeansArena is KMeans running on pooled arena scratch. It is bit-identical
+// to KMeans for the same (points, k, rng, cfg) — the buffers' capacities are
+// invisible to the iteration — and the returned Assign/Centroids are freshly
+// allocated copies (Grouping retains them), so the arena is immediately
+// reusable for the next run.
+func KMeansArena(a *Arena, points *tensor.Matrix, k int, rng *rand.Rand, cfg KMeansConfig) *KMeansResult {
+	n, d := points.Rows, points.Cols
+	if k < 1 {
+		panic(fmt.Sprintf("cluster: k = %d", k))
+	}
+	if n == 0 {
+		panic("cluster: no points")
+	}
+	if k > n {
+		k = n
+	}
+	cfg = cfg.withDefaults()
+	sc := a.scratch(n, d, k)
+	inertia, iters := kmeansRun(points, k, rng, cfg, sc)
+	assign := make([]int, n)
+	copy(assign, sc.assign[:n])
+	cents := tensor.New(k, d)
+	copy(cents.Data, sc.cents.Data[:k*d])
+	return &KMeansResult{
+		K:          k,
+		Assign:     assign,
+		Centroids:  cents,
 		Inertia:    inertia,
 		Iterations: iters,
 	}
@@ -316,6 +389,17 @@ func (s *sweepSource) Seed(seed int64) { s.state = uint64(seed) }
 // retaining one scratch allocation across its runs) and the curve is
 // identical for any worker count, because run i always starts from seed i.
 func InertiaCurve(points *tensor.Matrix, kmin, kmax int, rng *rand.Rand, cfg KMeansConfig) []float64 {
+	return InertiaCurveArena(nil, points, kmin, kmax, rng, cfg)
+}
+
+// InertiaCurveArena is InertiaCurve with pooled scratch: on the sequential
+// schedule (cfg.Workers == 1, or one effective worker) the sweep's single
+// scratch comes from the arena, so a caller sweeping many DBGs in a loop
+// re-grows nothing between them. The parallel schedule keeps its per-worker
+// scratch — an arena is single-goroutine — and the curve is bit-identical in
+// every case (per-k child seeds are pre-drawn either way). a == nil runs with
+// local scratch, which is exactly InertiaCurve.
+func InertiaCurveArena(a *Arena, points *tensor.Matrix, kmin, kmax int, rng *rand.Rand, cfg KMeansConfig) []float64 {
 	if kmin < 1 || kmax < kmin {
 		panic(fmt.Sprintf("cluster: bad k range [%d,%d]", kmin, kmax))
 	}
@@ -343,7 +427,12 @@ func InertiaCurve(points *tensor.Matrix, kmin, kmax int, rng *rand.Rand, cfg KMe
 		out[i], _ = kmeansRun(points, k, rand.New(&sweepSource{state: uint64(seeds[i])}), cfg, sc)
 	}
 	if workers <= 1 {
-		sc := newKMeansScratch(n, d, kcap)
+		var sc *kmeansScratch
+		if a != nil {
+			sc = a.scratch(n, d, kcap)
+		} else {
+			sc = newKMeansScratch(n, d, kcap)
+		}
 		for i := 0; i < nk; i++ {
 			runOne(i, cfg, sc)
 		}

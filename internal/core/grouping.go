@@ -36,6 +36,11 @@ type GroupingConfig struct {
 	// running the EEP inertia sweep (0 uses GOMAXPROCS; 1 forces the
 	// sequential path). The grouping is identical for any value.
 	Workers int
+	// arena, when non-nil, supplies pooled k-means/EEP scratch reused across
+	// the groupings one goroutine builds (buildPairsInto hands each worker
+	// its own). Purely an allocation knob — groupings are bit-identical with
+	// or without it, and nothing in the result aliases arena storage.
+	arena *cluster.Arena
 }
 
 func (c GroupingConfig) withDefaults() GroupingConfig {
@@ -143,13 +148,18 @@ func BuildGrouping(d *graph.DBG, cfg GroupingConfig) *Grouping {
 		if kmin < 1 {
 			kmin = 1
 		}
-		gr.InertiaCurve = cluster.InertiaCurve(emb, kmin, kmax, rng, kmCfg)
+		gr.InertiaCurve = cluster.InertiaCurveArena(cfg.arena, emb, kmin, kmax, rng, kmCfg)
 		k = kmin + cluster.ElbowEEP(gr.InertiaCurve)
 	}
 	if k > len(poolSrc) {
 		k = len(poolSrc)
 	}
-	res := cluster.KMeans(emb, k, rng, kmCfg)
+	var res *cluster.KMeansResult
+	if cfg.arena != nil {
+		res = cluster.KMeansArena(cfg.arena, emb, k, rng, kmCfg)
+	} else {
+		res = cluster.KMeans(emb, k, rng, kmCfg)
+	}
 	gr.K = res.K
 	gr.Inertia = res.Inertia
 	gr.Assign = res.Assign
@@ -174,12 +184,13 @@ func groupFromConnection(d *graph.DBG, conn graph.Connection) *Group {
 }
 
 // groupFromSources materializes a group from a k-means cluster of source
-// indices; the sink side is the union of their DBG neighborhoods, computed
-// as a word-parallel OR over the adjacency rows (ascending by construction).
+// indices; the sink side is the union of their DBG neighborhoods, accumulated
+// into one |V|-bit vector (word-parallel OR on the dense representation,
+// index scatter on the sparse one — never a dense matrix).
 func groupFromSources(d *graph.DBG, srcIdx []int) *Group {
 	union := bitvec.New(d.NumDst())
 	for _, ui := range srcIdx {
-		union.OrWith(d.Adj.Row(ui))
+		d.Adj.OrRowInto(union, ui)
 	}
 	return buildGroup(d, srcIdx, union.Indices())
 }
@@ -251,7 +262,7 @@ func buildGroup(d *graph.DBG, srcIdx, dstIdx []int) *Group {
 	for k, ui := range srcIdx {
 		srcNodes[k] = d.SrcNodes[ui]
 		for _, vi := range d.Neighbors(ui) {
-			if p, ok := slices.BinarySearch(dstIdx, vi); ok {
+			if p, ok := slices.BinarySearch(dstIdx, int(vi)); ok {
 				srcDeg[k]++
 				dstDeg[p]++
 				edges++

@@ -6,6 +6,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"scgnn/internal/cluster"
 	"scgnn/internal/compress"
 	"scgnn/internal/graph"
 )
@@ -202,7 +203,11 @@ func buildPairsInto(table []*PairPlan, b *graph.ArcBuckets, idxs []int, cfg Plan
 	if workers > len(idxs) {
 		workers = len(idxs)
 	}
-	build := func(i int) {
+	// Each goroutine owns one k-means arena for the whole batch, so a 56-pair
+	// all-dirty replan grows the clustering scratch once per worker instead of
+	// once per pair (the steady-state Repartition alloc ceiling pins this).
+	// Arenas never leak into results, so bit-identity is unaffected.
+	build := func(i int, ar *cluster.Arena) {
 		idx := idxs[i]
 		d := b.DBG(idx)
 		if d == nil {
@@ -211,6 +216,7 @@ func buildPairsInto(table []*PairPlan, b *graph.ArcBuckets, idxs []int, cfg Plan
 		}
 		pairCfg := cfg
 		pairCfg.Grouping.Seed = compress.DeriveSeed(cfg.Grouping.Seed, idx)
+		pairCfg.Grouping.arena = ar
 		if workers > 1 {
 			// The pair fan-out already saturates the pool; keep each build's
 			// inner embedding/sweep parallelism off (same output either way).
@@ -219,8 +225,9 @@ func buildPairsInto(table []*PairPlan, b *graph.ArcBuckets, idxs []int, cfg Plan
 		table[idx] = planFromDBG(d, pairCfg)
 	}
 	if workers <= 1 {
+		ar := &cluster.Arena{}
 		for i := range idxs {
-			build(i)
+			build(i, ar)
 		}
 		return
 	}
@@ -230,12 +237,13 @@ func buildPairsInto(table []*PairPlan, b *graph.ArcBuckets, idxs []int, cfg Plan
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			ar := &cluster.Arena{}
 			for {
 				i := int(atomic.AddInt64(&next, 1)) - 1
 				if i >= len(idxs) {
 					return
 				}
-				build(i)
+				build(i, ar)
 			}
 		}()
 	}

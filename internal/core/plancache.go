@@ -97,6 +97,14 @@ func (c *PlanCache) RepartitionBuckets(b *graph.ArcBuckets) []int {
 	}
 	dirty := graph.DiffDBGs(c.buckets, b)
 	c.buckets = b
+	// Drop the displaced plans before rebuilding, not after: at scale the old
+	// table's DBGs and groupings are the bulk of the live heap, and keeping
+	// them reachable while the replacements allocate nearly doubles the
+	// rebuild's peak footprint (the 1M replan-slower-than-scratch inversion —
+	// the GC runs the whole rebuild against old+new live bytes otherwise).
+	for _, idx := range dirty {
+		c.table[idx] = nil
+	}
 	buildPairsInto(c.table, b, dirty, c.cfg)
 	return dirty
 }

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"scgnn/internal/graph"
+)
+
+// TestPlansReprInvariant is the hybrid-representation equality oracle: over a
+// 30-graph randomized corpus (varying size, partition count, and degree —
+// spanning O2O-heavy sparse boundaries through dense M2M pools), the full
+// plan table built with every DBG forced sparse is byte-identical
+// (MarshalPlans, IEEE-754 bit patterns) to the table built with every DBG
+// forced dense, and both match the default hybrid choice. Similarity scores,
+// groupings, weights, and seeds must all be functions of the adjacency *set*,
+// never its representation.
+func TestPlansReprInvariant(t *testing.T) {
+	defer graph.SetDBGRepr(graph.SetDBGRepr(graph.ReprHybrid))
+	corpus := make([]struct {
+		g      *graph.Graph
+		part   []int
+		nparts int
+	}, 0, 30)
+	for i := 0; i < 30; i++ {
+		seed := int64(100 + i*17)
+		n := 40 + i*9
+		nparts := 2 + i%4
+		degree := 2 + i%7
+		g, part := denseMultiPartGraph(seed, n, nparts, degree)
+		corpus = append(corpus, struct {
+			g      *graph.Graph
+			part   []int
+			nparts int
+		}{g, part, nparts})
+	}
+	for i, c := range corpus {
+		cfg := PlanConfig{Grouping: GroupingConfig{Seed: int64(i + 1)}}
+		if i%3 == 0 {
+			cfg.Grouping.K = 2 + i%5 // mix fixed-K and EEP auto-selection
+		}
+		var marshaled [3][]byte
+		for ri, repr := range []graph.DBGRepr{graph.ReprDense, graph.ReprSparse, graph.ReprHybrid} {
+			graph.SetDBGRepr(repr)
+			marshaled[ri] = MarshalPlans(mustBuildAllPlans(t, c.g, c.part, c.nparts, cfg))
+		}
+		if !bytes.Equal(marshaled[0], marshaled[1]) {
+			t.Fatalf("graph %d: sparse plans differ from dense plans", i)
+		}
+		if !bytes.Equal(marshaled[0], marshaled[2]) {
+			t.Fatalf("graph %d: hybrid plans differ from dense plans", i)
+		}
+	}
+}
+
+// TestPlanCacheReprInvariant runs the incremental replan path with DBGs
+// forced sparse and checks it stays byte-identical to a from-scratch dense
+// build after every perturbation — the representation must be invisible to
+// the diff/rebuild machinery too (bucket diffing keys on arc arrays, not
+// adjacency bits, so mixed-representation tables are legal).
+func TestPlanCacheReprInvariant(t *testing.T) {
+	defer graph.SetDBGRepr(graph.SetDBGRepr(graph.ReprHybrid))
+	const nparts = 4
+	g, part := denseMultiPartGraph(77, 150, nparts, 6)
+	cfg := PlanConfig{Grouping: GroupingConfig{Seed: 3}}
+
+	graph.SetDBGRepr(graph.ReprSparse)
+	pc, err := NewPlanCache(g, part, nparts, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur := part
+	for step := 0; step < 6; step++ {
+		next := append([]int(nil), cur...)
+		for m := 0; m < 5; m++ {
+			u := nparts + (step*31+m*47)%(len(next)-nparts)
+			next[u] = (next[u] + 1 + m) % nparts
+		}
+		if _, err := pc.Repartition(next); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		sparse := MarshalPlans(pc.Plans())
+
+		graph.SetDBGRepr(graph.ReprDense)
+		dense := MarshalPlans(mustBuildAllPlans(t, g, next, nparts, cfg))
+		graph.SetDBGRepr(graph.ReprSparse)
+
+		if !bytes.Equal(sparse, dense) {
+			t.Fatalf("step %d: sparse incremental plans diverge from dense from-scratch build", step)
+		}
+		cur = next
+	}
+}
+
+// TestSetDBGReprRestores documents the save/restore idiom tests rely on.
+func TestSetDBGReprRestores(t *testing.T) {
+	prev := graph.SetDBGRepr(graph.ReprDense)
+	if prev != graph.ReprHybrid {
+		t.Fatalf("default repr = %v, want hybrid", prev)
+	}
+	if got := graph.SetDBGRepr(prev); got != graph.ReprDense {
+		t.Fatalf("override readback = %v", got)
+	}
+	_ = fmt.Sprintf("%d", prev) // DBGRepr is a plain int enum
+}

@@ -26,8 +26,10 @@ import (
 // Implementations must be symmetric and non-negative.
 type Similarity interface {
 	// Score returns the cohesion of source rows ui and uj of the DBG
-	// adjacency matrix.
-	Score(adj *bitvec.Matrix, ui, uj int) float64
+	// adjacency matrix. Scores are functions of integer row/intersection
+	// cardinalities only, so they are bit-identical across the dense and
+	// sparse adjacency representations.
+	Score(adj bitvec.Bits, ui, uj int) float64
 	// Name identifies the measure in reports ("semantic", "jaccard").
 	Name() string
 }
@@ -42,17 +44,18 @@ type Similarity interface {
 // highlight of cohesion").
 //
 // Score computes the vectorized form of Eq. 2: the intersection cardinality
-// is a word-parallel AND+popcount inner product A_u1·A_u2ᵀ, and the
-// denominator reads the precomputed row-count vector C_A.
+// is the inner product A_u1·A_u2ᵀ (word-parallel AND+popcount on the dense
+// representation, sorted-index merge on the sparse one), and the denominator
+// reads the precomputed row-count vector C_A.
 type SemanticSimilarity struct{}
 
 // Score implements Similarity.
-func (SemanticSimilarity) Score(adj *bitvec.Matrix, ui, uj int) float64 {
+func (SemanticSimilarity) Score(adj bitvec.Bits, ui, uj int) float64 {
 	den := adj.RowCount(ui) + adj.RowCount(uj)
 	if den == 0 {
 		return 0
 	}
-	inter := float64(bitvec.AndCount(adj.Row(ui), adj.Row(uj)))
+	inter := float64(adj.RowAndCount(ui, uj))
 	return inter * inter / float64(den)
 }
 
@@ -68,12 +71,12 @@ func (SemanticSimilarity) Name() string { return "semantic" }
 type JaccardSimilarity struct{}
 
 // Score implements Similarity.
-func (JaccardSimilarity) Score(adj *bitvec.Matrix, ui, uj int) float64 {
-	union := bitvec.OrCount(adj.Row(ui), adj.Row(uj))
+func (JaccardSimilarity) Score(adj bitvec.Bits, ui, uj int) float64 {
+	union := adj.RowOrCount(ui, uj)
 	if union == 0 {
 		return 0
 	}
-	return float64(bitvec.AndCount(adj.Row(ui), adj.Row(uj))) / float64(union)
+	return float64(adj.RowAndCount(ui, uj)) / float64(union)
 }
 
 // Name implements Similarity.

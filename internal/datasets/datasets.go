@@ -89,6 +89,13 @@ type Spec struct {
 	TrainFrac, ValFrac float64
 	// Seed makes generation deterministic.
 	Seed int64
+	// AllocFeatures, when non-nil, supplies the backing storage for the N×F
+	// feature matrix (nil uses the in-heap tensor.New). The out-of-core path
+	// hands an mmap-backed allocator in here (persist.NewMappedAlloc), which
+	// moves the largest resident tensor of a million-node dataset onto a
+	// file; generation is bit-identical either way — the allocator only
+	// chooses where the float64s live, never what they are.
+	AllocFeatures func(rows, cols int) *tensor.Matrix
 }
 
 func (s Spec) withDefaults() Spec {
@@ -144,7 +151,11 @@ func Generate(spec Spec) *Dataset {
 			means.Data[i] = -1
 		}
 	}
-	feats := tensor.New(n, spec.FeatureDim)
+	alloc := spec.AllocFeatures
+	if alloc == nil {
+		alloc = tensor.New
+	}
+	feats := alloc(n, spec.FeatureDim)
 	for i := 0; i < n; i++ {
 		mu := means.Row(labels[i])
 		row := feats.Row(i)

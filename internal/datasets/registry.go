@@ -1,6 +1,10 @@
 package datasets
 
-import "fmt"
+import (
+	"fmt"
+
+	"scgnn/internal/tensor"
+)
 
 // The four benchmark datasets of the paper, rebuilt as synthetic analogues at
 // laptop scale. The *relative* statistics follow the published shapes:
@@ -22,7 +26,11 @@ import "fmt"
 
 // RedditSim mimics Reddit: the high-density, strong-community dataset.
 func RedditSim(seed int64) *Dataset {
-	return Generate(Spec{
+	return Generate(redditSimSpec(seed))
+}
+
+func redditSimSpec(seed int64) Spec {
+	return Spec{
 		Name:       "reddit-sim",
 		Nodes:      1200,
 		AvgDegree:  56,
@@ -31,13 +39,17 @@ func RedditSim(seed int64) *Dataset {
 		Homophily:  0.85,
 		LabelNoise: 0.034,
 		Seed:       seed,
-	})
+	}
 }
 
 // YelpSim mimics Yelp: medium density, low label signal (the paper reports
 // only ~65% accuracy on Yelp, so the feature noise is cranked up).
 func YelpSim(seed int64) *Dataset {
-	return Generate(Spec{
+	return Generate(yelpSimSpec(seed))
+}
+
+func yelpSimSpec(seed int64) Spec {
+	return Spec{
 		Name:         "yelp-sim",
 		Nodes:        1500,
 		AvgDegree:    12,
@@ -47,13 +59,17 @@ func YelpSim(seed int64) *Dataset {
 		FeatureNoise: 2.6,
 		LabelNoise:   0.40,
 		Seed:         seed,
-	})
+	}
 }
 
 // OgbnProductsSim mimics Ogbn-products: medium density, many classes,
 // moderate signal (~79% paper accuracy).
 func OgbnProductsSim(seed int64) *Dataset {
-	return Generate(Spec{
+	return Generate(ogbnProductsSimSpec(seed))
+}
+
+func ogbnProductsSimSpec(seed int64) Spec {
+	return Spec{
 		Name:         "ogbn-products-sim",
 		Nodes:        1600,
 		AvgDegree:    14,
@@ -63,13 +79,17 @@ func OgbnProductsSim(seed int64) *Dataset {
 		FeatureNoise: 1.7,
 		LabelNoise:   0.225,
 		Seed:         seed,
-	})
+	}
 }
 
 // PubMedSim mimics PubMed: the low-density citation graph with 3 classes and
 // ~77% paper accuracy.
 func PubMedSim(seed int64) *Dataset {
-	return Generate(Spec{
+	return Generate(pubMedSimSpec(seed))
+}
+
+func pubMedSimSpec(seed int64) Spec {
+	return Spec{
 		Name:         "pubmed-sim",
 		Nodes:        1000,
 		AvgDegree:    4.5,
@@ -79,7 +99,7 @@ func PubMedSim(seed int64) *Dataset {
 		FeatureNoise: 1.4,
 		LabelNoise:   0.26,
 		Seed:         seed,
-	})
+	}
 }
 
 // The scale-out family: Reddit-shaped synthetics at 10k/100k/1M nodes, the
@@ -95,7 +115,11 @@ func PubMedSim(seed int64) *Dataset {
 
 // RedditSim10K is the 10k-node member of the scale family.
 func RedditSim10K(seed int64) *Dataset {
-	return Generate(Spec{
+	return Generate(redditSim10KSpec(seed))
+}
+
+func redditSim10KSpec(seed int64) Spec {
+	return Spec{
 		Name:       "reddit-sim-10k",
 		Nodes:      10_000,
 		AvgDegree:  48,
@@ -104,13 +128,17 @@ func RedditSim10K(seed int64) *Dataset {
 		Homophily:  0.85,
 		LabelNoise: 0.034,
 		Seed:       seed,
-	})
+	}
 }
 
 // RedditSim100K is the 100k-node member of the scale family — the preset the
 // verify-gate race smoke and TestPlanPipelineAtScale build.
 func RedditSim100K(seed int64) *Dataset {
-	return Generate(Spec{
+	return Generate(redditSim100KSpec(seed))
+}
+
+func redditSim100KSpec(seed int64) Spec {
+	return Spec{
 		Name:       "reddit-sim-100k",
 		Nodes:      100_000,
 		AvgDegree:  32,
@@ -119,7 +147,7 @@ func RedditSim100K(seed int64) *Dataset {
 		Homophily:  0.88,
 		LabelNoise: 0.034,
 		Seed:       seed,
-	})
+	}
 }
 
 // RedditSim1M is the million-node member of the scale family: 8M undirected
@@ -127,7 +155,11 @@ func RedditSim100K(seed int64) *Dataset {
 // boundary (and with it the dense per-pair DBG bit matrices) stays within a
 // single host's memory at 8 partitions.
 func RedditSim1M(seed int64) *Dataset {
-	return Generate(Spec{
+	return Generate(redditSim1MSpec(seed))
+}
+
+func redditSim1MSpec(seed int64) Spec {
+	return Spec{
 		Name:       "reddit-sim-1m",
 		Nodes:      1_000_000,
 		AvgDegree:  16,
@@ -136,7 +168,7 @@ func RedditSim1M(seed int64) *Dataset {
 		Homophily:  0.9,
 		LabelNoise: 0.034,
 		Seed:       seed,
-	})
+	}
 }
 
 // ScaleNames lists the scale-out presets smallest first.
@@ -144,25 +176,43 @@ func ScaleNames() []string {
 	return []string{"reddit-sim-10k", "reddit-sim-100k", "reddit-sim-1m"}
 }
 
-// ByName returns the named benchmark dataset generator output.
-func ByName(name string, seed int64) (*Dataset, error) {
+// SpecByName returns the named benchmark preset's generator spec, so callers
+// can adjust storage knobs (Spec.AllocFeatures) before generating.
+func SpecByName(name string, seed int64) (Spec, error) {
 	switch name {
 	case "reddit-sim", "reddit":
-		return RedditSim(seed), nil
+		return redditSimSpec(seed), nil
 	case "yelp-sim", "yelp":
-		return YelpSim(seed), nil
+		return yelpSimSpec(seed), nil
 	case "ogbn-products-sim", "ogbn-products", "products":
-		return OgbnProductsSim(seed), nil
+		return ogbnProductsSimSpec(seed), nil
 	case "pubmed-sim", "pubmed":
-		return PubMedSim(seed), nil
+		return pubMedSimSpec(seed), nil
 	case "reddit-sim-10k", "reddit-10k":
-		return RedditSim10K(seed), nil
+		return redditSim10KSpec(seed), nil
 	case "reddit-sim-100k", "reddit-100k":
-		return RedditSim100K(seed), nil
+		return redditSim100KSpec(seed), nil
 	case "reddit-sim-1m", "reddit-1m":
-		return RedditSim1M(seed), nil
+		return redditSim1MSpec(seed), nil
 	}
-	return nil, fmt.Errorf("datasets: unknown dataset %q (want reddit-sim, yelp-sim, ogbn-products-sim, pubmed-sim, or a scale preset reddit-sim-{10k,100k,1m})", name)
+	return Spec{}, fmt.Errorf("datasets: unknown dataset %q (want reddit-sim, yelp-sim, ogbn-products-sim, pubmed-sim, or a scale preset reddit-sim-{10k,100k,1m})", name)
+}
+
+// ByName returns the named benchmark dataset generator output.
+func ByName(name string, seed int64) (*Dataset, error) {
+	return ByNameWith(name, seed, nil)
+}
+
+// ByNameWith is ByName with a feature-storage allocator (see
+// Spec.AllocFeatures; nil is the in-heap default). The dataset is
+// bit-identical to ByName's for every allocator.
+func ByNameWith(name string, seed int64, allocFeatures func(rows, cols int) *tensor.Matrix) (*Dataset, error) {
+	spec, err := SpecByName(name, seed)
+	if err != nil {
+		return nil, err
+	}
+	spec.AllocFeatures = allocFeatures
+	return Generate(spec), nil
 }
 
 // Names lists the four benchmark datasets in the paper's display order.

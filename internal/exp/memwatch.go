@@ -1,0 +1,134 @@
+package exp
+
+import (
+	"runtime/metrics"
+	"sync"
+	"time"
+)
+
+// memWatch tracks the Go runtime's memory high-water from a background
+// sampler. The previous scale harness called runtime.ReadMemStats once at the
+// end of each stage, which misses every transient peak inside a stage — the
+// plan build's displaced-table spike, the generator's dedup set — and so
+// under-reported exactly the footprint the scale lane exists to watch. The
+// watcher instead polls runtime/metrics (no stop-the-world) on a short
+// interval and folds each sample into three maxima:
+//
+//   - peakTotal: /memory/classes/total:bytes — all memory the runtime has
+//     reserved from the OS, the in-process proxy for peak RSS (MemStats.Sys).
+//   - peakHeap: /memory/classes/heap/objects:bytes — bytes in live or
+//     not-yet-swept heap objects. This is the accounting-based number the
+//     footprint gates budget: unlike total:bytes it never double-counts
+//     address space the runtime holds but the workload no longer touches.
+//   - phasePeak[phase]: the heap-objects high-water while that phase was
+//     current (SetPhase names the stage: gen, plan, replan, ...).
+//
+// SetPhase and Stop also sample synchronously, so a phase shorter than the
+// polling interval still records its boundary values.
+type memWatch struct {
+	mu        sync.Mutex
+	phase     string
+	peakTotal uint64
+	peakHeap  uint64
+	phasePeak map[string]uint64
+
+	samples  []metrics.Sample
+	stop     chan struct{}
+	done     chan struct{}
+	stopOnce sync.Once
+}
+
+// newMemWatch starts the sampler. Call Stop exactly once when the watched
+// region ends.
+func newMemWatch(interval time.Duration) *memWatch {
+	w := &memWatch{
+		phasePeak: make(map[string]uint64),
+		samples: []metrics.Sample{
+			{Name: "/memory/classes/total:bytes"},
+			{Name: "/memory/classes/heap/objects:bytes"},
+		},
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	w.sample()
+	go w.loop(interval)
+	return w
+}
+
+func (w *memWatch) loop(interval time.Duration) {
+	defer close(w.done)
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-w.stop:
+			return
+		case <-tick.C:
+			w.sample()
+		}
+	}
+}
+
+// sample reads the metrics and folds them into the maxima. The whole read
+// happens under the lock: the sampler goroutine and SetPhase/Stop callers
+// share the samples slice.
+func (w *memWatch) sample() {
+	w.mu.Lock()
+	metrics.Read(w.samples)
+	total := w.samples[0].Value.Uint64()
+	heap := w.samples[1].Value.Uint64()
+	if total > w.peakTotal {
+		w.peakTotal = total
+	}
+	if heap > w.peakHeap {
+		w.peakHeap = heap
+	}
+	if w.phase != "" && heap > w.phasePeak[w.phase] {
+		w.phasePeak[w.phase] = heap
+	}
+	w.mu.Unlock()
+}
+
+// SetPhase names the current stage; subsequent samples fold into its peak.
+// It samples immediately, closing out the previous phase's final state and
+// seeding the new phase's baseline.
+func (w *memWatch) SetPhase(name string) {
+	w.sample()
+	w.mu.Lock()
+	w.phase = name
+	w.mu.Unlock()
+	w.sample()
+}
+
+// Stop takes a final sample and shuts the sampler down. Idempotent, so it
+// can be deferred for panic safety and also called eagerly before reading
+// the peaks.
+func (w *memWatch) Stop() {
+	w.stopOnce.Do(func() {
+		w.sample()
+		close(w.stop)
+		<-w.done
+	})
+}
+
+// PeakTotal returns the total-runtime-footprint high-water.
+func (w *memWatch) PeakTotal() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peakTotal
+}
+
+// PeakHeap returns the heap-objects high-water across all phases.
+func (w *memWatch) PeakHeap() uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.peakHeap
+}
+
+// PhasePeak returns the heap-objects high-water recorded while the named
+// phase was current (0 if the phase never ran).
+func (w *memWatch) PhasePeak(name string) uint64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.phasePeak[name]
+}

@@ -3,13 +3,14 @@ package exp
 import (
 	"fmt"
 	"math/rand"
-	"runtime"
+	"os"
 	"time"
 
 	"scgnn/internal/core"
 	"scgnn/internal/datasets"
 	"scgnn/internal/dist"
 	"scgnn/internal/partition"
+	"scgnn/internal/persist"
 	"scgnn/internal/tensor"
 	"scgnn/internal/trace"
 	"scgnn/internal/worker"
@@ -22,15 +23,16 @@ func init() {
 // ScaleResult is one row of the million-node scale study: the full pipeline —
 // streaming generation, edge-cut partitioning, plan-cache construction,
 // an incremental replan after a 1% perturbation, and concurrent
-// worker-cluster rounds — timed at one preset size, with the peak Go-runtime
-// footprint sampled across stages.
+// worker-cluster rounds — timed at one preset size, with the runtime memory
+// high-water sampled continuously across stages (see memWatch).
 type ScaleResult struct {
-	Dataset      string
-	Nodes        int
-	Arcs         int
-	CrossArcs    int
-	GenSeconds   float64
-	PlanSeconds  float64
+	Dataset   string
+	Nodes     int
+	Arcs      int
+	CrossArcs int
+
+	GenSeconds  float64
+	PlanSeconds float64
 	// ReplanSeconds times PlanCache.Repartition after moving 1% of nodes to
 	// random partitions; DirtyPairs is how many of the nparts² pair plans
 	// that perturbation actually rebuilt.
@@ -40,10 +42,24 @@ type ScaleResult struct {
 	// the semantic worker cluster on the dataset's feature matrix.
 	Rounds       int
 	RoundsPerSec float64
-	// PeakRSSBytes is the maximum runtime.MemStats.Sys observed across the
-	// stages — the Go runtime's total OS footprint, the closest in-process
-	// proxy for peak RSS.
+
+	// PeakRSSBytes is the high-water of the Go runtime's total OS footprint
+	// (/memory/classes/total:bytes ≈ MemStats.Sys), sampled continuously —
+	// the closest in-process proxy for peak RSS.
 	PeakRSSBytes uint64
+	// PeakHeapBytes is the accounting-based heap high-water
+	// (/memory/classes/heap/objects:bytes): live + not-yet-swept object
+	// bytes, the number the footprint gates budget.
+	PeakHeapBytes uint64
+	// Gen/Plan/ReplanPeakBytes are the per-phase heap high-waters — which
+	// stage owns the footprint, not just how large it got overall.
+	GenPeakBytes    uint64
+	PlanPeakBytes   uint64
+	ReplanPeakBytes uint64
+
+	// MmapFeatures records whether the feature matrix was file-backed
+	// (Options.MmapFeatures) for this row.
+	MmapFeatures bool
 }
 
 // scalePlanConfig bounds planning to what a single host affords at 10⁵–10⁶
@@ -77,29 +93,40 @@ func ScaleBench(o Options, names []string) []ScaleResult {
 
 func scaleOne(name string, o Options) ScaleResult {
 	nparts := o.Partitions
-	res := ScaleResult{Dataset: name, Rounds: 3}
-	var peak uint64
-	sample := func() {
-		var m runtime.MemStats
-		runtime.ReadMemStats(&m)
-		if m.Sys > peak {
-			peak = m.Sys
+	res := ScaleResult{Dataset: name, Rounds: 3, MmapFeatures: o.MmapFeatures}
+	w := newMemWatch(5 * time.Millisecond)
+	defer w.Stop()
+
+	// File-backed features: the matrix's float64s live in the page cache
+	// instead of the heap, so the planner's footprint no longer carries them.
+	// Allocation failure silently degrades to in-heap storage (MappedAlloc
+	// falls back); the row still runs, just without the footprint win.
+	var allocFeatures func(rows, cols int) *tensor.Matrix
+	if o.MmapFeatures {
+		if dir, err := os.MkdirTemp("", "scgnn-feat-"); err == nil {
+			ma := persist.NewMappedAlloc(dir)
+			defer func() {
+				ma.Close()
+				os.Remove(dir)
+			}()
+			allocFeatures = ma.Alloc
 		}
 	}
 
+	w.SetPhase("gen")
 	start := time.Now()
-	d, err := datasets.ByName(name, o.Seed)
+	d, err := datasets.ByNameWith(name, o.Seed, allocFeatures)
 	if err != nil {
 		panic("exp: " + err.Error())
 	}
 	res.GenSeconds = time.Since(start).Seconds()
 	res.Nodes = d.NumNodes()
 	res.Arcs = d.Graph.NumEdges()
-	sample()
 
+	w.SetPhase("partition")
 	part := partition.Partition(d.Graph, nparts, partition.EdgeCut, partition.Config{Seed: o.Seed})
-	sample()
 
+	w.SetPhase("plan")
 	cfg := scalePlanConfig(o.Seed)
 	start = time.Now()
 	pc, err := core.NewPlanCache(d.Graph, part, nparts, cfg)
@@ -108,8 +135,8 @@ func scaleOne(name string, o Options) ScaleResult {
 	}
 	res.PlanSeconds = time.Since(start).Seconds()
 	res.CrossArcs = pc.Buckets().NumArcs()
-	sample()
 
+	w.SetPhase("replan")
 	rng := rand.New(rand.NewSource(o.Seed))
 	next := perturbFraction(rng, part, nparts, 0.01, d.NumNodes())
 	start = time.Now()
@@ -119,10 +146,10 @@ func scaleOne(name string, o Options) ScaleResult {
 	}
 	res.ReplanSeconds = time.Since(start).Seconds()
 	res.DirtyPairs = len(dirty)
-	sample()
 
 	// Worker-cluster rounds on the original partition (the perturbed one
 	// only exists to time the replan) with the semantic plans.
+	w.SetPhase("rounds")
 	c := worker.NewClusterFromConfig(d.Graph, part, nparts, dist.Semantic(cfg))
 	defer c.Close()
 	dst := tensor.New(d.NumNodes(), d.FeatureDim())
@@ -133,9 +160,13 @@ func scaleOne(name string, o Options) ScaleResult {
 		}
 	}
 	res.RoundsPerSec = float64(res.Rounds) / time.Since(start).Seconds()
-	sample()
 
-	res.PeakRSSBytes = peak
+	w.Stop()
+	res.PeakRSSBytes = w.PeakTotal()
+	res.PeakHeapBytes = w.PeakHeap()
+	res.GenPeakBytes = w.PhasePeak("gen")
+	res.PlanPeakBytes = w.PhasePeak("plan")
+	res.ReplanPeakBytes = w.PhasePeak("replan")
 	return res
 }
 
@@ -147,8 +178,10 @@ func Scale(o Options) *Report {
 		names = names[:1]
 	}
 	r := &Report{ID: "scale"}
+	mb := func(b uint64) string { return fmt.Sprintf("%.0f", float64(b)/(1<<20)) }
 	tb := trace.NewTable("scale: pipeline wall and footprint vs N",
-		"dataset", "nodes", "arcs", "cross", "gen s", "plan s", "replan s", "dirty", "rounds/s", "peak MB")
+		"dataset", "nodes", "arcs", "cross", "gen s", "plan s", "replan s", "dirty", "rounds/s",
+		"peak MB", "heap MB", "gen pk", "plan pk", "replan pk")
 	for _, sr := range ScaleBench(o, names) {
 		tb.AddRow(sr.Dataset, sr.Nodes, sr.Arcs, sr.CrossArcs,
 			fmt.Sprintf("%.2f", sr.GenSeconds),
@@ -156,7 +189,8 @@ func Scale(o Options) *Report {
 			fmt.Sprintf("%.2f", sr.ReplanSeconds),
 			sr.DirtyPairs,
 			fmt.Sprintf("%.2f", sr.RoundsPerSec),
-			fmt.Sprintf("%.0f", float64(sr.PeakRSSBytes)/(1<<20)))
+			mb(sr.PeakRSSBytes), mb(sr.PeakHeapBytes),
+			mb(sr.GenPeakBytes), mb(sr.PlanPeakBytes), mb(sr.ReplanPeakBytes))
 	}
 	r.Tables = append(r.Tables, tb)
 	nparts := o.Partitions
@@ -164,5 +198,6 @@ func Scale(o Options) *Report {
 		nparts = 8
 	}
 	r.AddNote("plan config: fixed K=8, MaxPivots=8 (no EEP sweep); partitions=%d edge-cut", nparts)
+	r.AddNote("pk columns are per-phase heap-object high-waters (MB); mmap features: %v", o.MmapFeatures)
 	return r
 }

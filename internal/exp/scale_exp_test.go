@@ -34,4 +34,29 @@ func TestScaleQuickShape(t *testing.T) {
 	if sr.PeakRSSBytes == 0 {
 		t.Fatal("no footprint sample")
 	}
+	if sr.PeakHeapBytes == 0 || sr.PeakHeapBytes > sr.PeakRSSBytes {
+		t.Fatalf("heap high-water %d vs total footprint %d", sr.PeakHeapBytes, sr.PeakRSSBytes)
+	}
+	if sr.GenPeakBytes == 0 || sr.PlanPeakBytes == 0 || sr.ReplanPeakBytes == 0 {
+		t.Fatalf("per-phase peaks missing: %+v", sr)
+	}
+}
+
+// TestScaleMmapMatchesHeap pins the out-of-core mode at the 10k preset: with
+// file-backed features the pipeline must produce the same graph shape and
+// the exact same dirty set — the mapping moves bytes off the heap, it never
+// changes them.
+func TestScaleMmapMatchesHeap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k preset in -short mode")
+	}
+	heap := ScaleBench(Options{Seed: 1}, []string{"reddit-sim-10k"})[0]
+	mapped := ScaleBench(Options{Seed: 1, MmapFeatures: true}, []string{"reddit-sim-10k"})[0]
+	if !mapped.MmapFeatures || heap.MmapFeatures {
+		t.Fatalf("MmapFeatures flags: heap %v mapped %v", heap.MmapFeatures, mapped.MmapFeatures)
+	}
+	if mapped.Nodes != heap.Nodes || mapped.Arcs != heap.Arcs ||
+		mapped.CrossArcs != heap.CrossArcs || mapped.DirtyPairs != heap.DirtyPairs {
+		t.Fatalf("mmap run diverged: heap %+v mapped %+v", heap, mapped)
+	}
 }

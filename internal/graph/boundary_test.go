@@ -227,10 +227,8 @@ func dbgsEqual(t *testing.T, got, want []*DBG) {
 				t.Fatalf("DBG %d DstNodes[%d] = %d, want %d", i, j, v, w.DstNodes[j])
 			}
 		}
-		for ui := range d.SrcNodes {
-			if !d.Adj.Row(ui).Equal(w.Adj.Row(ui)) {
-				t.Fatalf("DBG %d adjacency row %d differs", i, ui)
-			}
+		if !AdjEqual(d.Adj, w.Adj) {
+			t.Fatalf("DBG %d adjacency differs", i)
 		}
 	}
 }
@@ -252,6 +250,45 @@ func TestAllDBGsMatchesExtractDBG(t *testing.T) {
 		}
 		g := New(n, edges)
 		dbgsEqual(t, AllDBGs(g, part, nparts), allDBGsReference(g, part, nparts))
+	}
+}
+
+// TestAllDBGsReprForced re-runs the sweep-vs-reference equality with the
+// adjacency representation pinned to each extreme: forced-CSR DBGs must carry
+// exactly the bits of the always-dense ExtractDBG oracle, and the Connections
+// decomposition (which walks Neighbors) must classify identically.
+func TestAllDBGsReprForced(t *testing.T) {
+	defer SetDBGRepr(SetDBGRepr(ReprHybrid))
+	for _, repr := range []DBGRepr{ReprDense, ReprSparse} {
+		SetDBGRepr(repr)
+		for seed := int64(0); seed < 12; seed++ {
+			rng := rand.New(rand.NewSource(1000 + seed))
+			n := 2 + rng.Intn(60)
+			nparts := 2 + rng.Intn(5)
+			part := make([]int, n)
+			for i := range part {
+				part[i] = rng.Intn(nparts)
+			}
+			var edges []Edge
+			for k := 0; k < rng.Intn(8*n); k++ {
+				edges = append(edges, Edge{U: int32(rng.Intn(n)), V: int32(rng.Intn(n))})
+			}
+			g := New(n, edges)
+			got, want := AllDBGs(g, part, nparts), allDBGsReference(g, part, nparts)
+			dbgsEqual(t, got, want)
+			for i, d := range got {
+				gc, wc := d.Connections(), want[i].Connections()
+				if len(gc) != len(wc) {
+					t.Fatalf("repr %d DBG %d: %d connections want %d", repr, i, len(gc), len(wc))
+				}
+				for ci := range gc {
+					if gc[ci].Type != wc[ci].Type || gc[ci].NumEdges != wc[ci].NumEdges {
+						t.Fatalf("repr %d DBG %d conn %d: (%v,%d) want (%v,%d)",
+							repr, i, ci, gc[ci].Type, gc[ci].NumEdges, wc[ci].Type, wc[ci].NumEdges)
+					}
+				}
+			}
+		}
 	}
 }
 

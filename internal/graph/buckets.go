@@ -1,6 +1,9 @@
 package graph
 
-import "fmt"
+import (
+	"fmt"
+	"slices"
+)
 
 // ArcBuckets is the retained CSR-of-pairs bucketing of every cross-partition
 // arc: the counting sweep of AllDBGs, kept around instead of discarded. Pair
@@ -163,21 +166,41 @@ func DiffDBGs(old, new *ArcBuckets) []int {
 	if old.NParts != new.NParts {
 		panic(fmt.Sprintf("graph: DiffDBGs partition counts %d vs %d", old.NParts, new.NParts))
 	}
-	var dirty []int
 	npairs := old.NParts * old.NParts
+	// Length pass first: a pair whose bucket length changed is dirty with no
+	// arc comparison at all. When every jointly non-empty pair already differs
+	// by length — the signature of a global repartition, where the dirty set
+	// is provably total from the offsets alone — the O(arcs) element scan is
+	// skipped entirely and the diff costs O(nparts²).
+	var dirty []int
+	var scan []int // equal-length non-empty pairs still needing the arc scan
 	for idx := 0; idx < npairs; idx++ {
-		o0, o1 := old.Off[idx], old.Off[idx+1]
-		n0, n1 := new.Off[idx], new.Off[idx+1]
-		if o1-o0 != n1-n0 {
+		olen := old.Off[idx+1] - old.Off[idx]
+		nlen := new.Off[idx+1] - new.Off[idx]
+		switch {
+		case olen != nlen:
 			dirty = append(dirty, idx)
-			continue
+		case olen > 0:
+			scan = append(scan, idx)
 		}
-		for k := 0; k < o1-o0; k++ {
+	}
+	if len(scan) == 0 {
+		return dirty
+	}
+	merge := false
+	for _, idx := range scan {
+		o0, n0 := old.Off[idx], new.Off[idx]
+		ln := old.Off[idx+1] - o0
+		for k := 0; k < ln; k++ {
 			if old.Srcs[o0+k] != new.Srcs[n0+k] || old.Dsts[o0+k] != new.Dsts[n0+k] {
+				merge = merge || (len(dirty) > 0 && dirty[len(dirty)-1] > idx)
 				dirty = append(dirty, idx)
 				break
 			}
 		}
+	}
+	if merge {
+		slices.Sort(dirty) // restore the ascending-pair contract
 	}
 	return dirty
 }

@@ -161,12 +161,7 @@ func dbgBytesEqual(a, b *DBG) bool {
 			return false
 		}
 	}
-	for ui := range a.SrcNodes {
-		if !a.Adj.Row(ui).Equal(b.Adj.Row(ui)) {
-			return false
-		}
-	}
-	return true
+	return AdjEqual(a.Adj, b.Adj)
 }
 
 // TestDiffDBGsExact: the diff is exact in both directions — clean pairs

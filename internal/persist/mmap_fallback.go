@@ -1,0 +1,18 @@
+//go:build !unix
+
+package persist
+
+import (
+	"errors"
+	"os"
+)
+
+// errMmapUnsupported routes the portable wrapper onto the in-heap fallback:
+// the matrix lives on the Go heap and Flush/Close rewrite the backing file.
+var errMmapUnsupported = errors.New("persist: mmap unsupported")
+
+func mapFile(_ *os.File, _ int) ([]byte, error) {
+	return nil, errMmapUnsupported
+}
+
+func unmapFile(_ []byte) error { return nil }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package persist
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// errMmapUnsupported is never returned on unix builds; it exists so the
+// portable wrapper can branch on the fallback sentinel uniformly.
+var errMmapUnsupported = errors.New("persist: mmap unsupported")
+
+// mapFile maps size bytes of f read-write, shared — writes land in the page
+// cache and reach the file without an explicit write path.
+func mapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+func unmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}
