@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover fuzz fuzz-smoke bench bench-all bench-scale profile experiments quick-experiments clean
+.PHONY: all build vet test race verify cover fuzz fuzz-smoke bench bench-round bench-all bench-scale profile experiments quick-experiments clean
 
 all: build vet test race
 
@@ -72,6 +72,17 @@ bench:
 		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_worker.json -key after
 	$(GO) test -run '^$$' -bench 'BenchmarkAllDBGs|BenchmarkPlanPipeline|BenchmarkReplan' -benchmem . \
 		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_plan.json -key after
+
+# The round hot-path lane: per-worker local aggregation and full semantic
+# rounds at the 10k/100k scale presets, kernel and reference variants in
+# one run (the reference rows are the retained pre-kernel phase
+# implementations, so every refresh carries its own before/after). Rows
+# merge into BENCH_worker.json under "round", preserving the other keys.
+# The alloc ceiling itself is gated by tests that ride `make verify`
+# (TestKernelAllocs, TestClusterSteadyStateAllocs), not by this lane.
+bench-round:
+	$(GO) test -run '^$$' -bench 'BenchmarkLocalPhase|BenchmarkRoundEndToEnd' -benchmem ./internal/worker/ \
+		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_worker.json -key round
 
 # The million-node scale lane (ROADMAP "out-of-core scale"): the flat-vs-
 # reference CSR constructor micro-benchmarks at the 100k preset land under

@@ -115,10 +115,11 @@ func runScale(sel string, opts exp.Options) {
 		names = strings.Split(sel, ",")
 	}
 	for _, r := range exp.ScaleBench(opts, names) {
-		fmt.Printf("BenchmarkScalePipeline/%s 1 %.0f gen-ns %.0f plan-ns %.0f replan-ns %.4f rounds/sec %d peak-rss-B %d peak-heap-B %d gen-peak-B %d plan-peak-B %d replan-peak-B %d nodes %d arcs %d cross-arcs %d dirty-pairs\n",
+		fmt.Printf("BenchmarkScalePipeline/%s 1 %.0f gen-ns %.0f plan-ns %.0f replan-ns %.4f rounds/sec %.4f rounds/sec-vanilla %.4f rounds/sec-quant8 %d peak-rss-B %d peak-heap-B %d gen-peak-B %d plan-peak-B %d replan-peak-B %d nodes %d arcs %d cross-arcs %d dirty-pairs\n",
 			r.Dataset,
 			r.GenSeconds*1e9, r.PlanSeconds*1e9, r.ReplanSeconds*1e9,
-			r.RoundsPerSec, r.PeakRSSBytes, r.PeakHeapBytes,
+			r.RoundsPerSec, r.RoundsPerSecVanilla, r.RoundsPerSecQuant8,
+			r.PeakRSSBytes, r.PeakHeapBytes,
 			r.GenPeakBytes, r.PlanPeakBytes, r.ReplanPeakBytes,
 			r.Nodes, r.Arcs, r.CrossArcs, r.DirtyPairs)
 	}

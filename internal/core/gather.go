@@ -1,0 +1,129 @@
+package core
+
+// Gather-plan compilation: the round hot path of the worker runtime
+// (and any future runtime) does not want to re-traverse a PairPlan's
+// group structure every round — it wants flat int32 row lists with the
+// per-row coefficients already multiplied in, ready to feed the fused
+// tensor kernels (tensor.GatherAXPY / tensor.ScatterAXPY). This file
+// compiles a PairPlan (one direction at a time) into that form, once,
+// at plan-install time.
+//
+// Ownership/invalidation contract (DESIGN.md §11): compiled plans are
+// pure functions of (plan groups, O2O list, coeff). They hold baked
+// copies — nothing aliases the PairPlan — so they stay valid until the
+// plan itself is replaced. Whoever installs plans (worker.Cluster,
+// future runtimes) must recompile exactly when it swaps a plan:
+// construction and the dirty pairs of a Repartition.
+
+// EncodePlan is the sender-side compilation of one direction of a
+// PairPlan: flattened group member lists for the semantic fuse
+// (payload += Σ GroupW·h_row per group) and the O2O residual rows as a
+// flat scaled-copy list. Row k of group g spans
+// GroupRows[GroupOff[g]:GroupOff[g+1]], with GroupW[k] = WOut[k]·coeff[row].
+type EncodePlan struct {
+	GroupOff  []int32
+	GroupRows []int32
+	GroupW    []float64
+	// O2OSrc[k] is the sending row of residual edge k, O2OW[k] its baked
+	// coefficient coeff[src], and O2ODst[k] the receiver-side target node.
+	O2OSrc []int32
+	O2OW   []float64
+	O2ODst []int32
+}
+
+// NumGroups returns the number of groups the plan encodes.
+func (ep *EncodePlan) NumGroups() int { return len(ep.GroupOff) - 1 }
+
+// Group returns group g's member rows and baked weights.
+func (ep *EncodePlan) Group(g int) (rows []int32, w []float64) {
+	lo, hi := ep.GroupOff[g], ep.GroupOff[g+1]
+	return ep.GroupRows[lo:hi], ep.GroupW[lo:hi]
+}
+
+// DeliverPlan is the receiver-side compilation of the same direction:
+// per-group destination rows with the delivery coefficient
+// DDst[k]·coeff[row] baked in, ready for one ScatterAXPY per received
+// group payload.
+type DeliverPlan struct {
+	Off  []int32
+	Rows []int32
+	W    []float64
+}
+
+// NumGroups returns the number of groups the plan delivers.
+func (dp *DeliverPlan) NumGroups() int { return len(dp.Off) - 1 }
+
+// Group returns group g's destination rows and baked weights.
+func (dp *DeliverPlan) Group(g int) (rows []int32, w []float64) {
+	lo, hi := dp.Off[g], dp.Off[g+1]
+	return dp.Rows[lo:hi], dp.W[lo:hi]
+}
+
+// ReverseGroups returns the Reverse() of every group in p — the group
+// set of the backward direction. Shared by the runtimes' installPlan
+// paths so forward and backward compile from the same source of truth.
+func ReverseGroups(p *PairPlan) []*Group {
+	rev := make([]*Group, len(p.Groups))
+	for i, grp := range p.Groups {
+		rev[i] = grp.Reverse()
+	}
+	return rev
+}
+
+// CompileEncode flattens the sender side of one direction of a plan:
+// groups must already be oriented for the direction (p.Groups forward,
+// ReverseGroups(p) backward); backward flips the O2O edge orientation.
+// coeff is the full symmetric-normalization coefficient vector.
+func CompileEncode(groups []*Group, o2o []O2OEdge, backward bool, coeff []float64) *EncodePlan {
+	var members int
+	for _, grp := range groups {
+		members += len(grp.SrcNodes)
+	}
+	ep := &EncodePlan{
+		GroupOff:  make([]int32, 1, len(groups)+1),
+		GroupRows: make([]int32, 0, members),
+		GroupW:    make([]float64, 0, members),
+		O2OSrc:    make([]int32, len(o2o)),
+		O2OW:      make([]float64, len(o2o)),
+		O2ODst:    make([]int32, len(o2o)),
+	}
+	for _, grp := range groups {
+		for k, u := range grp.SrcNodes {
+			ep.GroupRows = append(ep.GroupRows, u)
+			ep.GroupW = append(ep.GroupW, grp.WOut[k]*coeff[u])
+		}
+		ep.GroupOff = append(ep.GroupOff, int32(len(ep.GroupRows)))
+	}
+	for k, o := range o2o {
+		src, dst := o.Src, o.Dst
+		if backward {
+			src, dst = dst, src
+		}
+		ep.O2OSrc[k] = src
+		ep.O2OW[k] = coeff[src]
+		ep.O2ODst[k] = dst
+	}
+	return ep
+}
+
+// CompileDeliver flattens the receiver side of the same direction
+// (same group orientation as the matching CompileEncode call).
+func CompileDeliver(groups []*Group, coeff []float64) *DeliverPlan {
+	var members int
+	for _, grp := range groups {
+		members += len(grp.DstNodes)
+	}
+	dp := &DeliverPlan{
+		Off:  make([]int32, 1, len(groups)+1),
+		Rows: make([]int32, 0, members),
+		W:    make([]float64, 0, members),
+	}
+	for _, grp := range groups {
+		for k, v := range grp.DstNodes {
+			dp.Rows = append(dp.Rows, v)
+			dp.W = append(dp.W, grp.DDst[k]*coeff[v])
+		}
+		dp.Off = append(dp.Off, int32(len(dp.Rows)))
+	}
+	return dp
+}

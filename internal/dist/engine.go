@@ -355,11 +355,7 @@ func (e *Engine) installPlan(idx int) {
 		e.revGroups[idx] = nil
 		return
 	}
-	rev := make([]*core.Group, len(p.Groups))
-	for i, grp := range p.Groups {
-		rev[i] = grp.Reverse()
-	}
-	e.revGroups[idx] = rev
+	e.revGroups[idx] = core.ReverseGroups(p)
 }
 
 // initPairState (re)creates pair idx's stateful compression from scratch:

@@ -14,18 +14,22 @@ import (
 // a code change can regress: bytes of live objects the pipeline holds at
 // once.
 //
-// Budget calibration (GOMAXPROCS=1, go1.24): the post-PR pipeline peaks at
-// ~168 MB (gen 46, plan 115, replan 150) — the 100k×32 float64 feature
-// matrix (26 MB), the 3.2M-arc CSR (26 MB), the plan table, and whatever
-// garbage the GC has not yet swept at the sampling instant. The 256 MB
-// ceiling leaves ~50% headroom for GC timing jitter while still failing
-// fast if dense DBG allocation or a displaced-table leak ever returns.
+// Budget calibration (GOMAXPROCS=1, go1.24): the pipeline peaks at ~227 MB
+// (gen 48, plan 117, replan 146; global peak lands in the rounds phase) —
+// the 100k×32 float64 feature matrix (26 MB), the 3.2M-arc CSR (26 MB),
+// the plan table, the worker cluster's compiled gather plans (~40 MB at
+// this preset: the per-partition local-aggregation CSRs and per-pair
+// encode/deliver lists, a deliberate memory-for-round-speed trade — see
+// DESIGN.md §11), and whatever garbage the GC has not yet swept at the
+// sampling instant. The 320 MB ceiling leaves ~40% headroom for GC timing
+// jitter while still failing fast if dense DBG allocation or a
+// displaced-table leak ever returns.
 func TestScale100KFootprintGate(t *testing.T) {
 	if testing.Short() {
 		t.Skip("100k preset pipeline in -short mode")
 	}
 	res := scaleOne("reddit-sim-100k", Options{Seed: 1, Partitions: 8})
-	const budget = 256 << 20
+	const budget = 320 << 20
 	t.Logf("100k heap high-water: %.1f MB (gen %.1f, plan %.1f, replan %.1f; total footprint %.1f MB)",
 		float64(res.PeakHeapBytes)/(1<<20),
 		float64(res.GenPeakBytes)/(1<<20),

@@ -31,6 +31,9 @@ func TestScaleQuickShape(t *testing.T) {
 	if sr.RoundsPerSec <= 0 || sr.Rounds != 3 {
 		t.Fatalf("rounds: %+v", sr)
 	}
+	if sr.RoundsPerSecVanilla <= 0 || sr.RoundsPerSecQuant8 <= 0 {
+		t.Fatalf("baseline round lanes missing: %+v", sr)
+	}
 	if sr.PeakRSSBytes == 0 {
 		t.Fatal("no footprint sample")
 	}

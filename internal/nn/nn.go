@@ -25,6 +25,7 @@ type Linear struct {
 	W, B   *tensor.Matrix // W: in×out, B: 1×out
 	GW, GB *tensor.Matrix
 	x      *tensor.Matrix // cached input for backward
+	dx     *tensor.Matrix // retained input-gradient buffer (see Backward)
 }
 
 // NewLinear allocates a layer with Glorot-uniform weights and zero bias.
@@ -55,16 +56,23 @@ func (l *Linear) Forward(x *tensor.Matrix) *tensor.Matrix {
 
 // Backward accumulates dW += Xᵀ·dY and db += Σ dY rows, and returns
 // dX = dY·Wᵀ. Must be called after Forward.
+//
+// The gradients accumulate straight into GW/GB and dX lands in a buffer
+// the layer retains (re-allocated only when the batch shape changes), so
+// the steady-state backward pass is allocation-free. The returned matrix
+// is valid until this layer's next Backward call; callers that need it
+// longer must copy it.
 func (l *Linear) Backward(dy *tensor.Matrix) *tensor.Matrix {
 	if l.x == nil {
 		panic("nn: Linear.Backward before Forward")
 	}
-	tensor.AddInPlace(l.GW, tensor.MatMulATB(l.x, dy))
-	gb := dy.ColSums()
-	for j, v := range gb {
-		l.GB.Data[j] += v
+	tensor.MatMulATBInto(l.GW, l.x, dy)
+	dy.ColSumsInto(l.GB.Row(0))
+	if l.dx == nil || l.dx.Rows != dy.Rows || l.dx.Cols != l.W.Rows {
+		l.dx = tensor.New(dy.Rows, l.W.Rows)
 	}
-	return tensor.MatMulABT(dy, l.W)
+	tensor.MatMulABTInto(l.dx, dy, l.W)
+	return l.dx
 }
 
 // Params exposes the layer's parameters for the optimizer.

@@ -264,3 +264,49 @@ func TestCrossEntropyProperties(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestLinearBackwardAllocs: after warm-up (first call sizes the retained
+// dX buffer), a Linear backward step performs no allocations — GW/GB
+// accumulate in place and dX reuses the layer's buffer.
+func TestLinearBackwardAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	l := NewLinear(7, 4, rng)
+	x := randMat(11, 7, rng)
+	dy := randMat(11, 4, rng)
+	l.Forward(x)
+	l.Backward(dy) // warm-up: allocates the retained dX once
+	if n := testing.AllocsPerRun(50, func() {
+		l.Backward(dy)
+	}); n != 0 {
+		t.Fatalf("Linear.Backward: %v allocs/op, want 0", n)
+	}
+}
+
+// TestLinearBackwardRetainedBuffer pins the retention contract: the same
+// buffer comes back while the batch shape holds, a fresh one when it
+// changes, and the values always match the allocating formulation.
+func TestLinearBackwardRetainedBuffer(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	l := NewLinear(5, 3, rng)
+	x := randMat(9, 5, rng)
+	dy := randMat(9, 3, rng)
+	l.Forward(x)
+	dx1 := l.Backward(dy)
+	want := tensor.MatMulABT(dy, l.W)
+	if !dx1.Equal(want, 0) {
+		t.Fatal("dX != dY·Wᵀ")
+	}
+	if dx2 := l.Backward(dy); dx2 != dx1 {
+		t.Fatal("same-shape Backward did not reuse the retained buffer")
+	}
+	x2 := randMat(4, 5, rng)
+	dy2 := randMat(4, 3, rng)
+	l.Forward(x2)
+	dx3 := l.Backward(dy2)
+	if dx3 == dx1 {
+		t.Fatal("shape change must re-allocate the dX buffer")
+	}
+	if !dx3.Equal(tensor.MatMulABT(dy2, l.W), 0) {
+		t.Fatal("resized dX != dY·Wᵀ")
+	}
+}

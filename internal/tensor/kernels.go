@@ -1,0 +1,214 @@
+// Fused gather/scatter kernels for the distributed round hot path.
+//
+// The worker runtime's per-round cost is dominated by long runs of
+// rank-1 row updates: local aggregation (out_u += Σ w·h_v over a
+// precompiled neighbor list), semantic group fusion (payload += Σ w·h_u
+// over a member list), and group delivery (out_v += w·payload over a
+// destination list). Issuing one AXPY call per term pays call/branch
+// overhead per 32-wide vector op and re-loads the accumulator row from
+// memory every term. GatherAXPY and ScatterAXPY fuse those runs:
+// unroll-by-4 across the indexed rows with the accumulator kept in
+// registers across the unroll, column-tiled so wide feature matrices
+// stay inside L1 while the row list streams.
+//
+// Bit-identity contract (load-bearing — the worker/dist equivalence
+// tests compare outputs byte for byte): for every output element the
+// accumulation order is exactly the sequential-AXPY order, expressed as
+// a serial dependence chain (v += a0*x0[j]; v += a1*x1[j]; ...), never
+// a reassociated sum (v += a0*x0[j] + a1*x1[j]). Go on amd64 does not
+// contract float64 multiply-add into FMA, so the chain rounds exactly
+// like the one-call-per-term loop it replaces; on targets that do fuse
+// (arm64), both forms fuse identically. Accumulation is always +=
+// into the caller's memory — never an initial assignment — so signed
+// zeros survive exactly as the AXPY loop leaves them.
+package tensor
+
+import "fmt"
+
+// kernelTile is the column-tile width (elements) of the fused kernels:
+// 512 float64s = 4 KiB per row segment, so the 5 live segments of an
+// unrolled iteration (~20 KiB) fit in L1 even while the row list
+// streams. At the 32-wide feature dimensions of the scale presets a
+// tile is a single pass; the tiling exists so the same kernels hold up
+// at embedding widths in the hundreds.
+const kernelTile = 512
+
+// GatherAXPY accumulates y += Σ_k (w[k]·scale)·m.Row(rows[k]), visiting
+// rows in ascending k — bit-identical to the equivalent sequence of
+// AXPY(w[k]*scale, m.Row(rows[k]), y) calls. len(y) must equal m.Cols.
+func GatherAXPY(y []float64, m *Matrix, rows []int32, w []float64, scale float64) {
+	if len(rows) != len(w) {
+		panic(fmt.Sprintf("tensor: GatherAXPY rows %d, weights %d", len(rows), len(w)))
+	}
+	c := m.Cols
+	if len(y) != c {
+		panic(fmt.Sprintf("tensor: GatherAXPY len(y) %d, m.Cols %d", len(y), c))
+	}
+	data := m.Data
+	for lo := 0; lo < c; lo += kernelTile {
+		hi := lo + kernelTile
+		if hi > c {
+			hi = c
+		}
+		yt := y[lo:hi]
+		k := 0
+		if quads := len(rows) / 4; useSIMD && quads > 0 {
+			// AVX2 body of the same quad loop: mul-then-add per element
+			// (no FMA), vectorized across columns only, so every output
+			// bit matches the generic path below. Row indices are trusted
+			// exactly as the generic path's slice expressions assume.
+			gatherAXPYQuads(&yt[0], len(yt), &data[lo], &rows[0], &w[0], quads, c, scale)
+			k = quads * 4
+		}
+		for ; k+4 <= len(rows); k += 4 {
+			r0, r1 := int(rows[k])*c, int(rows[k+1])*c
+			r2, r3 := int(rows[k+2])*c, int(rows[k+3])*c
+			x0 := data[r0+lo : r0+hi][:len(yt)]
+			x1 := data[r1+lo : r1+hi][:len(yt)]
+			x2 := data[r2+lo : r2+hi][:len(yt)]
+			x3 := data[r3+lo : r3+hi][:len(yt)]
+			a0, a1 := w[k]*scale, w[k+1]*scale
+			a2, a3 := w[k+2]*scale, w[k+3]*scale
+			for j := range yt {
+				// Serial chain, not a reassociated sum: each += rounds
+				// exactly like the sequential per-row AXPY it replaces.
+				v := yt[j]
+				v += a0 * x0[j]
+				v += a1 * x1[j]
+				v += a2 * x2[j]
+				v += a3 * x3[j]
+				yt[j] = v
+			}
+		}
+		for ; k < len(rows); k++ {
+			r := int(rows[k]) * c
+			x := data[r+lo : r+hi][:len(yt)]
+			a := w[k] * scale
+			for j := range yt {
+				yt[j] += a * x[j]
+			}
+		}
+	}
+}
+
+// ScatterAXPY accumulates m.Row(rows[k]) += (w[k]·scale)·x for every k,
+// in ascending k — bit-identical to the equivalent sequence of
+// AXPY(w[k]*scale, x, m.Row(rows[k])) calls (duplicate row indices
+// accumulate in k order per element). len(x) must equal m.Cols.
+func ScatterAXPY(m *Matrix, rows []int32, w []float64, x []float64, scale float64) {
+	if len(rows) != len(w) {
+		panic(fmt.Sprintf("tensor: ScatterAXPY rows %d, weights %d", len(rows), len(w)))
+	}
+	c := m.Cols
+	if len(x) != c {
+		panic(fmt.Sprintf("tensor: ScatterAXPY len(x) %d, m.Cols %d", len(x), c))
+	}
+	data := m.Data
+	for lo := 0; lo < c; lo += kernelTile {
+		hi := lo + kernelTile
+		if hi > c {
+			hi = c
+		}
+		xt := x[lo:hi]
+		k := 0
+		if quads := len(rows) / 4; useSIMD && quads > 0 {
+			// AVX2 body of the same quad loop; see GatherAXPY above. Each
+			// row's vector read-modify-write retires before the next row's
+			// load, preserving k order under duplicate rows.
+			scatterAXPYQuads(&xt[0], len(xt), &data[lo], &rows[0], &w[0], quads, c, scale)
+			k = quads * 4
+		}
+		for ; k+4 <= len(rows); k += 4 {
+			r0, r1 := int(rows[k])*c, int(rows[k+1])*c
+			r2, r3 := int(rows[k+2])*c, int(rows[k+3])*c
+			y0 := data[r0+lo : r0+hi][:len(xt)]
+			y1 := data[r1+lo : r1+hi][:len(xt)]
+			y2 := data[r2+lo : r2+hi][:len(xt)]
+			y3 := data[r3+lo : r3+hi][:len(xt)]
+			a0, a1 := w[k]*scale, w[k+1]*scale
+			a2, a3 := w[k+2]*scale, w[k+3]*scale
+			for j, xv := range xt {
+				// k-ascending per element even when rows repeat: y0 is
+				// updated before y1 reads, because aliased slices share
+				// backing memory.
+				y0[j] += a0 * xv
+				y1[j] += a1 * xv
+				y2[j] += a2 * xv
+				y3[j] += a3 * xv
+			}
+		}
+		for ; k < len(rows); k++ {
+			r := int(rows[k]) * c
+			y := data[r+lo : r+hi][:len(xt)]
+			a := w[k] * scale
+			for j, xv := range xt {
+				y[j] += a * xv
+			}
+		}
+	}
+}
+
+// MatMulATBInto accumulates dst += aᵀ × b without allocating — the
+// in-place form of MatMulATB for gradient accumulators. dst must be
+// a.Cols × b.Cols and must not alias a or b.
+func MatMulATBInto(dst, a, b *Matrix) {
+	if a.Rows != b.Rows {
+		shapeCheck(false, "MatMulATBInto", a, b)
+	}
+	if dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATBInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Cols, b.Cols))
+	}
+	for k := 0; k < a.Rows; k++ {
+		arow := a.Data[k*a.Cols : (k+1)*a.Cols]
+		brow := b.Data[k*b.Cols : (k+1)*b.Cols]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABTInto computes dst = a × bᵀ without allocating — the in-place
+// form of MatMulABT for retained input-gradient buffers. dst must be
+// a.Rows × b.Rows and must not alias a or b.
+func MatMulABTInto(dst, a, b *Matrix) {
+	if a.Cols != b.Cols {
+		shapeCheck(false, "MatMulABTInto", a, b)
+	}
+	if dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABTInto dst %dx%d want %dx%d", dst.Rows, dst.Cols, a.Rows, b.Rows))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Data[i*a.Cols : (i+1)*a.Cols]
+		orow := dst.Data[i*dst.Cols : (i+1)*dst.Cols]
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Data[j*b.Cols : (j+1)*b.Cols]
+			var s float64
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			orow[j] = s
+		}
+	}
+}
+
+// ColSumsInto accumulates the per-column sums of m into dst (length
+// m.Cols) — the allocation-free form of ColSums for bias-gradient
+// accumulators. Note the accumulate (+=) semantics: zero dst first for
+// a plain column sum.
+func (m *Matrix) ColSumsInto(dst []float64) {
+	if len(dst) != m.Cols {
+		panic(fmt.Sprintf("tensor: ColSumsInto len %d want %d", len(dst), m.Cols))
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			dst[j] += v
+		}
+	}
+}

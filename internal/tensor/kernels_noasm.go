@@ -1,0 +1,16 @@
+//go:build !amd64
+
+package tensor
+
+// useSIMD is false off amd64: the fused kernels run their generic
+// unroll-by-4 Go loops, which the amd64 vector path is pinned against
+// bit-for-bit (TestKernelSIMDMatchesGeneric).
+var useSIMD = false
+
+func gatherAXPYQuads(y *float64, n int, data *float64, rows *int32, w *float64, quads, c int, scale float64) {
+	panic("tensor: vector kernel called without SIMD support")
+}
+
+func scatterAXPYQuads(x *float64, n int, data *float64, rows *int32, w *float64, quads, c int, scale float64) {
+	panic("tensor: vector kernel called without SIMD support")
+}

@@ -1,0 +1,279 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// fillRand populates a matrix with a mix of magnitudes (including exact
+// zeros and negative zeros) so bit-level comparisons exercise rounding
+// and signed-zero behavior, not just happy-path values.
+func fillRand(m *Matrix, rng *rand.Rand) {
+	for i := range m.Data {
+		switch rng.Intn(10) {
+		case 0:
+			m.Data[i] = 0
+		case 1:
+			m.Data[i] = math.Copysign(0, -1)
+		default:
+			m.Data[i] = rng.NormFloat64() * math.Pow(10, float64(rng.Intn(7)-3))
+		}
+	}
+}
+
+func bitsEqual(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestGatherAXPYBitIdentical pins GatherAXPY to the sequential AXPY loop
+// it replaces, byte for byte, across unroll tails (list lengths 0..9),
+// multi-tile dimensions, and non-unit scales.
+func TestGatherAXPYBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dim := range []int{1, 5, 32, 33, kernelTile, kernelTile + 3, 2*kernelTile + 17} {
+		m := New(40, dim)
+		fillRand(m, rng)
+		for n := 0; n <= 9; n++ {
+			rows := make([]int32, n)
+			w := make([]float64, n)
+			for i := range rows {
+				rows[i] = int32(rng.Intn(m.Rows))
+				w[i] = rng.NormFloat64()
+			}
+			for _, scale := range []float64{1, 0.375, -2.5} {
+				want := make([]float64, dim)
+				got := make([]float64, dim)
+				for i := range want {
+					v := rng.NormFloat64()
+					want[i], got[i] = v, v
+				}
+				for k := range rows {
+					AXPY(w[k]*scale, m.Row(int(rows[k])), want)
+				}
+				GatherAXPY(got, m, rows, w, scale)
+				if !bitsEqual(got, want) {
+					t.Fatalf("GatherAXPY dim=%d n=%d scale=%v: not bit-identical to sequential AXPY", dim, n, scale)
+				}
+			}
+		}
+	}
+}
+
+// TestScatterAXPYBitIdentical pins ScatterAXPY to the sequential AXPY
+// loop, including duplicate destination rows inside one unrolled quad
+// (aliased accumulators must still apply updates in k order).
+func TestScatterAXPYBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, dim := range []int{1, 32, kernelTile + 5} {
+		for n := 0; n <= 9; n++ {
+			rows := make([]int32, n)
+			w := make([]float64, n)
+			for i := range rows {
+				rows[i] = int32(rng.Intn(6)) // few rows => frequent duplicates
+				w[i] = rng.NormFloat64()
+			}
+			x := make([]float64, dim)
+			for i := range x {
+				x[i] = rng.NormFloat64()
+			}
+			want := New(6, dim)
+			fillRand(want, rng)
+			got := want.Clone()
+			for k := range rows {
+				AXPY(w[k]*0.75, x, want.Row(int(rows[k])))
+			}
+			ScatterAXPY(got, rows, w, x, 0.75)
+			if !bitsEqual(got.Data, want.Data) {
+				t.Fatalf("ScatterAXPY dim=%d n=%d: not bit-identical to sequential AXPY (rows=%v)", dim, n, rows)
+			}
+		}
+	}
+}
+
+// TestMatMulIntoVariants pins the accumulating/in-place matmul forms to
+// their allocating counterparts bit for bit.
+func TestMatMulIntoVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := New(17, 6)
+	b := New(17, 9)
+	fillRand(a, rng)
+	fillRand(b, rng)
+
+	// From a zero accumulator (the ZeroGrad → Backward case) the
+	// accumulating form is bit-identical to the allocating one.
+	acc := New(6, 9)
+	MatMulATBInto(acc, a, b)
+	if !bitsEqual(acc.Data, MatMulATB(a, b).Data) {
+		t.Fatal("MatMulATBInto from zero != MatMulATB")
+	}
+	// Accumulating into a warm dst folds each term directly into the
+	// running total (a different — equally valid — FP association than
+	// temp-then-AddInPlace), so that path is pinned to a tolerance.
+	warm := New(6, 9)
+	fillRand(warm, rng)
+	want := warm.Clone()
+	AddInPlace(want, MatMulATB(a, b))
+	MatMulATBInto(warm, a, b)
+	if !warm.Equal(want, 1e-9) {
+		t.Fatal("MatMulATBInto accumulation != MatMulATB + AddInPlace within 1e-9")
+	}
+
+	x := New(17, 9)
+	fillRand(x, rng)
+	wantABT := MatMulABT(x, acc) // 17x9 × (6x9)ᵀ = 17x6
+	gotABT := New(17, 6)
+	gotABT.Fill(999) // must be fully overwritten
+	MatMulABTInto(gotABT, x, acc)
+	if !bitsEqual(gotABT.Data, wantABT.Data) {
+		t.Fatal("MatMulABTInto != MatMulABT")
+	}
+
+	sums := make([]float64, b.Cols)
+	b.ColSumsInto(sums)
+	if !bitsEqual(sums, b.ColSums()) {
+		t.Fatal("ColSumsInto != ColSums from zero")
+	}
+}
+
+// TestKernelShapePanics: the fused kernels must reject mismatched
+// shapes exactly like the simple ops they replace.
+func TestKernelShapePanics(t *testing.T) {
+	m := New(4, 8)
+	cases := map[string]func(){
+		"gather-rows-w":  func() { GatherAXPY(make([]float64, 8), m, []int32{0, 1}, []float64{1}, 1) },
+		"gather-dim":     func() { GatherAXPY(make([]float64, 7), m, nil, nil, 1) },
+		"scatter-rows-w": func() { ScatterAXPY(m, []int32{0}, nil, make([]float64, 8), 1) },
+		"scatter-dim":    func() { ScatterAXPY(m, nil, nil, make([]float64, 9), 1) },
+		"atb-into-shape": func() { MatMulATBInto(New(3, 3), m, New(4, 4)) },
+		"abt-into-shape": func() { MatMulABTInto(New(4, 4), m, New(3, 8)) },
+		"colsums-into":   func() { m.ColSumsInto(make([]float64, 7)) },
+		"atb-into-inner": func() { MatMulATBInto(New(8, 4), m, New(5, 4)) },
+	}
+	for name, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestKernelAllocs is the alloc-ceiling gate for the round hot-path
+// kernels: none of them may allocate, ever.
+func TestKernelAllocs(t *testing.T) {
+	m := New(64, 32)
+	rng := rand.New(rand.NewSource(10))
+	fillRand(m, rng)
+	rows := make([]int32, 21)
+	w := make([]float64, 21)
+	for i := range rows {
+		rows[i] = int32(rng.Intn(m.Rows))
+		w[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 32)
+	a, b := New(16, 8), New(16, 12)
+	atb, abt := New(8, 12), New(16, 8)
+	cols := make([]float64, 12)
+	cases := map[string]func(){
+		"GatherAXPY":    func() { GatherAXPY(y, m, rows, w, 1) },
+		"ScatterAXPY":   func() { ScatterAXPY(m, rows, w, y, 1) },
+		"MatMulATBInto": func() { MatMulATBInto(atb, a, b) },
+		"MatMulABTInto": func() { MatMulABTInto(abt, b, atb) },
+		"ColSumsInto":   func() { b.ColSumsInto(cols) },
+	}
+	for name, f := range cases {
+		if n := testing.AllocsPerRun(100, f); n != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", name, n)
+		}
+	}
+}
+
+func BenchmarkGatherAXPY(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	m := New(4096, 32)
+	fillRand(m, rng)
+	rows := make([]int32, 32)
+	w := make([]float64, 32)
+	for i := range rows {
+		rows[i] = int32(rng.Intn(m.Rows))
+		w[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 32)
+	b.Run("fused", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			GatherAXPY(y, m, rows, w, 1)
+		}
+	})
+	b.Run("axpy-loop", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for k := range rows {
+				AXPY(w[k], m.Row(int(rows[k])), y)
+			}
+		}
+	})
+}
+
+// TestKernelSIMDMatchesGeneric pins the amd64 vector bodies bit-identical
+// to the generic Go quad loops by running both paths on identical inputs
+// (±0, subnormals, and NaN payloads included via fillRand). Off amd64, or
+// on amd64 hosts without AVX2, the SIMD path does not exist and the test
+// skips.
+func TestKernelSIMDMatchesGeneric(t *testing.T) {
+	if !useSIMD {
+		t.Skip("no SIMD kernels on this host")
+	}
+	defer func() { useSIMD = true }()
+	rng := rand.New(rand.NewSource(9))
+	for _, dim := range []int{1, 3, 32, 33, kernelTile, kernelTile + 7} {
+		m := New(24, dim)
+		fillRand(m, rng)
+		for _, n := range []int{4, 5, 8, 11} {
+			rows := make([]int32, n)
+			w := make([]float64, n)
+			for i := range rows {
+				rows[i] = int32(rng.Intn(m.Rows))
+				w[i] = rng.NormFloat64()
+			}
+			base := make([]float64, dim)
+			for i := range base {
+				base[i] = rng.NormFloat64()
+			}
+			gotG := append([]float64(nil), base...)
+			gotS := append([]float64(nil), base...)
+			useSIMD = false
+			GatherAXPY(gotG, m, rows, w, 0.375)
+			useSIMD = true
+			GatherAXPY(gotS, m, rows, w, 0.375)
+			if !bitsEqual(gotS, gotG) {
+				t.Fatalf("GatherAXPY dim=%d n=%d: SIMD differs from generic", dim, n)
+			}
+
+			// Scatter with duplicate rows inside the quads.
+			for i := range rows {
+				rows[i] = int32(rng.Intn(3))
+			}
+			mG, mS := New(24, dim), New(24, dim)
+			fillRand(mG, rng)
+			copy(mS.Data, mG.Data)
+			useSIMD = false
+			ScatterAXPY(mG, rows, w, base, -1.5)
+			useSIMD = true
+			ScatterAXPY(mS, rows, w, base, -1.5)
+			if !bitsEqual(mS.Data, mG.Data) {
+				t.Fatalf("ScatterAXPY dim=%d n=%d: SIMD differs from generic", dim, n)
+			}
+		}
+	}
+}

@@ -1,0 +1,196 @@
+package worker
+
+// Precompiled gather plans for the round hot path.
+//
+// The per-round phases used to re-traverse structural state every
+// round: localPhase walked every owned node's full neighbor list
+// testing part[v]==me per arc and paying one tensor.AXPY call per kept
+// neighbor; encodeSemantic re-walked each group's member list; group
+// delivery re-walked DstNodes. All of that structure is fixed between
+// plan changes, so the cluster now compiles it once — at NewCluster,
+// plan install, and Repartition (dirty state only) — into flat int32
+// row lists with the coefficient products baked in, and the round
+// phases run fused tensor.GatherAXPY / tensor.ScatterAXPY kernels over
+// them.
+//
+// Invalidation contract (DESIGN.md §11): compiled state is a pure
+// function of (graph, part, plans/crossOut, coeff).
+//   - pairKernels[idx] ← plans[idx]: recompiled by installPlan, i.e. at
+//     construction and for every dirty pair of a Repartition.
+//   - local[p] ← (part, own[p], plans/crossOut touching p): recompiled
+//     at construction and, on Repartition, for the partitions a moved
+//     node left or joined plus both endpoints of every dirty pair
+//     (dirtyLocalParts below proves that set is sufficient).
+// Delay replay/eval bypass need no invalidation hooks of their own:
+// they reuse the same compiled phases, and the delay slots' separate
+// filled-mark invalidation already handles staleness of cached values.
+
+import (
+	"scgnn/internal/core"
+)
+
+// pairKernels is one ordered pair's compiled encode/deliver plans for
+// both directions (F = forward groups, B = reversed groups). Zero value
+// means "no plan" (vanilla mode or no cross edges).
+type pairKernels struct {
+	encF, encB *core.EncodePlan
+	delF, delB *core.DeliverPlan
+}
+
+// localPlan is one worker's compiled local-aggregation CSR. rows holds
+// the worker's owned nodes in boundary-first order: rows[:nBoundary]
+// are the nodes referenced by any outgoing transfer of this worker
+// (ascending), rows[nBoundary:] the interior remainder (ascending).
+// Row i's terms span nbr[off[i]:off[i+1]]: the self-loop first
+// (weight coeff[u]²), then the same-partition neighbors in adjacency
+// order (weight coeff[u]·coeff[v]) — exactly the term order of the
+// pre-kernel localPhase, so outputs are bit-identical.
+type localPlan struct {
+	rows      []int32
+	nBoundary int
+	off       []int32
+	nbr       []int32
+	w         []float64
+}
+
+// compilePairKernels refreshes pair idx's compiled encode/deliver plans
+// from the installed plan. installPlan calls it, so the kernels can
+// never go stale against the plan they were compiled from.
+func (c *Cluster) compilePairKernels(idx int) {
+	p := c.plans[idx]
+	if p == nil {
+		c.kernels[idx] = pairKernels{}
+		return
+	}
+	rev := c.revGroups[idx]
+	c.kernels[idx] = pairKernels{
+		encF: core.CompileEncode(p.Groups, p.O2O, false, c.coeff),
+		encB: core.CompileEncode(rev, p.O2O, true, c.coeff),
+		delF: core.CompileDeliver(p.Groups, c.coeff),
+		delB: core.CompileDeliver(rev, c.coeff),
+	}
+}
+
+// markBoundary sets mark[u] for every node worker p reads when encoding
+// an outgoing batch in either direction: forward it encodes pair
+// (p→t)'s group members and O2O sources; backward it encodes pair
+// (t→p)'s reversed-group members (= that plan's DstNodes) and O2O
+// sinks. Vanilla mode reads the cross-arc endpoints it owns. Marked
+// nodes are always owned by p, which is what lets compileLocal clear
+// the scratch by walking own[p].
+func (c *Cluster) markBoundary(p int, mark []bool) {
+	for t := 0; t < c.nparts; t++ {
+		if t == p {
+			continue
+		}
+		if c.semantic {
+			if plan := c.plans[p*c.nparts+t]; plan != nil {
+				for _, grp := range plan.Groups {
+					for _, u := range grp.SrcNodes {
+						mark[u] = true
+					}
+				}
+				for _, o := range plan.O2O {
+					mark[o.Src] = true
+				}
+			}
+			if plan := c.plans[t*c.nparts+p]; plan != nil {
+				for _, grp := range plan.Groups {
+					for _, v := range grp.DstNodes {
+						mark[v] = true
+					}
+				}
+				for _, o := range plan.O2O {
+					mark[o.Dst] = true
+				}
+			}
+		} else {
+			for _, e := range c.crossOut[p*c.nparts+t] {
+				mark[e.U] = true
+			}
+			for _, e := range c.crossOut[t*c.nparts+p] {
+				mark[e.V] = true
+			}
+		}
+	}
+}
+
+// compileLocal builds worker p's local-aggregation CSR from the current
+// partition and plans. Must run after ownership, crossOut, and (when
+// semantic) the pair plans reflect the partition it compiles for.
+func (c *Cluster) compileLocal(p int) *localPlan {
+	if len(c.boundScratch) != c.g.NumNodes() {
+		c.boundScratch = make([]bool, c.g.NumNodes())
+	}
+	mark := c.boundScratch
+	c.markBoundary(p, mark)
+	own := c.own[p]
+	lp := &localPlan{
+		rows: make([]int32, 0, len(own)),
+		off:  make([]int32, 1, len(own)+1),
+	}
+	for _, u := range own {
+		if mark[u] {
+			lp.rows = append(lp.rows, u)
+		}
+	}
+	lp.nBoundary = len(lp.rows)
+	for _, u := range own {
+		if !mark[u] {
+			lp.rows = append(lp.rows, u)
+		}
+	}
+	for _, u := range own {
+		mark[u] = false
+	}
+	// Exact-size the arc arrays (counting pass) so a 1M-node plan holds
+	// no growth slack.
+	arcs := len(own)
+	for _, u := range own {
+		for _, v := range c.g.Neighbors(u) {
+			if c.part[v] == p {
+				arcs++
+			}
+		}
+	}
+	lp.nbr = make([]int32, 0, arcs)
+	lp.w = make([]float64, 0, arcs)
+	for _, u := range lp.rows {
+		fu := c.coeff[u]
+		lp.nbr = append(lp.nbr, u)
+		lp.w = append(lp.w, fu*fu)
+		for _, v := range c.g.Neighbors(u) {
+			if c.part[v] == p {
+				lp.nbr = append(lp.nbr, v)
+				lp.w = append(lp.w, fu*c.coeff[v])
+			}
+		}
+		lp.off = append(lp.off, int32(len(lp.nbr)))
+	}
+	return lp
+}
+
+// dirtyLocalParts returns the set (as a bitmap over partitions) whose
+// local plans a repartition old→next invalidates. A row u's compiled
+// terms change only if (a) u changed owners — both its old and new
+// partition's row sets change — or (b) a neighbor v moved in or out of
+// u's partition, in which case part[u] ∈ {old[v], next[v]}; either way
+// the affected partition is an old or new home of a moved node. The
+// boundary/interior split additionally depends on the plans/cross arcs
+// of pairs touching p, which change exactly for dirty pairs — so both
+// endpoints of every dirty pair join the set. No in-neighbor walk is
+// needed.
+func (c *Cluster) dirtyLocalParts(next []int, dirtyPairs []int) []bool {
+	dp := make([]bool, c.nparts)
+	for u, np := range next {
+		if op := c.part[u]; op != np {
+			dp[op] = true
+			dp[np] = true
+		}
+	}
+	for _, idx := range dirtyPairs {
+		dp[idx/c.nparts] = true
+		dp[idx%c.nparts] = true
+	}
+	return dp
+}

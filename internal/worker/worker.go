@@ -106,6 +106,26 @@ type Cluster struct {
 	plans     []*core.PairPlan // index s*nparts+t; nil when no cross edges
 	revGroups [][]*core.Group
 
+	// Compiled gather plans (see gather.go for the invalidation
+	// contract): kernels[idx] is pair idx's flattened encode/deliver
+	// lists (semantic only), local[p] worker p's local-aggregation CSR
+	// in boundary-first row order. boundScratch is compileLocal's
+	// retained mark vector.
+	kernels      []pairKernels
+	local        []*localPlan
+	boundScratch []bool
+	// useReference routes the round phases through the retained
+	// pre-kernel implementations — the bit-identity oracle the
+	// equivalence tests compare the fused kernels against. Set before
+	// any round; must not race a round in flight.
+	useReference bool
+	// phaseHook, when non-nil, observes each worker's round phases in
+	// execution order ("local-boundary", "send", "local-interior",
+	// "receive") — test instrumentation for the boundary-first schedule.
+	// Called from worker goroutines; implementations must be
+	// thread-safe. Set before any round.
+	phaseHook func(worker int, phase string)
+
 	// buckets is the CSR-of-pairs bucketing of the current partition's cross
 	// arcs, retained so Repartition can diff against it. spare is the
 	// bucketing the previous Repartition displaced, recycled as extraction
@@ -424,9 +444,14 @@ func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg c
 		c.planCache = pc
 		c.plans = make([]*core.PairPlan, nparts*nparts)
 		c.revGroups = make([][]*core.Group, nparts*nparts)
+		c.kernels = make([]pairKernels, nparts*nparts)
 		for idx := range c.plans {
 			c.installPlan(idx)
 		}
+	}
+	c.local = make([]*localPlan, nparts)
+	for p := 0; p < nparts; p++ {
+		c.local[p] = c.compileLocal(p)
 	}
 	for p := 0; p < nparts; p++ {
 		go c.run(p)
@@ -444,19 +469,19 @@ func (c *Cluster) rebuildOwnership(part []int) {
 }
 
 // installPlan refreshes the cluster's view of pair idx's semantic plan from
-// the plan cache, including the cached reversed groups for the backward pass.
+// the plan cache: the cached reversed groups for the backward pass and the
+// compiled encode/deliver gather kernels for both directions. This is the
+// single recompile point, so the kernels can never go stale against the
+// plan they ride.
 func (c *Cluster) installPlan(idx int) {
 	p := c.planCache.Plan(idx)
 	c.plans[idx] = p
 	if p == nil {
 		c.revGroups[idx] = nil
-		return
+	} else {
+		c.revGroups[idx] = core.ReverseGroups(p)
 	}
-	rev := make([]*core.Group, len(p.Groups))
-	for i, grp := range p.Groups {
-		rev[i] = grp.Reverse()
-	}
-	c.revGroups[idx] = rev
+	c.compilePairKernels(idx)
 }
 
 // Repartition moves the cluster to a new partition of the same graph,
@@ -483,6 +508,9 @@ func (c *Cluster) Repartition(part []int) ([]int, error) {
 	} else {
 		dirty = graph.DiffDBGs(c.buckets, nb)
 	}
+	// Which local gather plans the move invalidates — decided against the
+	// OLD partition vector, before it is overwritten below.
+	dirtyParts := c.dirtyLocalParts(part, dirty)
 	c.spare = c.buckets // displaced; recycled by the next extraction
 	c.buckets = nb
 	c.part = append([]int(nil), part...)
@@ -490,6 +518,13 @@ func (c *Cluster) Repartition(part []int) ([]int, error) {
 	for _, idx := range dirty {
 		c.crossOut[idx] = nb.Edges(idx)
 		c.reseedPair(idx)
+	}
+	// Local plans compile from the NEW ownership/plans/crossOut, so this
+	// must come after everything above.
+	for p, d := range dirtyParts {
+		if d {
+			c.local[p] = c.compileLocal(p)
+		}
 	}
 	if len(dirty) > 0 {
 		// Slots hold whole-round aggregates over all pairs; any dirty plan
@@ -653,8 +688,14 @@ func (c *Cluster) AggregateInto(dst, h *tensor.Matrix, backward bool) error {
 	return nil
 }
 
-// run is the persistent worker loop: park until released, execute the three
-// round phases, hit the barrier, repeat.
+// run is the persistent worker loop: park until released, execute the round
+// phases, hit the barrier, repeat. Rounds with an exchange are scheduled
+// boundary-first: the rows peers are waiting on (the worker's outgoing
+// boundary) aggregate first so sendPhase launches as early as possible, and
+// the interior aggregation — which no peer depends on — runs between send
+// and receive, overlapping the peers' decode work. Every row's accumulation
+// is self-contained and sendPhase reads only h, so the reordering is
+// output-invariant (bit-identical to local→send→receive).
 func (c *Cluster) run(me int) {
 	for {
 		select {
@@ -665,11 +706,12 @@ func (c *Cluster) run(me int) {
 		h, out, backward := c.roundH, c.roundOut, c.roundBackward
 		target, replay := c.roundTarget, c.roundReplay
 		c.ws[me].ensure(h.Cols)
-		c.localPhase(me, h, out)
 		if replay {
-			// Delayed replay: no exchange at all — add the cached remote
-			// delta for the rows this worker owns (the engine's AddInPlace,
-			// row-sharded).
+			// Delayed replay: no exchange at all — aggregate locally, then
+			// add the cached remote delta for the rows this worker owns
+			// (the engine's AddInPlace, row-sharded).
+			lp := c.local[me]
+			c.localRows(me, h, out, 0, len(lp.rows))
 			for _, u := range c.own[me] {
 				tensor.AXPY(1, target.Row(int(u)), out.Row(int(u)))
 			}
@@ -677,6 +719,11 @@ func (c *Cluster) run(me int) {
 			c.barrier.Done()
 			continue
 		}
+		lp := c.local[me]
+		c.localRows(me, h, out, 0, lp.nBoundary)
+		c.hook(me, "local-boundary")
+		c.sendPhase(me, h, backward)
+		c.hook(me, "send")
 		if target != out {
 			// Fresh delayed round: the slot holds last period's delta; clear
 			// this worker's rows before accumulating the new one. Every row
@@ -685,8 +732,10 @@ func (c *Cluster) run(me int) {
 				clear(target.Row(int(u)))
 			}
 		}
-		c.sendPhase(me, h, backward)
+		c.localRows(me, h, out, lp.nBoundary, len(lp.rows))
+		c.hook(me, "local-interior")
 		err := c.receivePhase(me, backward, target)
+		c.hook(me, "receive")
 		if err == nil && target != out {
 			for _, u := range c.own[me] {
 				tensor.AXPY(1, target.Row(int(u)), out.Row(int(u)))
@@ -697,10 +746,38 @@ func (c *Cluster) run(me int) {
 	}
 }
 
-// localPhase computes the within-partition part of Â·h for the rows worker
-// me owns.
-func (c *Cluster) localPhase(me int, h, out *tensor.Matrix) {
-	for _, u := range c.own[me] {
+// hook reports a completed phase to the test instrumentation, if any.
+func (c *Cluster) hook(me int, phase string) {
+	if c.phaseHook != nil {
+		c.phaseHook(me, phase)
+	}
+}
+
+// localRows computes rows [from, to) of worker me's local plan — the
+// within-partition part of Â·h for those rows. The compiled CSR bakes the
+// self-loop and same-partition neighbor terms (coefficients included) per
+// row, so the fused gather kernel replaces the per-arc partition test and
+// per-neighbor AXPY of the reference path below.
+func (c *Cluster) localRows(me int, h, out *tensor.Matrix, from, to int) {
+	lp := c.local[me]
+	if c.useReference {
+		c.localRowsReference(me, h, out, from, to)
+		return
+	}
+	for i := from; i < to; i++ {
+		lo, hi := lp.off[i], lp.off[i+1]
+		tensor.GatherAXPY(out.Row(int(lp.rows[i])), h, lp.nbr[lo:hi], lp.w[lo:hi], 1)
+	}
+}
+
+// localRowsReference is the pre-kernel local aggregation, retained as the
+// bit-identity oracle the kernel-equivalence tests run the cluster on. It
+// walks the same plan rows, so the only difference from localRows is the
+// per-arc traversal itself.
+func (c *Cluster) localRowsReference(me int, h, out *tensor.Matrix, from, to int) {
+	lp := c.local[me]
+	for i := from; i < to; i++ {
+		u := lp.rows[i]
 		fu := c.coeff[u]
 		orow := out.Row(int(u))
 		tensor.AXPY(fu*fu, h.Row(int(u)), orow)
@@ -710,6 +787,13 @@ func (c *Cluster) localPhase(me int, h, out *tensor.Matrix) {
 			}
 		}
 	}
+}
+
+// localPhase computes the within-partition part of Â·h for all rows worker
+// me owns (benchmark and test entry point; rounds call localRows in the
+// boundary-first split).
+func (c *Cluster) localPhase(me int, h, out *tensor.Matrix) {
+	c.localRows(me, h, out, 0, len(c.local[me].rows))
 }
 
 // sendPhase encodes worker me's outgoing halo for this round and delivers
@@ -837,10 +921,103 @@ func (c *Cluster) encodeVanilla(batch *wire.Batch, me, peer int, h *tensor.Matri
 }
 
 // encodeSemantic emits one KindGroup message per group plus KindNode
-// messages for O2O residuals (Fig. 7(b)).
+// messages for O2O residuals (Fig. 7(b)), running the compiled gather
+// lists of pair idx's EncodePlan: each group fuse is one fused
+// GatherAXPY over pre-flattened member rows with WOut·coeff baked, each
+// O2O residual a scaled row copy with coeff[sender] baked. Unit
+// ordering (groups first, then O2O, dropped units still advancing the
+// counter) matches the reference path coin for coin.
 func (c *Cluster) encodeSemantic(batch *wire.Batch, me, peer int, h *tensor.Matrix, backward bool) {
+	if c.useReference {
+		c.encodeSemanticReference(batch, me, peer, h, backward)
+		return
+	}
 	// Forward: plan(me→peer), fuse over SrcNodes.
 	// Backward: plan(peer→me) reversed — I own its DstNodes and fuse them.
+	var idx int
+	if backward {
+		idx = peer*c.nparts + me
+	} else {
+		idx = me*c.nparts + peer
+	}
+	if c.plans[idx] == nil {
+		return
+	}
+	ep := c.kernels[idx].encF
+	if backward {
+		ep = c.kernels[idx].encB
+	}
+	ws := &c.ws[me]
+	payload := ws.payload[:h.Cols]
+	msg := &ws.msg
+	msg.SrcPart = int32(me)
+	msg.Payload = payload
+	var sampler *compress.Sampler
+	var nodeSampler *compress.NodeSampler
+	if ps := c.pairAt(idx); ps != nil {
+		sampler, nodeSampler = ps.sampler, ps.nodeSampler
+	}
+	if nodeSampler != nil {
+		nodeSampler.StartRound()
+	}
+	var unit int64
+	for gi := 0; gi < ep.NumGroups(); gi++ {
+		scale := 1.0
+		switch {
+		case sampler != nil:
+			if !sampler.Keep() {
+				unit++
+				continue
+			}
+			scale = sampler.Scale()
+		case nodeSampler != nil:
+			if !nodeSampler.Keep(groupCoinKey(gi)) {
+				unit++
+				continue
+			}
+			scale = nodeSampler.Scale()
+		}
+		for i := range payload {
+			payload[i] = 0
+		}
+		rows, w := ep.Group(gi)
+		tensor.GatherAXPY(payload, h, rows, w, scale)
+		msg.Kind = wire.KindGroup
+		msg.Target = int32(gi)
+		c.addMsg(me, batch, msg, idx, unit)
+		unit++
+	}
+	msg.Kind = wire.KindNode
+	for k, src := range ep.O2OSrc {
+		scale := ep.O2OW[k]
+		switch {
+		case sampler != nil:
+			if !sampler.Keep() {
+				unit++
+				continue
+			}
+			scale *= sampler.Scale()
+		case nodeSampler != nil:
+			if !nodeSampler.Keep(src) {
+				unit++
+				continue
+			}
+			scale *= nodeSampler.Scale()
+		}
+		row := h.Row(int(src))
+		for i, v := range row {
+			payload[i] = scale * v
+		}
+		msg.Target = ep.O2ODst[k]
+		c.addMsg(me, batch, msg, idx, unit)
+		unit++
+	}
+}
+
+// encodeSemanticReference is the pre-kernel semantic encoder, retained
+// as the bit-identity oracle for encodeSemantic (same wire bytes, same
+// RNG consumption).
+func (c *Cluster) encodeSemanticReference(batch *wire.Batch, me, peer int, h *tensor.Matrix, backward bool) {
 	var idx int
 	if backward {
 		idx = peer*c.nparts + me
@@ -979,19 +1156,58 @@ func (c *Cluster) decodeBatch(me int, backward bool, out *tensor.Matrix, buf []b
 				return fmt.Errorf("worker %d: %w", me, err)
 			}
 		case wire.KindGroup:
-			grp, err := c.groupFor(int(hd.SrcPart), me, int(hd.Target), backward)
+			if c.useReference {
+				grp, err := c.groupFor(int(hd.SrcPart), me, int(hd.Target), backward)
+				if err != nil {
+					return fmt.Errorf("worker %d: corrupt batch: %w", me, err)
+				}
+				if err := dec.Read(scratch); err != nil {
+					return fmt.Errorf("worker %d: %w", me, err)
+				}
+				for k, v := range grp.DstNodes {
+					tensor.AXPY(grp.DDst[k]*c.coeff[v], scratch, out.Row(int(v)))
+				}
+				continue
+			}
+			rows, w, err := c.deliverFor(int(hd.SrcPart), me, int(hd.Target), backward)
 			if err != nil {
 				return fmt.Errorf("worker %d: corrupt batch: %w", me, err)
 			}
 			if err := dec.Read(scratch); err != nil {
 				return fmt.Errorf("worker %d: %w", me, err)
 			}
-			for k, v := range grp.DstNodes {
-				tensor.AXPY(grp.DDst[k]*c.coeff[v], scratch, out.Row(int(v)))
-			}
+			tensor.ScatterAXPY(out, rows, w, scratch, 1)
 		}
 	}
 	return nil
+}
+
+// deliverFor resolves a received group reference against the compiled
+// deliver plans: forward groups ride the (from→me) pair's kernels,
+// backward groups the reversed (me→from) pair's. Out-of-range references
+// (possible only on corrupt wire data) are errors, not panics — the same
+// validation groupFor applies on the reference path.
+func (c *Cluster) deliverFor(from, me, gi int, backward bool) (rows []int32, w []float64, err error) {
+	if from < 0 || from >= c.nparts || from == me {
+		return nil, nil, fmt.Errorf("group message from invalid part %d", from)
+	}
+	var dp *core.DeliverPlan
+	if c.kernels != nil {
+		if backward {
+			dp = c.kernels[me*c.nparts+from].delB
+		} else {
+			dp = c.kernels[from*c.nparts+me].delF
+		}
+	}
+	n := 0
+	if dp != nil {
+		n = dp.NumGroups()
+	}
+	if gi < 0 || gi >= n {
+		return nil, nil, fmt.Errorf("group index %d out of range (pair has %d groups)", gi, n)
+	}
+	rows, w = dp.Group(gi)
+	return rows, w, nil
 }
 
 // groupFor resolves a received group reference: forward groups live in the

@@ -30,6 +30,14 @@ func TestClusterEngineEquivalenceMatrix(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			cl := NewClusterFromConfig(d.Graph, part, nparts, cfg)
 			defer cl.Close()
+			// A second cluster pinned to the retained pre-kernel phase
+			// implementations: the compiled hot path must not drift from the
+			// reference under any method combination. (Byte-exact lockstep
+			// incl. Repartition lives in TestKernelReferenceLockstep; here
+			// the reference rides the full engine matrix at wire tolerance.)
+			ref := NewClusterFromConfig(d.Graph, part, nparts, cfg)
+			defer ref.Close()
+			ref.useReference = true
 			workerCounts := []int{1, 4, 64}
 			engs := make([]*dist.Engine, len(workerCounts))
 			for i, w := range workerCounts {
@@ -43,6 +51,22 @@ func TestClusterEngineEquivalenceMatrix(t *testing.T) {
 				gotF := cl.Forward(h)
 				gotB := cl.Backward(g)
 				snap := cl.Snapshot()
+				ref.ResetTraffic()
+				ref.StartEpoch(epoch)
+				refF := ref.Forward(h)
+				refB := ref.Backward(g)
+				// Inbox arrival order may reassociate fp64 row sums between
+				// two cluster runs at nparts=3 — fp64 reordering tolerance;
+				// traffic must match exactly.
+				if !gotF.Equal(refF, 1e-9*(1+refF.MaxAbs())) {
+					t.Fatalf("epoch %d: kernel forward diverged from reference phases", epoch)
+				}
+				if !gotB.Equal(refB, 1e-9*(1+refB.MaxAbs())) {
+					t.Fatalf("epoch %d: kernel backward diverged from reference phases", epoch)
+				}
+				if rs := ref.Snapshot(); snap != rs {
+					t.Fatalf("epoch %d: kernel traffic %+v vs reference %+v", epoch, snap, rs)
+				}
 				for i, eng := range engs {
 					w := workerCounts[i]
 					eng.StartEpoch(epoch)

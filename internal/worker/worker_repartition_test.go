@@ -41,6 +41,13 @@ func TestClusterEngineRepartitionLockstep(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			cl := NewClusterFromConfig(d.Graph, part, nparts, cfg)
 			defer cl.Close()
+			// Reference-phase cluster rides the same schedule: compiled
+			// plans must survive the repartition exactly like the retained
+			// pre-kernel implementations (fp64 reordering tolerance only —
+			// inbox arrival order differs between runs at nparts=3).
+			ref := NewClusterFromConfig(d.Graph, part, nparts, cfg)
+			defer ref.Close()
+			ref.useReference = true
 			eng := dist.NewEngine(d.Graph, part, nparts, cfg)
 
 			compare := func(epoch int, stage string) {
@@ -50,6 +57,19 @@ func TestClusterEngineRepartitionLockstep(t *testing.T) {
 				gotF := cl.Forward(h)
 				gotB := cl.Backward(g)
 				snap := cl.Snapshot()
+				ref.ResetTraffic()
+				ref.StartEpoch(epoch)
+				refF := ref.Forward(h)
+				refB := ref.Backward(g)
+				if !gotF.Equal(refF, 1e-9*(1+refF.MaxAbs())) {
+					t.Fatalf("%s epoch %d: kernel forward diverged from reference phases", stage, epoch)
+				}
+				if !gotB.Equal(refB, 1e-9*(1+refB.MaxAbs())) {
+					t.Fatalf("%s epoch %d: kernel backward diverged from reference phases", stage, epoch)
+				}
+				if rs := ref.Snapshot(); snap != rs {
+					t.Fatalf("%s epoch %d: kernel traffic %+v vs reference %+v", stage, epoch, snap, rs)
+				}
 				eng.StartEpoch(epoch)
 				wantF := eng.Forward(h)
 				wantB := eng.Backward(g)
@@ -74,6 +94,9 @@ func TestClusterEngineRepartitionLockstep(t *testing.T) {
 			}
 			dCl, err := cl.Repartition(next)
 			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := ref.Repartition(next); err != nil {
 				t.Fatal(err)
 			}
 			if len(dEng) != len(dCl) {
