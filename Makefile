@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify cover fuzz fuzz-smoke bench bench-round bench-all bench-scale profile experiments quick-experiments clean
+.PHONY: all build vet test race test-net verify cover fuzz fuzz-smoke bench bench-round bench-all bench-scale profile experiments quick-experiments clean
 
 all: build vet test race
 
@@ -25,12 +25,26 @@ race:
 	$(GO) test -race ./internal/dist/... ./internal/worker/... \
 		./internal/cluster/... ./internal/core/... ./internal/graph/...
 
+# The multi-process lane: the whole socket transport package under the race
+# detector (framing/control codecs, fault-injection matrix, cross-runtime
+# equivalence, subprocess kill/respawn/restore/repartition), then a 2-process
+# unix-socket training smoke through the real scgnn-node/scgnn-coord
+# binaries, checkpointing each boundary.
+test-net:
+	$(GO) test -race ./internal/net/...
+	@dir=$$(mktemp -d) && trap 'rm -rf "$$dir"' EXIT INT TERM && \
+	$(GO) build -o "$$dir/" ./cmd/scgnn-node ./cmd/scgnn-coord && \
+	"$$dir/scgnn-coord" -node-bin "$$dir/scgnn-node" \
+		-nodes "$$dir/n0.sock,$$dir/n1.sock" \
+		-method quant -bits 8 -epochs 3 -checkpoint "$$dir/job.ck" && \
+	echo "test-net: 2-process smoke ok"
+
 # Coverage floors on the packages the incremental replanning subsystem lives
 # in — new code there must arrive tested. Floors sit a few points under the
 # current numbers (core 96%, graph 97%, cluster 91%) so routine churn passes
 # while an untested subsystem landing in one of them fails the gate.
 cover:
-	@for spec in ./internal/core:90 ./internal/graph:90 ./internal/cluster:85; do \
+	@for spec in ./internal/core:90 ./internal/graph:90 ./internal/cluster:85 ./internal/net:85; do \
 		pkg=$${spec%:*}; floor=$${spec##*:}; \
 		line=$$($(GO) test -cover $$pkg) || { echo "$$line"; exit 1; }; \
 		pct=$$(echo "$$line" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
@@ -50,16 +64,18 @@ fuzz:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzDecoder$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzBatchRoundtrip$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/graph/ -run '^$$' -fuzz '^FuzzDiffDBGs$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/net/ -run '^$$' -fuzz '^FuzzFrameDecoder$$' -fuzztime=$(FUZZTIME)
 
 # Short fuzz pass for the verify gate / CI.
 fuzz-smoke:
 	$(MAKE) fuzz FUZZTIME=10s
 
 # Tier-1 verification gate (ROADMAP.md): everything must build, pass tests,
-# survive the race detector on the concurrent packages, hold the coverage
-# floors, and hold up under a short coverage-guided fuzz of the trust
-# boundaries (wire decoders, arc-bucket differ).
-verify: build vet test race cover fuzz-smoke
+# survive the race detector on the concurrent packages (the multi-process
+# transport lane included), hold the coverage floors, and hold up under a
+# short coverage-guided fuzz of the trust boundaries (wire decoders,
+# arc-bucket differ, transport framing + control codecs).
+verify: build vet test race test-net cover fuzz-smoke
 
 # Cluster-round + halo-exchange benchmarks with allocation counts; the JSON
 # lands in BENCH_worker.json under "after" (the committed "before" baseline

@@ -1,0 +1,180 @@
+// Command scgnn-coord drives distributed training over a fleet of
+// scgnn-node processes: it connects to each node's socket, ships the graph
+// shard and compression config over the control channel, then runs the
+// full-batch training loop with the fleet as the aggregation backend,
+// checkpointing at every epoch boundary.
+//
+// Usage:
+//
+//	scgnn-node -listen /tmp/scgnn/n0.sock &
+//	scgnn-node -listen /tmp/scgnn/n1.sock &
+//	scgnn-coord -nodes /tmp/scgnn/n0.sock,/tmp/scgnn/n1.sock -method quant -bits 8
+//
+// With -node-bin the coordinator spawns the node processes itself:
+//
+//	scgnn-coord -node-bin ./scgnn-node -nodes /tmp/scgnn/n0.sock,/tmp/scgnn/n1.sock
+//
+// If -checkpoint names an existing file the run resumes from it instead of
+// starting at epoch 0 — after a crash, restart the dead node and rerun the
+// same coordinator command to pick the job back up loss-for-loss.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"strings"
+
+	"scgnn/internal/core"
+	"scgnn/internal/datasets"
+	"scgnn/internal/dist"
+	"scgnn/internal/gnn"
+	"scgnn/internal/net"
+	"scgnn/internal/partition"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "scgnn-coord:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var (
+		nodes   = flag.String("nodes", "", "comma-separated node addresses (one per partition)")
+		nodeBin = flag.String("node-bin", "", "spawn node processes with this binary instead of expecting them running")
+		dataset = flag.String("dataset", "pubmed-sim", "dataset: reddit-sim, yelp-sim, ogbn-products-sim, pubmed-sim")
+		cut     = flag.String("cut", "node-cut", "partitioner: node-cut, edge-cut, random")
+		method  = flag.String("method", "semantic", "exchange: vanilla, sampling, quant, delay, semantic")
+		rate    = flag.Float64("rate", 0.1, "sampling rate (method=sampling)")
+		bits    = flag.Int("bits", 8, "quantization bits (method=quant)")
+		period  = flag.Int("period", 4, "delay period (method=delay)")
+		groups  = flag.Int("groups", 0, "semantic group count (0 = auto EEP)")
+		epochs  = flag.Int("epochs", 60, "training epochs")
+		hidden  = flag.Int("hidden", 32, "hidden width")
+		lr      = flag.Float64("lr", 0.02, "learning rate")
+		seed    = flag.Int64("seed", 1, "random seed")
+		ckPath  = flag.String("checkpoint", "", "checkpoint file, written at every epoch boundary (resumes if it exists)")
+		verbose = flag.Bool("v", false, "print per-epoch progress")
+	)
+	flag.Parse()
+
+	addrs := strings.Split(*nodes, ",")
+	if *nodes == "" || len(addrs) < 1 {
+		fmt.Fprintln(os.Stderr, "scgnn-coord: -nodes is required (comma-separated addresses)")
+		os.Exit(2)
+	}
+	nparts := len(addrs)
+
+	if *nodeBin != "" {
+		for _, addr := range addrs {
+			cmd := exec.Command(*nodeBin, "-listen", addr)
+			cmd.Stderr = os.Stderr
+			if err := cmd.Start(); err != nil {
+				fatal(fmt.Errorf("spawn %s: %w", addr, err))
+			}
+			go cmd.Wait()
+		}
+	}
+
+	ds, err := datasets.ByName(*dataset, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	cutMethod, err := partition.ByName(*cut)
+	if err != nil {
+		fatal(err)
+	}
+	part := partition.Partition(ds.Graph, nparts, cutMethod, partition.Config{Seed: *seed})
+
+	var cfg dist.Config
+	switch *method {
+	case "vanilla":
+		cfg = dist.Vanilla()
+	case "sampling":
+		cfg = dist.Sampling(*rate, *seed)
+	case "quant":
+		cfg = dist.Quant(*bits)
+	case "delay":
+		cfg = dist.Delay(*period)
+	case "semantic":
+		cfg = dist.Semantic(core.PlanConfig{Grouping: core.GroupingConfig{K: *groups, Seed: *seed}})
+	default:
+		fmt.Fprintf(os.Stderr, "scgnn-coord: unknown method %q\n", *method)
+		os.Exit(2)
+	}
+
+	coord := net.NewCoordinator(addrs, net.CoordOptions{})
+	if err := coord.Connect(); err != nil {
+		fatal(err)
+	}
+	defer coord.Close()
+	if err := coord.Setup(ds.Graph, part, cfg); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("fleet     %d nodes over %s\n", nparts, strings.Join(addrs, ", "))
+	fmt.Printf("dataset   %s: %d nodes, %d arcs, %d classes\n",
+		ds.Name, ds.NumNodes(), ds.Graph.NumEdges(), ds.NumClasses)
+
+	model := gnn.NewGCN(coord, []int{ds.FeatureDim(), *hidden, ds.NumClasses},
+		rand.New(rand.NewSource(*seed)))
+	trainer := gnn.NewTrainer(model, ds.Features, ds.Labels,
+		ds.TrainMask, ds.ValMask, ds.TestMask, gnn.TrainConfig{Epochs: *epochs, LR: *lr})
+
+	if *ckPath != "" {
+		if ck, err := net.LoadTrainingCheckpoint(*ckPath); err == nil {
+			if err := net.RestoreParams(ck.Params, model.Params()); err != nil {
+				fatal(err)
+			}
+			if err := trainer.Restore(ck.Trainer); err != nil {
+				fatal(err)
+			}
+			if err := coord.RestoreStates(ck.Nodes); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("resumed   epoch %d from %s\n", ck.Epoch, *ckPath)
+		} else if !errors.Is(err, os.ErrNotExist) {
+			fatal(fmt.Errorf("checkpoint %s: %w", *ckPath, err))
+		}
+	}
+
+	for !trainer.Done() {
+		if *ckPath != "" {
+			blobs, err := coord.CollectStates()
+			if err != nil {
+				fatal(err)
+			}
+			ck := &net.TrainingCheckpoint{
+				Epoch: trainer.NextEpoch(), Part: coord.Part(),
+				Params: net.CaptureParams(model.Params()), Trainer: trainer.State(), Nodes: blobs,
+			}
+			if err := ck.Save(*ckPath); err != nil {
+				fatal(err)
+			}
+		}
+		st, err := trainer.RunEpoch()
+		if err != nil {
+			if *ckPath != "" {
+				fmt.Fprintf(os.Stderr, "scgnn-coord: epoch %d failed: %v\n", trainer.NextEpoch(), err)
+				fmt.Fprintf(os.Stderr, "scgnn-coord: restart the dead node and rerun with -checkpoint %s to resume\n", *ckPath)
+				os.Exit(1)
+			}
+			fatal(err)
+		}
+		if *verbose {
+			fmt.Printf("epoch %3d  loss %.4f  train %.4f  val %.4f\n",
+				st.Epoch, st.Loss, st.TrainAcc, st.ValAcc)
+		}
+	}
+	res, err := trainer.Finish()
+	if err != nil {
+		fatal(err)
+	}
+	snap := coord.CaptureEpoch()
+	fmt.Printf("result    test acc %.4f (best val %.4f) after %d epochs\n",
+		res.TestAcc, res.BestValAcc, len(res.Epochs))
+	fmt.Printf("traffic   last epoch: %s\n", snap)
+	coord.Shutdown()
+}

@@ -172,3 +172,13 @@ func (s *NodeSampler) Keep(u int32) bool {
 
 // Scale is the unbiasing rescale factor for kept nodes.
 func (s *NodeSampler) Scale() float64 { return 1 / s.Rate }
+
+// State returns the generator's internal state word — the sampler's exact
+// stream position. Unlike math/rand, xorshift64* state is one uint64, so
+// checkpoints store it directly and SetState restores it bit-exactly. The
+// per-round memo is deliberately not part of the state: StartRound clears it
+// before any post-restore coin is flipped.
+func (s *NodeSampler) State() uint64 { return s.rng.state }
+
+// SetState restores a stream position captured by State.
+func (s *NodeSampler) SetState(state uint64) { s.rng.state = state }

@@ -87,8 +87,9 @@ func DeriveSeed(base int64, stream int) int64 {
 // transmitted, and rescales kept units to keep the aggregate unbiased in
 // expectation.
 type Sampler struct {
-	Rate float64 // keep probability in (0, 1]
-	rng  *rand.Rand
+	Rate  float64 // keep probability in (0, 1]
+	rng   *rand.Rand
+	draws int64
 }
 
 // NewSampler validates the rate and returns a sampler.
@@ -104,7 +105,23 @@ func (s *Sampler) Keep() bool {
 	if s.Rate >= 1 {
 		return true
 	}
+	s.draws++
 	return s.rng.Float64() < s.Rate
+}
+
+// Draws returns the number of coins consumed so far — the sampler's stream
+// position. A checkpoint saves this count; restore recreates the sampler from
+// its seed and fast-forwards with Skip, which reproduces the stream exactly
+// (math/rand's internal state is not otherwise serializable).
+func (s *Sampler) Draws() int64 { return s.draws }
+
+// Skip discards n coins, fast-forwarding the stream to the position a
+// same-seeded sampler reached after n Keep calls.
+func (s *Sampler) Skip(n int64) {
+	for i := int64(0); i < n; i++ {
+		s.rng.Float64()
+	}
+	s.draws += n
 }
 
 // Scale is the rescale factor applied to kept units (1/rate).

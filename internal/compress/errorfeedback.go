@@ -73,6 +73,24 @@ func (ef *ErrorFeedback) PostCompress(key int64, trueVals, sent []float64) {
 	}
 }
 
+// Snapshot deep-copies the residual store for checkpointing.
+func (ef *ErrorFeedback) Snapshot() map[int64][]float64 {
+	out := make(map[int64][]float64, len(ef.residual))
+	for k, v := range ef.residual {
+		out[k] = append([]float64(nil), v...)
+	}
+	return out
+}
+
+// Restore replaces the residual store with a deep copy of residuals (nil
+// restores an empty store), undoing any history accumulated since.
+func (ef *ErrorFeedback) Restore(residuals map[int64][]float64) {
+	ef.residual = make(map[int64][]float64, len(residuals))
+	for k, v := range residuals {
+		ef.residual[k] = append([]float64(nil), v...)
+	}
+}
+
 // Reset clears residuals and counters (e.g. between runs).
 func (ef *ErrorFeedback) Reset() {
 	ef.residual = make(map[int64][]float64)

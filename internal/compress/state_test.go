@@ -1,0 +1,114 @@
+package compress
+
+import (
+	"testing"
+)
+
+// TestSamplerSkipReproducesStream pins the checkpoint fast-forward contract:
+// a fresh sampler Skip(n) lands on exactly the stream position a same-seeded
+// sampler reached after n Keep calls, so the coins after restore match the
+// coins an uninterrupted run would have drawn.
+func TestSamplerSkipReproducesStream(t *testing.T) {
+	const n = 137
+	a := NewSampler(0.4, 99)
+	for i := 0; i < n; i++ {
+		a.Keep()
+	}
+	if a.Draws() != n {
+		t.Fatalf("Draws = %d, want %d", a.Draws(), n)
+	}
+
+	b := NewSampler(0.4, 99)
+	b.Skip(a.Draws())
+	if b.Draws() != a.Draws() {
+		t.Fatalf("after Skip: Draws = %d, want %d", b.Draws(), a.Draws())
+	}
+	for i := 0; i < 64; i++ {
+		if a.Keep() != b.Keep() {
+			t.Fatalf("streams diverge at post-skip coin %d", i)
+		}
+	}
+}
+
+// TestSamplerRateOneDrawsNothing: at Rate >= 1 Keep short-circuits without
+// consuming the generator, and the draw counter must agree so fast-forward
+// stays aligned.
+func TestSamplerRateOneDrawsNothing(t *testing.T) {
+	s := NewSampler(1.0, 7)
+	for i := 0; i < 10; i++ {
+		if !s.Keep() {
+			t.Fatal("rate-1 sampler dropped a unit")
+		}
+	}
+	if s.Draws() != 0 {
+		t.Fatalf("rate-1 sampler counted %d draws, want 0", s.Draws())
+	}
+}
+
+// TestNodeSamplerStateRoundtrip: SetState(State()) resumes the xorshift
+// stream bit-exactly.
+func TestNodeSamplerStateRoundtrip(t *testing.T) {
+	a := NewNodeSampler(0.5, 42)
+	a.StartRound()
+	for u := int32(0); u < 50; u++ {
+		a.Keep(u)
+	}
+	st := a.State()
+
+	b := NewNodeSampler(0.5, 1) // different seed: state must fully override it
+	b.SetState(st)
+
+	a.StartRound()
+	b.StartRound()
+	for u := int32(0); u < 50; u++ {
+		if a.Keep(u) != b.Keep(u) {
+			t.Fatalf("restored node sampler diverges at node %d", u)
+		}
+	}
+}
+
+// TestErrorFeedbackSnapshotRestore: Snapshot is a deep copy (later rounds
+// don't mutate it) and Restore rewinds the store to the captured residuals.
+func TestErrorFeedbackSnapshotRestore(t *testing.T) {
+	ef := NewErrorFeedback()
+	trueVals := []float64{1, 2, 3}
+	sent := []float64{0.9, 2.1, 2.8}
+	ef.PostCompress(5, trueVals, sent)
+
+	snap := ef.Snapshot()
+	if len(snap) != 1 || len(snap[5]) != 3 {
+		t.Fatalf("snapshot = %v, want one 3-vector under key 5", snap)
+	}
+	res0 := trueVals[0] - sent[0] // runtime float64 arithmetic, not constant folding
+
+	// Mutate post-snapshot: overwrite the residual for key 5 and add key 9.
+	ef.PostCompress(5, []float64{10, 10, 10}, []float64{0, 0, 0})
+	ef.PostCompress(9, []float64{1}, []float64{0})
+	if snap[5][0] != res0 {
+		t.Fatalf("snapshot aliased live store: %v", snap[5])
+	}
+
+	ef.Restore(snap)
+	if ef.Units() != 1 {
+		t.Fatalf("restored store tracks %d units, want 1", ef.Units())
+	}
+	payload := []float64{0, 0, 0}
+	ef.PreCompress(5, payload)
+	for i := range payload {
+		want := trueVals[i] - sent[i]
+		if diff := payload[i] - want; diff > 1e-12 || diff < -1e-12 {
+			t.Fatalf("restored residual[%d] = %v, want %v", i, payload[i], want)
+		}
+	}
+
+	// Restoring from the snapshot must not alias it either.
+	ef.PostCompress(5, []float64{7, 7, 7}, []float64{0, 0, 0})
+	if snap[5][0] != res0 {
+		t.Fatalf("restore aliased snapshot: %v", snap[5])
+	}
+
+	ef.Restore(nil)
+	if ef.Units() != 0 {
+		t.Fatalf("Restore(nil) left %d units", ef.Units())
+	}
+}

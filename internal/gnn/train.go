@@ -1,7 +1,6 @@
 package gnn
 
 import (
-	"scgnn/internal/nn"
 	"scgnn/internal/tensor"
 )
 
@@ -35,58 +34,19 @@ type TrainResult struct {
 // Train runs full-batch supervised training of model on (x, labels) with the
 // given masks, evaluating test accuracy at the end. It mirrors the standard
 // full-graph GNN training loop (paper Fig. 8 right side): forward over all
-// nodes, masked loss, backward, optimizer step — every epoch.
+// nodes, masked loss, backward, optimizer step — every epoch. It is a
+// single-shot wrapper over Trainer; callers that need checkpoint/resume or
+// per-epoch control drive the Trainer directly.
 func Train(model Model, x *tensor.Matrix, labels []int, trainMask, valMask, testMask []bool, cfg TrainConfig) *TrainResult {
-	if cfg.Epochs <= 0 {
-		cfg.Epochs = 100
-	}
-	if cfg.LR == 0 {
-		cfg.LR = 0.01
-	}
-	opt := nn.NewAdam(cfg.LR)
-	opt.WeightDecay = cfg.WeightDecay
-
-	res := &TrainResult{}
-	sinceBest := 0
-	for e := 0; e < cfg.Epochs; e++ {
-		if em, ok := model.(EpochMarker); ok {
-			em.StartEpoch(e)
-		}
-		logits := model.Forward(x)
-		loss, grad := nn.MaskedCrossEntropy(logits, labels, trainMask)
-		model.ZeroGrad()
-		model.Backward(grad)
-		opt.Step(model.Params())
-
-		st := EpochStats{
-			Epoch:    e,
-			Loss:     loss,
-			TrainAcc: nn.Accuracy(logits, labels, trainMask),
-			ValAcc:   nn.Accuracy(logits, labels, valMask),
-		}
-		res.Epochs = append(res.Epochs, st)
-		if st.ValAcc > res.BestValAcc {
-			res.BestValAcc = st.ValAcc
-			sinceBest = 0
-		} else {
-			sinceBest++
-			if cfg.Patience > 0 && sinceBest >= cfg.Patience {
-				break
-			}
+	t := NewTrainer(model, x, labels, trainMask, valMask, testMask, cfg)
+	for !t.Done() {
+		if _, err := t.RunEpoch(); err != nil {
+			panic(err)
 		}
 	}
-	if tm, ok := model.(TrainableMode); ok {
-		tm.SetTraining(false)
-		defer tm.SetTraining(true)
+	res, err := t.Finish()
+	if err != nil {
+		panic(err)
 	}
-	// The final accuracy pass is a measurement, not a training epoch: mark it
-	// with the actual next epoch index so delayed-transmission aggregators
-	// compute fresh values instead of replaying stale caches (and so no
-	// schedule state is perturbed for callers that keep training).
-	if em, ok := model.(EvalMarker); ok {
-		em.StartEvalEpoch(len(res.Epochs))
-	}
-	final := model.Forward(x)
-	res.TestAcc = nn.Accuracy(final, labels, testMask)
 	return res
 }

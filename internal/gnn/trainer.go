@@ -1,0 +1,180 @@
+package gnn
+
+import (
+	"fmt"
+
+	"scgnn/internal/nn"
+	"scgnn/internal/tensor"
+)
+
+// Trainer is the resumable form of Train: the same full-batch loop, but
+// stepped one epoch at a time by the caller, with the loop bookkeeping
+// (epoch counter, patience, per-epoch stats, optimizer moments) exported as
+// a serializable TrainerState. The multi-process coordinator uses this to
+// checkpoint a run at any epoch boundary and resume it loss-for-loss
+// identically after a crash; Train is a thin wrapper that preserves the
+// original single-shot semantics.
+type Trainer struct {
+	Model  Model
+	X      *tensor.Matrix
+	Labels []int
+
+	TrainMask, ValMask, TestMask []bool
+
+	Cfg TrainConfig
+	Opt *nn.Adam
+
+	res       *TrainResult
+	sinceBest int
+	next      int // next epoch index to run
+}
+
+// NewTrainer applies the TrainConfig defaults (100 epochs, LR 0.01) and
+// builds the optimizer, leaving the trainer positioned before epoch 0.
+func NewTrainer(model Model, x *tensor.Matrix, labels []int, trainMask, valMask, testMask []bool, cfg TrainConfig) *Trainer {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = 100
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 0.01
+	}
+	opt := nn.NewAdam(cfg.LR)
+	opt.WeightDecay = cfg.WeightDecay
+	return &Trainer{
+		Model: model, X: x, Labels: labels,
+		TrainMask: trainMask, ValMask: valMask, TestMask: testMask,
+		Cfg: cfg, Opt: opt,
+		res: &TrainResult{},
+	}
+}
+
+// NextEpoch returns the index of the epoch the next RunEpoch call executes.
+func (t *Trainer) NextEpoch() int { return t.next }
+
+// Done reports whether the training loop has finished — either the epoch
+// budget is spent or patience tripped. Finish runs the evaluation pass.
+func (t *Trainer) Done() bool {
+	if t.next >= t.Cfg.Epochs {
+		return true
+	}
+	return t.Cfg.Patience > 0 && t.sinceBest >= t.Cfg.Patience
+}
+
+// recoverToError converts a panic in the model/aggregator stack into an
+// error so a networked node losing a peer mid-forward surfaces as a typed
+// failure at the coordinator instead of killing the process.
+func recoverToError(what string, epoch int, err *error) {
+	if r := recover(); r != nil {
+		if e, ok := r.(error); ok {
+			*err = fmt.Errorf("gnn: %s %d: %w", what, epoch, e)
+		} else {
+			*err = fmt.Errorf("gnn: %s %d panicked: %v", what, epoch, r)
+		}
+	}
+}
+
+// RunEpoch executes one training epoch — forward, masked loss, backward,
+// optimizer step — and records its stats. Panics out of the model or
+// aggregator (e.g. a transport-backed aggregator whose peer died) are
+// recovered into errors; the epoch is then considered not to have happened
+// and the trainer must be restored from a checkpoint before continuing.
+func (t *Trainer) RunEpoch() (st EpochStats, err error) {
+	if t.Done() {
+		return EpochStats{}, fmt.Errorf("gnn: RunEpoch after training finished (epoch %d)", t.next)
+	}
+	e := t.next
+	defer recoverToError("epoch", e, &err)
+
+	if em, ok := t.Model.(EpochMarker); ok {
+		em.StartEpoch(e)
+	}
+	logits := t.Model.Forward(t.X)
+	loss, grad := nn.MaskedCrossEntropy(logits, t.Labels, t.TrainMask)
+	t.Model.ZeroGrad()
+	t.Model.Backward(grad)
+	t.Opt.Step(t.Model.Params())
+
+	st = EpochStats{
+		Epoch:    e,
+		Loss:     loss,
+		TrainAcc: nn.Accuracy(logits, t.Labels, t.TrainMask),
+		ValAcc:   nn.Accuracy(logits, t.Labels, t.ValMask),
+	}
+	t.res.Epochs = append(t.res.Epochs, st)
+	if st.ValAcc > t.res.BestValAcc {
+		t.res.BestValAcc = st.ValAcc
+		t.sinceBest = 0
+	} else {
+		t.sinceBest++
+	}
+	t.next = e + 1
+	return st, nil
+}
+
+// Finish runs the final measurement pass and returns the completed result.
+// It may be called whether or not the epoch loop ran to completion (Train
+// calls it after Done; a coordinator shutting down early may call it
+// directly). The pass is marked with the actual next epoch index so
+// delayed-transmission aggregators compute fresh values instead of
+// replaying stale caches.
+func (t *Trainer) Finish() (res *TrainResult, err error) {
+	defer recoverToError("final eval at epoch", len(t.res.Epochs), &err)
+	if tm, ok := t.Model.(TrainableMode); ok {
+		tm.SetTraining(false)
+		defer tm.SetTraining(true)
+	}
+	if em, ok := t.Model.(EvalMarker); ok {
+		em.StartEvalEpoch(len(t.res.Epochs))
+	}
+	final := t.Model.Forward(t.X)
+	t.res.TestAcc = nn.Accuracy(final, t.Labels, t.TestMask)
+	return t.res, nil
+}
+
+// Result exposes the accumulated (possibly unfinished) result.
+func (t *Trainer) Result() *TrainResult { return t.res }
+
+// TrainerState is the serializable loop bookkeeping: everything Trainer
+// holds besides the model parameters (checkpointed separately via
+// persist.SaveParams) and the aggregator's stream state (owned by the
+// runtime that built the aggregator).
+type TrainerState struct {
+	NextEpoch  int
+	SinceBest  int
+	BestValAcc float64
+	Epochs     []EpochStats
+	Opt        *nn.AdamState
+}
+
+// State deep-copies the loop bookkeeping and optimizer moments.
+func (t *Trainer) State() *TrainerState {
+	return &TrainerState{
+		NextEpoch:  t.next,
+		SinceBest:  t.sinceBest,
+		BestValAcc: t.res.BestValAcc,
+		Epochs:     append([]EpochStats(nil), t.res.Epochs...),
+		Opt:        t.Opt.State(t.Model.Params()),
+	}
+}
+
+// Restore rewinds the trainer to a captured state. The caller must restore
+// the model parameters to the matching checkpoint separately; a resumed run
+// then reproduces the uninterrupted run's remaining epochs exactly.
+func (t *Trainer) Restore(st *TrainerState) error {
+	if st == nil {
+		return fmt.Errorf("gnn: nil trainer state")
+	}
+	if st.NextEpoch != len(st.Epochs) {
+		return fmt.Errorf("gnn: trainer state at epoch %d carries %d epoch records", st.NextEpoch, len(st.Epochs))
+	}
+	if err := t.Opt.SetState(t.Model.Params(), st.Opt); err != nil {
+		return err
+	}
+	t.next = st.NextEpoch
+	t.sinceBest = st.SinceBest
+	t.res = &TrainResult{
+		Epochs:     append([]EpochStats(nil), st.Epochs...),
+		BestValAcc: st.BestValAcc,
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package net
+
+import (
+	"fmt"
+
+	"scgnn/internal/gnn"
+	"scgnn/internal/nn"
+	"scgnn/internal/persist"
+)
+
+// TrainingCheckpoint is the coordinator's single crash-recovery artifact,
+// captured at an epoch boundary: model parameters, the trainer's optimizer
+// and early-stopping state, the partition vector in force, and every node's
+// peer-state blob (each itself a CRC-validated persist container). One file
+// holds everything needed to rewind the whole fleet — the coordinator
+// restores its own model and trainer locally and ships each node its blob
+// via RestoreStates.
+type TrainingCheckpoint struct {
+	Epoch   int
+	Part    []int
+	Params  []ParamState
+	Trainer *gnn.TrainerState
+	Nodes   [][]byte
+}
+
+// ParamState is one named parameter tensor's checkpointed values.
+type ParamState struct {
+	Name       string
+	Rows, Cols int
+	Data       []float64
+}
+
+// CaptureParams deep-copies a model's parameters (gradients excluded).
+func CaptureParams(params []nn.Param) []ParamState {
+	out := make([]ParamState, len(params))
+	for i, p := range params {
+		out[i] = ParamState{
+			Name: p.Name, Rows: p.Value.Rows, Cols: p.Value.Cols,
+			Data: append([]float64(nil), p.Value.Data...),
+		}
+	}
+	return out
+}
+
+// RestoreParams writes checkpointed values back into a model's parameters,
+// validating names and shapes positionally (Model.Params order is stable).
+func RestoreParams(st []ParamState, params []nn.Param) error {
+	if len(st) != len(params) {
+		return fmt.Errorf("net: checkpoint has %d tensors, model has %d", len(st), len(params))
+	}
+	for i, p := range params {
+		s := st[i]
+		if s.Name != p.Name || s.Rows != p.Value.Rows || s.Cols != p.Value.Cols {
+			return fmt.Errorf("net: checkpoint tensor %d is %s %dx%d, model wants %s %dx%d",
+				i, s.Name, s.Rows, s.Cols, p.Name, p.Value.Rows, p.Value.Cols)
+		}
+		copy(p.Value.Data, s.Data)
+	}
+	return nil
+}
+
+// Save writes the checkpoint atomically at path.
+func (c *TrainingCheckpoint) Save(path string) error {
+	return persist.SaveCheckpoint(path, c)
+}
+
+// LoadTrainingCheckpoint reads a checkpoint written by Save. Damage
+// surfaces as persist.ErrCorruptCheckpoint; a missing file as os.ErrNotExist.
+func LoadTrainingCheckpoint(path string) (*TrainingCheckpoint, error) {
+	c := new(TrainingCheckpoint)
+	if err := persist.LoadCheckpoint(path, c); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,632 @@
+package net
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+
+	"scgnn/internal/core"
+	"scgnn/internal/dist"
+)
+
+// Control-message codecs: hand-rolled little-endian encoders with fully
+// validated decoders. Control frames cross the same trust boundary as data
+// batches (any process that can reach a node's socket can send them), so no
+// reflective decoder (gob/json) touches the payload: every length is checked
+// against the bytes actually present before a single element is allocated,
+// and a malformed payload is an error, never a panic or an attacker-sized
+// allocation. The encoding is canonical — decode(encode(m)) == m — which is
+// what the frame fuzz target's re-encode differential check pins.
+
+var errBadControl = errors.New("net: malformed control payload")
+
+// cwriter appends little-endian fields to a growing payload.
+type cwriter struct{ b []byte }
+
+func (w *cwriter) u8(v byte)     { w.b = append(w.b, v) }
+func (w *cwriter) bool(v bool)   { w.u8(map[bool]byte{false: 0, true: 1}[v]) }
+func (w *cwriter) u32(v uint32)  { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *cwriter) i32(v int32)   { w.u32(uint32(v)) }
+func (w *cwriter) u64(v uint64)  { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *cwriter) i64(v int64)   { w.u64(uint64(v)) }
+func (w *cwriter) f64(v float64) { w.u64(math.Float64bits(v)) }
+func (w *cwriter) str(s string) {
+	w.u32(uint32(len(s)))
+	w.b = append(w.b, s...)
+}
+func (w *cwriter) bytes(p []byte) {
+	w.u32(uint32(len(p)))
+	w.b = append(w.b, p...)
+}
+func (w *cwriter) i32s(v []int32) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.i32(x)
+	}
+}
+func (w *cwriter) i64s(v []int64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.i64(x)
+	}
+}
+func (w *cwriter) f64s(v []float64) {
+	w.u32(uint32(len(v)))
+	for _, x := range v {
+		w.f64(x)
+	}
+}
+func (w *cwriter) strs(v []string) {
+	w.u32(uint32(len(v)))
+	for _, s := range v {
+		w.str(s)
+	}
+}
+
+// creader consumes little-endian fields with sticky error handling: after
+// the first malformed field every later read returns zero values, and done()
+// reports the failure (or trailing garbage).
+type creader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *creader) fail(what string) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", errBadControl, what, r.off)
+	}
+}
+
+func (r *creader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail("truncated field")
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *creader) u8() byte {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *creader) bool() bool {
+	switch r.u8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.fail("non-canonical bool")
+		return false
+	}
+}
+
+func (r *creader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+func (r *creader) i32() int32 { return int32(r.u32()) }
+func (r *creader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+func (r *creader) i64() int64   { return int64(r.u64()) }
+func (r *creader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+// count reads a u32 element count and validates it against the bytes that
+// remain at elemSize each — the inflation guard.
+func (r *creader) count(elemSize int) int {
+	n := int(r.u32())
+	if r.err != nil {
+		return 0
+	}
+	if n < 0 || n > (len(r.b)-r.off)/elemSize {
+		r.fail("length exceeds payload")
+		return 0
+	}
+	return n
+}
+
+func (r *creader) str() string {
+	n := r.count(1)
+	return string(r.take(n))
+}
+func (r *creader) bytesField() []byte {
+	n := r.count(1)
+	return append([]byte(nil), r.take(n)...)
+}
+func (r *creader) i32s() []int32 {
+	n := r.count(4)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int32, n)
+	for i := range v {
+		v[i] = r.i32()
+	}
+	return v
+}
+func (r *creader) i64s() []int64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]int64, n)
+	for i := range v {
+		v[i] = r.i64()
+	}
+	return v
+}
+func (r *creader) f64s() []float64 {
+	n := r.count(8)
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.f64()
+	}
+	return v
+}
+func (r *creader) strs() []string {
+	n := r.count(4) // each element costs at least its 4-byte length prefix
+	if r.err != nil || n == 0 {
+		return nil
+	}
+	v := make([]string, n)
+	for i := range v {
+		v[i] = r.str()
+	}
+	return v
+}
+
+// done returns the sticky decode error, or a trailing-bytes error when the
+// payload is longer than the message — canonical frames have no padding.
+func (r *creader) done() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("%w: %d trailing bytes", errBadControl, len(r.b)-r.off)
+	}
+	return nil
+}
+
+// CoordID is the Hello sender id the coordinator uses (nodes use their
+// partition id, always ≥ 0).
+const CoordID int32 = -1
+
+// Hello is the first frame on every connection: who is dialing, and at
+// which mesh generation. A node accepts data-mesh connections only at its
+// current generation — stale dials from before a Remesh are refused, so
+// in-flight frames of a torn-down mesh can never leak into a rebuilt one.
+type Hello struct {
+	Sender int32
+	Gen    uint32
+}
+
+func (m Hello) encode() []byte {
+	var w cwriter
+	w.i32(m.Sender)
+	w.u32(m.Gen)
+	return w.b
+}
+
+func decodeHello(p []byte) (Hello, error) {
+	r := creader{b: p}
+	m := Hello{Sender: r.i32(), Gen: r.u32()}
+	return m, r.done()
+}
+
+// WireConfig is the flattened, serializable subset of dist.Config a node
+// needs to rebuild its worker.Peer bit-identically. The grouping similarity
+// function stays the default (it is code, not data); engine-only accounting
+// knobs (BytesPerValue, Workers) are irrelevant to a peer and not shipped.
+type WireConfig struct {
+	Semantic      bool
+	SampleRate    float64
+	SampleNodes   bool
+	QuantBits     int32
+	AdaptiveQuant bool
+	ErrorFeedback bool
+	DelayPeriod   int32
+	Seed          int64
+
+	PlanK, PlanKMin, PlanKMax, PlanMaxPivots int32
+	PlanSeed                                 int64
+	UniformWeights                           bool
+	DropO2O, DropO2M, DropM2O, DropM2M       bool
+}
+
+// FlattenConfig projects a dist.Config onto the wire fields.
+func FlattenConfig(cfg dist.Config) WireConfig {
+	g := cfg.Plan.Grouping
+	d := cfg.Plan.Drop
+	return WireConfig{
+		Semantic:      cfg.Semantic,
+		SampleRate:    cfg.SampleRate,
+		SampleNodes:   cfg.SampleNodes,
+		QuantBits:     int32(cfg.QuantBits),
+		AdaptiveQuant: cfg.AdaptiveQuant,
+		ErrorFeedback: cfg.ErrorFeedback,
+		DelayPeriod:   int32(cfg.DelayPeriod),
+		Seed:          cfg.Seed,
+		PlanK:         int32(g.K), PlanKMin: int32(g.KMin), PlanKMax: int32(g.KMax),
+		PlanMaxPivots: int32(g.MaxPivots), PlanSeed: g.Seed,
+		UniformWeights: cfg.Plan.UniformWeights,
+		DropO2O:        d.O2O, DropO2M: d.O2M, DropM2O: d.M2O, DropM2M: d.M2M,
+	}
+}
+
+// Config rebuilds the dist.Config every replica derives its state from.
+func (c WireConfig) Config() dist.Config {
+	return dist.Config{
+		Semantic: c.Semantic,
+		Plan: core.PlanConfig{
+			Grouping: core.GroupingConfig{
+				K: int(c.PlanK), KMin: int(c.PlanKMin), KMax: int(c.PlanKMax),
+				MaxPivots: int(c.PlanMaxPivots), Seed: c.PlanSeed,
+			},
+			Drop:           core.DropMask{O2O: c.DropO2O, O2M: c.DropO2M, M2O: c.DropM2O, M2M: c.DropM2M},
+			UniformWeights: c.UniformWeights,
+		},
+		SampleRate:    c.SampleRate,
+		SampleNodes:   c.SampleNodes,
+		QuantBits:     int(c.QuantBits),
+		AdaptiveQuant: c.AdaptiveQuant,
+		ErrorFeedback: c.ErrorFeedback,
+		DelayPeriod:   int(c.DelayPeriod),
+		Seed:          c.Seed,
+	}
+}
+
+func (c WireConfig) encodeInto(w *cwriter) {
+	w.bool(c.Semantic)
+	w.f64(c.SampleRate)
+	w.bool(c.SampleNodes)
+	w.i32(c.QuantBits)
+	w.bool(c.AdaptiveQuant)
+	w.bool(c.ErrorFeedback)
+	w.i32(c.DelayPeriod)
+	w.i64(c.Seed)
+	w.i32(c.PlanK)
+	w.i32(c.PlanKMin)
+	w.i32(c.PlanKMax)
+	w.i32(c.PlanMaxPivots)
+	w.i64(c.PlanSeed)
+	w.bool(c.UniformWeights)
+	w.bool(c.DropO2O)
+	w.bool(c.DropO2M)
+	w.bool(c.DropM2O)
+	w.bool(c.DropM2M)
+}
+
+func decodeWireConfig(r *creader) WireConfig {
+	return WireConfig{
+		Semantic:       r.bool(),
+		SampleRate:     r.f64(),
+		SampleNodes:    r.bool(),
+		QuantBits:      r.i32(),
+		AdaptiveQuant:  r.bool(),
+		ErrorFeedback:  r.bool(),
+		DelayPeriod:    r.i32(),
+		Seed:           r.i64(),
+		PlanK:          r.i32(),
+		PlanKMin:       r.i32(),
+		PlanKMax:       r.i32(),
+		PlanMaxPivots:  r.i32(),
+		PlanSeed:       r.i64(),
+		UniformWeights: r.bool(),
+		DropO2O:        r.bool(),
+		DropO2M:        r.bool(),
+		DropM2O:        r.bool(),
+		DropM2M:        r.bool(),
+	}
+}
+
+// Setup carries everything a node needs to rebuild the full cluster state:
+// the undirected edge list, the partition vector, the flattened method
+// config, and the data-mesh addresses of every node. Plans and kernels are
+// never serialized — each replica rebuilds them deterministically.
+type Setup struct {
+	NParts int32
+	Me     int32
+	Gen    uint32
+	Addrs  []string
+	Nodes  int32
+	EdgeU  []int32
+	EdgeV  []int32
+	Part   []int32
+	Cfg    WireConfig
+}
+
+func (m Setup) encode() []byte {
+	var w cwriter
+	w.i32(m.NParts)
+	w.i32(m.Me)
+	w.u32(m.Gen)
+	w.strs(m.Addrs)
+	w.i32(m.Nodes)
+	w.i32s(m.EdgeU)
+	w.i32s(m.EdgeV)
+	w.i32s(m.Part)
+	m.Cfg.encodeInto(&w)
+	return w.b
+}
+
+func decodeSetup(p []byte) (Setup, error) {
+	r := creader{b: p}
+	m := Setup{
+		NParts: r.i32(),
+		Me:     r.i32(),
+		Gen:    r.u32(),
+		Addrs:  r.strs(),
+		Nodes:  r.i32(),
+		EdgeU:  r.i32s(),
+		EdgeV:  r.i32s(),
+		Part:   r.i32s(),
+	}
+	m.Cfg = decodeWireConfig(&r)
+	if err := r.done(); err != nil {
+		return Setup{}, err
+	}
+	// Structural validation beyond field framing: the graph build and
+	// partition checks downstream assume these invariants.
+	if m.NParts < 1 || m.NParts > 1<<16 {
+		return Setup{}, fmt.Errorf("%w: nparts %d", errBadControl, m.NParts)
+	}
+	if m.Me < 0 || m.Me >= m.NParts {
+		return Setup{}, fmt.Errorf("%w: node id %d out of [0,%d)", errBadControl, m.Me, m.NParts)
+	}
+	if len(m.Addrs) != int(m.NParts) {
+		return Setup{}, fmt.Errorf("%w: %d addresses for %d parts", errBadControl, len(m.Addrs), m.NParts)
+	}
+	if m.Nodes < 0 {
+		return Setup{}, fmt.Errorf("%w: negative node count", errBadControl)
+	}
+	if len(m.EdgeU) != len(m.EdgeV) {
+		return Setup{}, fmt.Errorf("%w: edge list U %d vs V %d", errBadControl, len(m.EdgeU), len(m.EdgeV))
+	}
+	for i := range m.EdgeU {
+		if m.EdgeU[i] < 0 || m.EdgeU[i] >= m.Nodes || m.EdgeV[i] < 0 || m.EdgeV[i] >= m.Nodes {
+			return Setup{}, fmt.Errorf("%w: edge %d (%d,%d) out of %d nodes", errBadControl, i, m.EdgeU[i], m.EdgeV[i], m.Nodes)
+		}
+	}
+	if len(m.Part) != int(m.Nodes) {
+		return Setup{}, fmt.Errorf("%w: partition len %d, graph has %d nodes", errBadControl, len(m.Part), m.Nodes)
+	}
+	return m, nil
+}
+
+// Ack completes a control request; a non-empty Err carries the failure.
+type Ack struct {
+	Seq uint64
+	Err string
+}
+
+func (m Ack) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.str(m.Err)
+	return w.b
+}
+
+func decodeAck(p []byte) (Ack, error) {
+	r := creader{b: p}
+	m := Ack{Seq: r.u64(), Err: r.str()}
+	return m, r.done()
+}
+
+// Epoch marks an epoch boundary (Eval marks a measurement-only pass).
+type Epoch struct {
+	Epoch int32
+	Eval  bool
+}
+
+func (m Epoch) encode() []byte {
+	var w cwriter
+	w.i32(m.Epoch)
+	w.bool(m.Eval)
+	return w.b
+}
+
+func decodeEpoch(p []byte) (Epoch, error) {
+	r := creader{b: p}
+	m := Epoch{Epoch: r.i32(), Eval: r.bool()}
+	return m, r.done()
+}
+
+// Round releases a node into one aggregate round: H carries the current
+// feature rows of the nodes it owns, flattened in ascending owned-node
+// order (the coordinator's scatter), in full float64 so the wire adds no
+// precision loss before the batch encoders do their fp32 conversion.
+type Round struct {
+	Seq      uint64
+	Backward bool
+	Cols     int32
+	H        []float64
+}
+
+func (m Round) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.bool(m.Backward)
+	w.i32(m.Cols)
+	w.f64s(m.H)
+	return w.b
+}
+
+func decodeRound(p []byte) (Round, error) {
+	r := creader{b: p}
+	m := Round{Seq: r.u64(), Backward: r.bool(), Cols: r.i32(), H: r.f64s()}
+	if err := r.done(); err != nil {
+		return Round{}, err
+	}
+	if m.Cols < 1 {
+		return Round{}, fmt.Errorf("%w: round cols %d", errBadControl, m.Cols)
+	}
+	if len(m.H)%int(m.Cols) != 0 {
+		return Round{}, fmt.Errorf("%w: %d h values not divisible by %d cols", errBadControl, len(m.H), m.Cols)
+	}
+	return m, nil
+}
+
+// RoundDone reports a completed round: the aggregated rows this node owns
+// (same flattening as Round.H), the per-destination traffic delta, and the
+// node-side error if the round failed.
+type RoundDone struct {
+	Seq   uint64
+	Out   []float64
+	Bytes []int64
+	Msgs  []int64
+	Err   string
+}
+
+func (m RoundDone) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.f64s(m.Out)
+	w.i64s(m.Bytes)
+	w.i64s(m.Msgs)
+	w.str(m.Err)
+	return w.b
+}
+
+func decodeRoundDone(p []byte) (RoundDone, error) {
+	r := creader{b: p}
+	m := RoundDone{Seq: r.u64(), Out: r.f64s(), Bytes: r.i64s(), Msgs: r.i64s(), Err: r.str()}
+	if err := r.done(); err != nil {
+		return RoundDone{}, err
+	}
+	if len(m.Bytes) != len(m.Msgs) {
+		return RoundDone{}, fmt.Errorf("%w: traffic rows %d bytes vs %d msgs", errBadControl, len(m.Bytes), len(m.Msgs))
+	}
+	return m, nil
+}
+
+// Batch is one node-to-node halo buffer. Seq tags the coordinator round it
+// belongs to: a receiver must never see a foreign sequence (the global round
+// barrier forbids cross-round mixing), so a mismatch is a protocol error —
+// the typed symptom of duplicated or stray frames under fault injection.
+type Batch struct {
+	Seq  uint64
+	From int32
+	Data []byte
+}
+
+func (m Batch) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.i32(m.From)
+	w.bytes(m.Data)
+	return w.b
+}
+
+func decodeBatch(p []byte) (Batch, error) {
+	r := creader{b: p}
+	m := Batch{Seq: r.u64(), From: r.i32(), Data: r.bytesField()}
+	return m, r.done()
+}
+
+// Repart swaps in a new partition vector; every node computes the same
+// incremental dirty set locally.
+type Repart struct {
+	Seq  uint64
+	Part []int32
+}
+
+func (m Repart) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.i32s(m.Part)
+	return w.b
+}
+
+func decodeRepart(p []byte) (Repart, error) {
+	r := creader{b: p}
+	m := Repart{Seq: r.u64(), Part: r.i32s()}
+	return m, r.done()
+}
+
+// RepartDone reports the dirty pair indices the node computed, which the
+// coordinator cross-checks across nodes (they must all agree).
+type RepartDone struct {
+	Seq   uint64
+	Dirty []int32
+	Err   string
+}
+
+func (m RepartDone) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.i32s(m.Dirty)
+	w.str(m.Err)
+	return w.b
+}
+
+func decodeRepartDone(p []byte) (RepartDone, error) {
+	r := creader{b: p}
+	m := RepartDone{Seq: r.u64(), Dirty: r.i32s(), Err: r.str()}
+	return m, r.done()
+}
+
+// State carries a node's checkpointed runtime state (a persist checkpoint
+// container, CRC-validated by the opener) to the coordinator, or — as a
+// frameRestore payload — back to a node.
+type State struct {
+	Seq  uint64
+	Blob []byte
+	Err  string
+}
+
+func (m State) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.bytes(m.Blob)
+	w.str(m.Err)
+	return w.b
+}
+
+func decodeState(p []byte) (State, error) {
+	r := creader{b: p}
+	m := State{Seq: r.u64(), Blob: r.bytesField(), Err: r.str()}
+	return m, r.done()
+}
+
+// Remesh tells a node to tear down its data mesh and rebuild it at Gen —
+// the uniform recovery step after a peer is respawned: connections of any
+// older generation are closed, so stale in-flight frames die with them.
+type Remesh struct {
+	Seq uint64
+	Gen uint32
+}
+
+func (m Remesh) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.u32(m.Gen)
+	return w.b
+}
+
+func decodeRemesh(p []byte) (Remesh, error) {
+	r := creader{b: p}
+	m := Remesh{Seq: r.u64(), Gen: r.u32()}
+	return m, r.done()
+}

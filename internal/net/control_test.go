@@ -1,0 +1,224 @@
+package net
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"scgnn/internal/core"
+	"scgnn/internal/dist"
+)
+
+// exampleConfig is a dist.Config exercising every flattened wire field.
+func exampleConfig() dist.Config {
+	return dist.Config{
+		Semantic: true,
+		Plan: core.PlanConfig{
+			Grouping:       core.GroupingConfig{K: 8, KMin: 2, KMax: 16, MaxPivots: 32, Seed: 11},
+			Drop:           core.DropMask{O2O: true, M2M: true},
+			UniformWeights: true,
+		},
+		SampleRate:    0.5,
+		SampleNodes:   true,
+		QuantBits:     4,
+		AdaptiveQuant: true,
+		ErrorFeedback: true,
+		DelayPeriod:   3,
+		Seed:          7,
+	}
+}
+
+// TestWireConfigRoundtrip: FlattenConfig then Config reproduces every field
+// a peer's state derivation depends on.
+func TestWireConfigRoundtrip(t *testing.T) {
+	want := exampleConfig()
+	got := FlattenConfig(want).Config()
+	if got != want {
+		t.Fatalf("config roundtrip:\n got %+v\nwant %+v", got, want)
+	}
+	// The zero config survives too (vanilla baseline).
+	if got := FlattenConfig(dist.Config{}).Config(); got != (dist.Config{}) {
+		t.Fatalf("zero config roundtrip: %+v", got)
+	}
+}
+
+// TestControlRoundtrips: encode→decode is the identity on every message
+// type, including empty-slice and error-string fields.
+func TestControlRoundtrips(t *testing.T) {
+	hello, err := decodeHello(Hello{Sender: CoordID, Gen: 9}.encode())
+	if err != nil || hello.Sender != CoordID || hello.Gen != 9 {
+		t.Fatalf("hello: %+v, %v", hello, err)
+	}
+
+	wantSetup := Setup{
+		NParts: 3, Me: 2, Gen: 1,
+		Addrs: []string{"a", "b", "c"},
+		Nodes: 5,
+		EdgeU: []int32{0, 3}, EdgeV: []int32{1, 4},
+		Part: []int32{0, 0, 1, 2, 2},
+		Cfg:  FlattenConfig(exampleConfig()),
+	}
+	gotSetup, err := decodeSetup(wantSetup.encode())
+	if err != nil {
+		t.Fatalf("setup decode: %v", err)
+	}
+	if gotSetup.Me != 2 || len(gotSetup.Addrs) != 3 || gotSetup.Addrs[2] != "c" ||
+		len(gotSetup.EdgeU) != 2 || gotSetup.EdgeV[1] != 4 || gotSetup.Part[4] != 2 ||
+		gotSetup.Cfg != wantSetup.Cfg {
+		t.Fatalf("setup roundtrip: %+v", gotSetup)
+	}
+
+	ack, err := decodeAck(Ack{Seq: 4, Err: "boom"}.encode())
+	if err != nil || ack.Seq != 4 || ack.Err != "boom" {
+		t.Fatalf("ack: %+v, %v", ack, err)
+	}
+
+	ep, err := decodeEpoch(Epoch{Epoch: 6, Eval: true}.encode())
+	if err != nil || ep.Epoch != 6 || !ep.Eval {
+		t.Fatalf("epoch: %+v, %v", ep, err)
+	}
+
+	rd, err := decodeRound(Round{Seq: 2, Backward: true, Cols: 2, H: []float64{1, 2, 3, 4}}.encode())
+	if err != nil || !rd.Backward || rd.Cols != 2 || len(rd.H) != 4 || rd.H[3] != 4 {
+		t.Fatalf("round: %+v, %v", rd, err)
+	}
+
+	done, err := decodeRoundDone(RoundDone{Seq: 2, Out: []float64{5}, Bytes: []int64{0, 9}, Msgs: []int64{0, 1}, Err: ""}.encode())
+	if err != nil || done.Out[0] != 5 || done.Bytes[1] != 9 || done.Msgs[1] != 1 {
+		t.Fatalf("round-done: %+v, %v", done, err)
+	}
+
+	b, err := decodeBatch(Batch{Seq: 3, From: 1, Data: []byte{7, 8}}.encode())
+	if err != nil || b.From != 1 || !bytes.Equal(b.Data, []byte{7, 8}) {
+		t.Fatalf("batch: %+v, %v", b, err)
+	}
+
+	rp, err := decodeRepart(Repart{Seq: 5, Part: []int32{1, 0}}.encode())
+	if err != nil || len(rp.Part) != 2 || rp.Part[0] != 1 {
+		t.Fatalf("repart: %+v, %v", rp, err)
+	}
+
+	rpd, err := decodeRepartDone(RepartDone{Seq: 5, Dirty: []int32{2}, Err: "x"}.encode())
+	if err != nil || rpd.Dirty[0] != 2 || rpd.Err != "x" {
+		t.Fatalf("repart-done: %+v, %v", rpd, err)
+	}
+
+	st, err := decodeState(State{Seq: 6, Blob: []byte{1}, Err: ""}.encode())
+	if err != nil || len(st.Blob) != 1 {
+		t.Fatalf("state: %+v, %v", st, err)
+	}
+
+	rm, err := decodeRemesh(Remesh{Seq: 7, Gen: 2}.encode())
+	if err != nil || rm.Gen != 2 {
+		t.Fatalf("remesh: %+v, %v", rm, err)
+	}
+}
+
+// TestControlValidation: structural invariants beyond field framing are
+// rejected with errBadControl.
+func TestControlValidation(t *testing.T) {
+	base := Setup{
+		NParts: 2, Me: 0, Gen: 0,
+		Addrs: []string{"a", "b"},
+		Nodes: 3,
+		EdgeU: []int32{0}, EdgeV: []int32{1},
+		Part: []int32{0, 1, 1},
+	}
+	cases := map[string]func(Setup) Setup{
+		"me-out-of-range": func(s Setup) Setup { s.Me = 2; return s },
+		"negative-me":     func(s Setup) Setup { s.Me = -1; return s },
+		"nparts-zero":     func(s Setup) Setup { s.NParts = 0; return s },
+		"addr-count":      func(s Setup) Setup { s.Addrs = s.Addrs[:1]; return s },
+		"edge-lengths":    func(s Setup) Setup { s.EdgeV = nil; return s },
+		"edge-endpoint":   func(s Setup) Setup { s.EdgeU = []int32{5}; return s },
+		"negative-endpnt": func(s Setup) Setup { s.EdgeU = []int32{-1}; return s },
+		"part-length":     func(s Setup) Setup { s.Part = s.Part[:2]; return s },
+		"negative-nodes":  func(s Setup) Setup { s.Nodes = -1; s.Part = nil; s.EdgeU = nil; s.EdgeV = nil; return s },
+	}
+	for name, mutate := range cases {
+		if _, err := decodeSetup(mutate(base).encode()); !errors.Is(err, errBadControl) {
+			t.Errorf("%s: err = %v, want errBadControl", name, err)
+		}
+	}
+
+	if _, err := decodeRound(Round{Cols: 0}.encode()); !errors.Is(err, errBadControl) {
+		t.Errorf("round cols=0: %v", err)
+	}
+	if _, err := decodeRound(Round{Cols: 3, H: []float64{1, 2}}.encode()); !errors.Is(err, errBadControl) {
+		t.Errorf("round ragged h: %v", err)
+	}
+	if _, err := decodeRoundDone(RoundDone{Bytes: []int64{1}, Msgs: nil}.encode()); !errors.Is(err, errBadControl) {
+		t.Errorf("round-done ragged traffic: %v", err)
+	}
+	// Trailing garbage after a complete message.
+	if _, err := decodeHello(append(Hello{}.encode(), 0)); !errors.Is(err, errBadControl) {
+		t.Errorf("trailing bytes: %v", err)
+	}
+	// Truncated field.
+	if _, err := decodeAck(Ack{Err: "hello"}.encode()[:9]); !errors.Is(err, errBadControl) {
+		t.Errorf("truncated ack: %v", err)
+	}
+	// Non-canonical bool.
+	raw := Epoch{Epoch: 1}.encode()
+	raw[len(raw)-1] = 2
+	if _, err := decodeEpoch(raw); !errors.Is(err, errBadControl) {
+		t.Errorf("bad bool: %v", err)
+	}
+}
+
+// TestFrameReadWrite covers the framing layer directly: clean EOF between
+// frames, torn reads mid-frame, the length bound, and multi-chunk payloads
+// larger than one read quantum.
+func TestFrameReadWrite(t *testing.T) {
+	var buf bytes.Buffer
+	big := make([]byte, readChunkLen*2+17) // forces the chunked-growth path
+	for i := range big {
+		big[i] = byte(i)
+	}
+	if err := writeFrame(&buf, frameBatch, big); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(&buf, frameShutdown, nil); err != nil {
+		t.Fatal(err)
+	}
+	stream := buf.Bytes()
+
+	r := bytes.NewReader(stream)
+	ft, payload, err := readFrame(r)
+	if err != nil || ft != frameBatch || !bytes.Equal(payload, big) {
+		t.Fatalf("big frame: type %d, %d bytes, err %v", ft, len(payload), err)
+	}
+	ft, payload, err = readFrame(r)
+	if err != nil || ft != frameShutdown || len(payload) != 0 {
+		t.Fatalf("empty frame: type %d, %d bytes, err %v", ft, len(payload), err)
+	}
+	if _, _, err = readFrame(r); err != io.EOF {
+		t.Fatalf("clean close: err = %v, want io.EOF", err)
+	}
+
+	// Every strict prefix that cuts inside a frame is a torn read: draining
+	// the prefix must end in io.ErrUnexpectedEOF, never a clean io.EOF.
+	for _, cut := range []int{2, 4, 5, 100, len(stream) - 1} {
+		cr := bytes.NewReader(stream[:cut])
+		var err error
+		for err == nil {
+			_, _, err = readFrame(cr)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("cut %d: err = %v, want io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+
+	// Hostile length prefix: rejected before any payload allocation.
+	huge := []byte{0xff, 0xff, 0xff, 0xff, 1}
+	if _, _, err := readFrame(bytes.NewReader(huge)); !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("huge length: err = %v", err)
+	}
+	if _, _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0})); !errors.Is(err, errZeroFrame) {
+		t.Fatalf("zero length: err = %v", err)
+	}
+	if err := writeFrame(io.Discard, frameBatch, make([]byte, maxFrameLen)); !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("oversized write: err = %v", err)
+	}
+}

@@ -1,0 +1,514 @@
+package net
+
+import (
+	"errors"
+	"fmt"
+	stdnet "net"
+	"sort"
+	"sync"
+	"time"
+
+	"scgnn/internal/dist"
+	"scgnn/internal/graph"
+	"scgnn/internal/simnet"
+	"scgnn/internal/tensor"
+)
+
+// CoordOptions tunes the coordinator's transport behavior.
+type CoordOptions struct {
+	// Dial opens a control connection to a node (default stdlib dialer).
+	Dial func(network, addr string) (stdnet.Conn, error)
+	// DialRetries and DialBackoff shape the retry schedule while a node
+	// process is still starting. Defaults: 10 retries, 20ms doubling.
+	DialRetries int
+	DialBackoff time.Duration
+	// RoundTimeout bounds each control request round-trip. Default 30s.
+	// Setup and Remesh wait for full mesh assembly and get 2x.
+	RoundTimeout time.Duration
+	// Logf receives progress lines (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+func (o CoordOptions) withDefaults() CoordOptions {
+	if o.Dial == nil {
+		o.Dial = stdnet.Dial
+	}
+	if o.DialRetries == 0 {
+		o.DialRetries = 10
+	}
+	if o.DialBackoff == 0 {
+		o.DialBackoff = 20 * time.Millisecond
+	}
+	if o.RoundTimeout == 0 {
+		o.RoundTimeout = 30 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// Coordinator owns the training loop of a multi-process deployment: the
+// model, features, and optimizer live here, the nodes hold only partition
+// runtime state. It implements gnn.Aggregator by scattering owned feature
+// rows to every node, releasing them into one lockstep round over their data
+// mesh, and gathering the aggregated rows back — so a gnn.Trainer drives a
+// socket deployment exactly the way it drives the in-process engine.
+// Transport failures surface as panics carrying typed errors, which the
+// Trainer's recovery converts into errors the caller can errors.Is against.
+type Coordinator struct {
+	opts  CoordOptions
+	addrs []string
+	conns []stdnet.Conn
+
+	g      *graph.Graph
+	part   []int
+	nparts int
+	cfg    dist.Config
+	own    [][]int32
+	gen    uint32
+	seq    uint64
+
+	fabric *simnet.Fabric
+	shard  *simnet.ShardCounter
+
+	mu sync.Mutex // guards conns for Close from other goroutines
+}
+
+// NewCoordinator prepares a coordinator for the given node control
+// addresses (index = partition id). No connection is made until Connect.
+func NewCoordinator(addrs []string, opts CoordOptions) *Coordinator {
+	return &Coordinator{
+		opts:   opts.withDefaults(),
+		addrs:  addrs,
+		conns:  make([]stdnet.Conn, len(addrs)),
+		nparts: len(addrs),
+		fabric: simnet.NewFabric(len(addrs)),
+		shard:  simnet.NewShardCounter(len(addrs)),
+	}
+}
+
+// Connect dials every node's control channel with retry/backoff.
+func (c *Coordinator) Connect() error {
+	for i := range c.addrs {
+		if err := c.connectNode(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// connectNode (re)dials one node — also the first step of recovering a
+// respawned node, whose old connection is gone.
+func (c *Coordinator) connectNode(i int) error {
+	c.mu.Lock()
+	if old := c.conns[i]; old != nil {
+		old.Close()
+		c.conns[i] = nil
+	}
+	c.mu.Unlock()
+	conn, err := dialRetry(c.opts.Dial, c.addrs[i], c.opts.DialRetries, c.opts.DialBackoff)
+	if err != nil {
+		return fmt.Errorf("net: coordinator dial node %d: %w", i, err)
+	}
+	if err := writeFrame(conn, frameHello, Hello{Sender: CoordID}.encode()); err != nil {
+		conn.Close()
+		return fmt.Errorf("net: coordinator hello to node %d: %w", i, err)
+	}
+	c.mu.Lock()
+	c.conns[i] = conn
+	c.mu.Unlock()
+	return nil
+}
+
+// Close tears down every control connection (without shutting nodes down).
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i, conn := range c.conns {
+		if conn != nil {
+			conn.Close()
+			c.conns[i] = nil
+		}
+	}
+}
+
+// request performs one synchronous control round-trip with node i.
+func (c *Coordinator) request(i int, ft frameType, payload []byte, timeout time.Duration) (frameType, []byte, error) {
+	c.mu.Lock()
+	conn := c.conns[i]
+	c.mu.Unlock()
+	if conn == nil {
+		return 0, nil, fmt.Errorf("node %d: not connected: %w", i, ErrPeerDown)
+	}
+	conn.SetDeadline(time.Now().Add(timeout))
+	defer conn.SetDeadline(time.Time{})
+	if err := writeFrame(conn, ft, payload); err != nil {
+		return 0, nil, fmt.Errorf("node %d: %w: %v", i, ErrPeerDown, err)
+	}
+	rft, resp, err := readFrame(conn)
+	if err != nil {
+		return 0, nil, fmt.Errorf("node %d: %w: %v", i, ErrPeerDown, err)
+	}
+	return rft, resp, nil
+}
+
+// requestAck performs a round-trip whose response must be a clean Ack.
+func (c *Coordinator) requestAck(i int, ft frameType, payload []byte, timeout time.Duration) error {
+	rft, resp, err := c.request(i, ft, payload, timeout)
+	if err != nil {
+		return err
+	}
+	if rft != frameAck {
+		return fmt.Errorf("node %d: %w: response type %d, want ack", i, ErrProtocol, rft)
+	}
+	ack, err := decodeAck(resp)
+	if err != nil {
+		return fmt.Errorf("node %d: %w", i, err)
+	}
+	if ack.Err != "" {
+		return fmt.Errorf("node %d: %w: %s", i, ErrRemote, ack.Err)
+	}
+	return nil
+}
+
+// broadcast runs fn for every node concurrently and returns the
+// lowest-node-id error (all goroutines are always awaited).
+func (c *Coordinator) broadcast(fn func(i int) error) error {
+	errs := make([]error, c.nparts)
+	var wg sync.WaitGroup
+	for i := 0; i < c.nparts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Setup distributes the training topology: every node receives the graph,
+// the partition vector, the flattened method config, and the peer address
+// list, then assembles the data mesh at the current generation. Must run
+// concurrently across nodes (mesh assembly blocks until all peers dial in),
+// which broadcast provides.
+func (c *Coordinator) Setup(g *graph.Graph, part []int, cfg dist.Config) error {
+	if len(part) != g.NumNodes() {
+		return fmt.Errorf("net: partition length %d, graph has %d nodes", len(part), g.NumNodes())
+	}
+	c.g = g
+	c.part = append([]int(nil), part...)
+	c.cfg = cfg
+	c.rebuildOwn()
+	return c.broadcast(func(i int) error { return c.setupNode(i) })
+}
+
+// setupNode ships the current topology to one node (used by Setup for all,
+// and by recovery for the respawned node alone).
+func (c *Coordinator) setupNode(i int) error {
+	edges := c.g.Edges()
+	m := Setup{
+		NParts: int32(c.nparts),
+		Me:     int32(i),
+		Gen:    c.gen,
+		Addrs:  c.addrs,
+		Nodes:  int32(c.g.NumNodes()),
+		EdgeU:  make([]int32, len(edges)),
+		EdgeV:  make([]int32, len(edges)),
+		Part:   toInt32s(c.part),
+		Cfg:    FlattenConfig(c.cfg),
+	}
+	for k, e := range edges {
+		m.EdgeU[k], m.EdgeV[k] = e.U, e.V
+	}
+	return c.requestAck(i, frameSetup, m.encode(), 2*c.opts.RoundTimeout)
+}
+
+func (c *Coordinator) rebuildOwn() {
+	c.own = make([][]int32, c.nparts)
+	for u, p := range c.part {
+		c.own[p] = append(c.own[p], int32(u))
+	}
+}
+
+// StartEpoch resets the per-epoch traffic capture and marks the epoch
+// boundary on every node.
+func (c *Coordinator) StartEpoch(epoch int) {
+	c.fabric.Reset()
+	c.mustBroadcastEpoch(Epoch{Epoch: int32(epoch)})
+}
+
+// StartEvalEpoch marks a measurement-only pass on every node.
+func (c *Coordinator) StartEvalEpoch(epoch int) {
+	c.fabric.Reset()
+	c.mustBroadcastEpoch(Epoch{Epoch: int32(epoch), Eval: true})
+}
+
+func (c *Coordinator) mustBroadcastEpoch(m Epoch) {
+	err := c.broadcast(func(i int) error {
+		return c.requestAck(i, frameEpoch, m.encode(), c.opts.RoundTimeout)
+	})
+	if err != nil {
+		panic(fmt.Errorf("net: epoch marker: %w", err))
+	}
+}
+
+// CaptureEpoch freezes this epoch's traffic counters (per-link byte and
+// message totals identical to the in-process cluster's accounting).
+func (c *Coordinator) CaptureEpoch() simnet.Snapshot { return c.fabric.Capture() }
+
+// Fabric exposes the coordinator's traffic fabric.
+func (c *Coordinator) Fabric() *simnet.Fabric { return c.fabric }
+
+// Part returns a copy of the partition vector currently in force — the one
+// a training checkpoint must record so recovery rebuilds the same shards.
+func (c *Coordinator) Part() []int { return append([]int(nil), c.part...) }
+
+// Forward implements gnn.Aggregator over the node fleet. Failures panic with
+// a typed error; gnn.Trainer's recovery turns that into an error return.
+func (c *Coordinator) Forward(h *tensor.Matrix) *tensor.Matrix {
+	out, err := c.Round(h, false)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Backward implements gnn.Aggregator (the transposed flow runs node-side).
+func (c *Coordinator) Backward(g *tensor.Matrix) *tensor.Matrix {
+	out, err := c.Round(g, true)
+	if err != nil {
+		panic(err)
+	}
+	return out
+}
+
+// Round scatters h's owned rows to every node, runs one lockstep aggregate
+// round over the mesh, gathers the owned out rows, and folds the per-node
+// traffic deltas into the fabric. The error (if any) is typed: ErrPeerDown
+// for a vanished node, ErrRemote wrapping the node-side failure (itself a
+// round timeout or peer-down symptom) otherwise.
+func (c *Coordinator) Round(h *tensor.Matrix, backward bool) (*tensor.Matrix, error) {
+	if c.g == nil {
+		return nil, errors.New("net: coordinator round before setup")
+	}
+	if h.Rows != c.g.NumNodes() {
+		return nil, fmt.Errorf("net: round rows %d, graph has %d nodes", h.Rows, c.g.NumNodes())
+	}
+	c.seq++
+	seq := c.seq
+	cols := h.Cols
+	out := tensor.New(h.Rows, cols)
+	dones := make([]RoundDone, c.nparts)
+	err := c.broadcast(func(i int) error {
+		rows := make([]float64, 0, len(c.own[i])*cols)
+		for _, u := range c.own[i] {
+			rows = append(rows, h.Row(int(u))...)
+		}
+		m := Round{Seq: seq, Backward: backward, Cols: int32(cols), H: rows}
+		rft, resp, err := c.request(i, frameRound, m.encode(), 2*c.opts.RoundTimeout)
+		if err != nil {
+			return err
+		}
+		if rft != frameRoundDone {
+			return fmt.Errorf("node %d: %w: response type %d, want round-done", i, ErrProtocol, rft)
+		}
+		done, err := decodeRoundDone(resp)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		if done.Seq != seq {
+			return fmt.Errorf("node %d: %w: round-done seq %d, want %d", i, ErrProtocol, done.Seq, seq)
+		}
+		if done.Err != "" {
+			return fmt.Errorf("node %d: %w: %s", i, ErrRemote, done.Err)
+		}
+		if len(done.Out) != len(c.own[i])*cols {
+			return fmt.Errorf("node %d: %w: %d out values, want %d rows x %d cols",
+				i, ErrProtocol, len(done.Out), len(c.own[i]), cols)
+		}
+		if len(done.Bytes) != c.nparts {
+			return fmt.Errorf("node %d: %w: traffic row length %d, want %d",
+				i, ErrProtocol, len(done.Bytes), c.nparts)
+		}
+		dones[i] = done
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("net: round %d: %w", seq, err)
+	}
+	for i, done := range dones {
+		for k, u := range c.own[i] {
+			copy(out.Row(int(u)), done.Out[k*cols:(k+1)*cols])
+		}
+		for d := 0; d < c.nparts; d++ {
+			if done.Bytes[d] != 0 || done.Msgs[d] != 0 {
+				c.shard.Add(i, d, done.Bytes[d], done.Msgs[d])
+			}
+		}
+	}
+	c.fabric.Drain(c.shard)
+	return out, nil
+}
+
+// Repartition swaps in a new partition vector on every node. All nodes must
+// report the identical incremental dirty set — replicas disagreeing on
+// structure is a protocol-level failure, not a tolerable drift.
+func (c *Coordinator) Repartition(part []int) ([]int, error) {
+	if c.g == nil {
+		return nil, errors.New("net: repartition before setup")
+	}
+	if len(part) != len(c.part) {
+		return nil, fmt.Errorf("net: partition length %d, want %d", len(part), len(c.part))
+	}
+	c.seq++
+	seq := c.seq
+	m := Repart{Seq: seq, Part: toInt32s(part)}
+	dirties := make([][]int32, c.nparts)
+	err := c.broadcast(func(i int) error {
+		rft, resp, err := c.request(i, frameRepart, m.encode(), c.opts.RoundTimeout)
+		if err != nil {
+			return err
+		}
+		if rft != frameRepartDone {
+			return fmt.Errorf("node %d: %w: response type %d", i, ErrProtocol, rft)
+		}
+		done, err := decodeRepartDone(resp)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		if done.Err != "" {
+			return fmt.Errorf("node %d: %w: %s", i, ErrRemote, done.Err)
+		}
+		dirties[i] = done.Dirty
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("net: repartition: %w", err)
+	}
+	for i := 1; i < c.nparts; i++ {
+		if !equalInt32s(dirties[i], dirties[0]) {
+			return nil, fmt.Errorf("net: %w: node %d dirty set %v, node 0 %v",
+				ErrProtocol, i, dirties[i], dirties[0])
+		}
+	}
+	c.part = append(c.part[:0], part...)
+	c.rebuildOwn()
+	dirty := toInts(dirties[0])
+	sort.Ints(dirty)
+	return dirty, nil
+}
+
+// CollectStates checkpoints every node: each returns its peer state as a
+// CRC-validated container blob. The blobs belong in the coordinator's single
+// checkpoint file alongside the model and trainer state.
+func (c *Coordinator) CollectStates() ([][]byte, error) {
+	c.seq++
+	seq := c.seq
+	blobs := make([][]byte, c.nparts)
+	err := c.broadcast(func(i int) error {
+		rft, resp, err := c.request(i, frameState, State{Seq: seq}.encode(), c.opts.RoundTimeout)
+		if err != nil {
+			return err
+		}
+		if rft != frameState {
+			return fmt.Errorf("node %d: %w: response type %d", i, ErrProtocol, rft)
+		}
+		st, err := decodeState(resp)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		if st.Err != "" {
+			return fmt.Errorf("node %d: %w: %s", i, ErrRemote, st.Err)
+		}
+		blobs[i] = st.Blob
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("net: collect states: %w", err)
+	}
+	return blobs, nil
+}
+
+// RestoreStates rewinds every node to the given checkpoint blobs (index =
+// partition id). Restoring also clears node-side round poisoning.
+func (c *Coordinator) RestoreStates(blobs [][]byte) error {
+	if len(blobs) != c.nparts {
+		return fmt.Errorf("net: %d state blobs for %d nodes", len(blobs), c.nparts)
+	}
+	c.seq++
+	seq := c.seq
+	err := c.broadcast(func(i int) error {
+		return c.requestAck(i, frameRestore, State{Seq: seq, Blob: blobs[i]}.encode(), c.opts.RoundTimeout)
+	})
+	if err != nil {
+		return fmt.Errorf("net: restore states: %w", err)
+	}
+	return nil
+}
+
+// Remesh rebuilds the data mesh of every node at a new generation without
+// re-running Setup — the recovery step when connections are torn (a fault
+// injector closed a socket) but every process is still alive. Must run
+// concurrently across nodes, which broadcast provides.
+func (c *Coordinator) Remesh() error {
+	c.gen++
+	m := Remesh{Seq: c.seq, Gen: c.gen}
+	err := c.broadcast(func(i int) error {
+		return c.requestAck(i, frameRemesh, m.encode(), 2*c.opts.RoundTimeout)
+	})
+	if err != nil {
+		return fmt.Errorf("net: remesh: %w", err)
+	}
+	return nil
+}
+
+// RecoverNode brings a respawned node back into the fleet: redial its
+// control channel, bump the mesh generation, then concurrently ship the full
+// Setup to the new node while every survivor remeshes — the uniform recovery
+// step, after which RestoreStates rewinds the whole fleet to the checkpoint.
+// The respawned process must already be listening on its original address.
+func (c *Coordinator) RecoverNode(dead int) error {
+	if dead < 0 || dead >= c.nparts {
+		return fmt.Errorf("net: recover node %d out of range", dead)
+	}
+	if err := c.connectNode(dead); err != nil {
+		return err
+	}
+	c.gen++
+	remesh := Remesh{Seq: c.seq, Gen: c.gen}
+	err := c.broadcast(func(i int) error {
+		if i == dead {
+			return c.setupNode(i)
+		}
+		return c.requestAck(i, frameRemesh, remesh.encode(), 2*c.opts.RoundTimeout)
+	})
+	if err != nil {
+		return fmt.Errorf("net: recover node %d: %w", dead, err)
+	}
+	c.opts.Logf("coordinator: node %d recovered at gen %d", dead, c.gen)
+	return nil
+}
+
+// Shutdown asks every node to exit its serve loop, then closes the control
+// connections. Unreachable nodes are skipped — shutdown is best-effort.
+func (c *Coordinator) Shutdown() {
+	c.broadcast(func(i int) error {
+		c.requestAck(i, frameShutdown, nil, c.opts.RoundTimeout)
+		return nil
+	})
+	c.Close()
+}
+
+func equalInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

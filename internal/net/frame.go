@@ -1,0 +1,124 @@
+// Package net is the multi-process transport of the distributed runtime:
+// each partition runs as its own OS process (cmd/scgnn-node) holding a
+// worker.Peer, exchanging length-prefixed wire.Batch frames over TCP or
+// unix sockets, while a coordinator (cmd/scgnn-coord) owns the training
+// loop and drives the round barrier, epoch markers, Repartition plan swaps,
+// and checkpoint/restore over a control channel.
+//
+// The in-process runtimes (dist.Engine, worker.Cluster) stay untouched as
+// the correctness oracle: the equivalence tests in this package lock the
+// socket deployment to them method-combo by method-combo.
+//
+// # Frame format
+//
+// Every message on every connection rides one frame:
+//
+//	u32 length  (little-endian; counts the type byte + payload)
+//	u8  type    (frameType)
+//	payload     (length-1 bytes, per-type codec in control.go)
+//
+// A frame is written with a single Write call, so fault injection (and TCP
+// segmentation analysis) can treat frame boundaries as the atomic unit.
+// Lengths above maxFrameLen are rejected before any allocation, and reads
+// grow their buffer chunk-by-chunk, so a hostile length prefix can never
+// inflate memory beyond the bytes actually delivered.
+package net
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// maxFrameLen bounds a frame's declared length (type byte + payload). Large
+// graphs ship Setup frames with edge lists; 256 MiB covers million-node
+// meshes while still rejecting absurd hostile lengths.
+const maxFrameLen = 256 << 20
+
+// frameType tags the payload codec of one frame.
+type frameType uint8
+
+const (
+	frameHello      frameType = 1 + iota // identity + mesh generation, first frame on every conn
+	frameSetup                           // coordinator → node: graph, partition, config, peer addresses
+	frameAck                             // generic completion (+ optional error) for control requests
+	frameEpoch                           // coordinator → node: epoch boundary / eval marker
+	frameRound                           // coordinator → node: run one aggregate round (scattered h rows)
+	frameRoundDone                       // node → coordinator: owned out rows + traffic delta (+ error)
+	frameBatch                           // node → node: one wire.Batch buffer, sequence-tagged
+	frameRepart                          // coordinator → node: repartition plan swap
+	frameRepartDone                      // node → coordinator: dirty pair set (+ error)
+	frameState                           // node → coordinator: checkpointed peer state blob
+	frameRestore                         // coordinator → node: peer state blob to restore
+	frameRemesh                          // coordinator → node: rebuild the data mesh at a new generation
+	frameShutdown                        // coordinator → node: exit the serve loop
+)
+
+var (
+	errFrameTooLarge = errors.New("net: frame length exceeds limit")
+	errZeroFrame     = errors.New("net: zero-length frame")
+)
+
+// writeFrame emits one frame with a single Write call.
+func writeFrame(w io.Writer, ft frameType, payload []byte) error {
+	n := 1 + len(payload)
+	if n > maxFrameLen {
+		return fmt.Errorf("%w: %d > %d", errFrameTooLarge, n, maxFrameLen)
+	}
+	buf := make([]byte, 4+n)
+	binary.LittleEndian.PutUint32(buf, uint32(n))
+	buf[4] = byte(ft)
+	copy(buf[5:], payload)
+	if _, err := w.Write(buf); err != nil {
+		return fmt.Errorf("net: write frame: %w", err)
+	}
+	return nil
+}
+
+// readChunkLen is the growth quantum of readFrame's payload buffer: memory
+// is committed only as bytes arrive, never from the length prefix alone.
+const readChunkLen = 64 << 10
+
+// readFrame reads one frame. io.EOF is returned verbatim when the stream
+// ends cleanly between frames; any mid-frame truncation surfaces as
+// io.ErrUnexpectedEOF wrapped with context.
+func readFrame(r io.Reader) (frameType, []byte, error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:4]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("net: read frame header: %w", err)
+	}
+	n := int(binary.LittleEndian.Uint32(hdr[:4]))
+	if n < 1 {
+		return 0, nil, errZeroFrame
+	}
+	if n > maxFrameLen {
+		return 0, nil, fmt.Errorf("%w: %d > %d", errFrameTooLarge, n, maxFrameLen)
+	}
+	if _, err := io.ReadFull(r, hdr[4:5]); err != nil {
+		return 0, nil, fmt.Errorf("net: read frame type: %w", unexpectedEOF(err))
+	}
+	remaining := n - 1
+	payload := make([]byte, 0, min(remaining, readChunkLen))
+	for len(payload) < remaining {
+		k := min(remaining-len(payload), readChunkLen)
+		start := len(payload)
+		payload = append(payload, make([]byte, k)...)
+		if _, err := io.ReadFull(r, payload[start:]); err != nil {
+			return 0, nil, fmt.Errorf("net: read frame payload: %w", unexpectedEOF(err))
+		}
+	}
+	return frameType(hdr[4]), payload, nil
+}
+
+// unexpectedEOF normalizes a torn read: an EOF in the middle of a frame is
+// a protocol violation, not a clean close.
+func unexpectedEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}

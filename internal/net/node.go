@@ -1,0 +1,614 @@
+package net
+
+import (
+	"errors"
+	"fmt"
+	stdnet "net"
+	"strings"
+	"sync"
+	"time"
+
+	"scgnn/internal/graph"
+	"scgnn/internal/persist"
+	"scgnn/internal/tensor"
+	"scgnn/internal/worker"
+)
+
+// Typed transport failures. Every blocking path in the package carries a
+// deadline, so a dead peer always surfaces as one of these — never a hang.
+var (
+	// ErrPeerDown marks a peer that stayed unreachable through the full
+	// dial retry/backoff schedule (or whose connection is gone).
+	ErrPeerDown = errors.New("net: peer unreachable")
+	// ErrRoundTimeout marks a round that waited longer than RoundTimeout for
+	// a peer's batch — the symptom of a node killed mid-round.
+	ErrRoundTimeout = errors.New("net: round timed out")
+	// ErrProtocol marks a peer that violated the frame protocol (wrong
+	// sequence, wrong sender, unknown frame in a data stream).
+	ErrProtocol = errors.New("net: protocol violation")
+	// ErrRemote wraps a failure a node reported over the control channel.
+	ErrRemote = errors.New("net: node reported failure")
+)
+
+// NodeOptions tunes a node's transport behavior. The zero value uses the
+// defaults; tests shrink the timeouts and inject Dial to wrap connections in
+// fault injectors.
+type NodeOptions struct {
+	// Dial opens a data-mesh connection to a peer (default stdlib dialer).
+	Dial func(network, addr string) (stdnet.Conn, error)
+	// DialRetries and DialBackoff shape the retry schedule when a peer is
+	// not yet listening: DialRetries extra attempts, sleeping DialBackoff,
+	// doubling up to a 500ms cap. Defaults: 10 retries, 20ms.
+	DialRetries int
+	DialBackoff time.Duration
+	// RoundTimeout bounds every blocking step of a round and of mesh
+	// assembly. Default 30s.
+	RoundTimeout time.Duration
+	// Logf receives progress lines (default: discarded).
+	Logf func(format string, args ...any)
+}
+
+func (o NodeOptions) withDefaults() NodeOptions {
+	if o.Dial == nil {
+		o.Dial = stdnet.Dial
+	}
+	if o.DialRetries == 0 {
+		o.DialRetries = 10
+	}
+	if o.DialBackoff == 0 {
+		o.DialBackoff = 20 * time.Millisecond
+	}
+	if o.RoundTimeout == 0 {
+		o.RoundTimeout = 30 * time.Second
+	}
+	if o.Logf == nil {
+		o.Logf = func(string, ...any) {}
+	}
+	return o
+}
+
+// networkFor guesses the stdlib network of an address: anything with a path
+// separator is a unix socket, everything else TCP.
+func networkFor(addr string) string {
+	if strings.ContainsRune(addr, '/') {
+		return "unix"
+	}
+	return "tcp"
+}
+
+// dialRetry dials with exponential backoff; exhaustion wraps ErrPeerDown.
+func dialRetry(dial func(network, addr string) (stdnet.Conn, error), addr string, retries int, backoff time.Duration) (stdnet.Conn, error) {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var conn stdnet.Conn
+		if conn, err = dial(networkFor(addr), addr); err == nil {
+			return conn, nil
+		}
+		if attempt >= retries {
+			break
+		}
+		time.Sleep(backoff)
+		if backoff *= 2; backoff > 500*time.Millisecond {
+			backoff = 500 * time.Millisecond
+		}
+	}
+	return nil, fmt.Errorf("%w: %s after %d attempts: %v", ErrPeerDown, addr, retries+1, err)
+}
+
+// qframe is one routed data-mesh frame (or the reader's terminal error).
+type qframe struct {
+	seq  uint64
+	from int32
+	data []byte
+	err  error
+}
+
+// peerConn is one established data-mesh connection: a socket plus the reader
+// goroutine that routes its batch frames into a queue the round loop drains.
+type peerConn struct {
+	conn  stdnet.Conn
+	queue chan qframe
+}
+
+func newPeerConn(conn stdnet.Conn) *peerConn {
+	pc := &peerConn{conn: conn, queue: make(chan qframe, 16)}
+	go func() {
+		for {
+			ft, payload, err := readFrame(conn)
+			if err != nil {
+				pc.queue <- qframe{err: err}
+				return
+			}
+			if ft != frameBatch {
+				pc.queue <- qframe{err: fmt.Errorf("%w: frame type %d on data mesh", ErrProtocol, ft)}
+				return
+			}
+			b, err := decodeBatch(payload)
+			if err != nil {
+				pc.queue <- qframe{err: err}
+				return
+			}
+			pc.queue <- qframe{seq: b.Seq, from: b.From, data: b.Data}
+		}
+	}()
+	return pc
+}
+
+// inConn is an accepted data-mesh connection waiting for mesh assembly.
+type inConn struct {
+	sender int32
+	gen    uint32
+	conn   stdnet.Conn
+}
+
+// roundBufs are the retained full-size matrices for one column width.
+type roundBufs struct{ h, out *tensor.Matrix }
+
+// Node is one partition's server process: it accepts a coordinator control
+// connection and peer data connections, holds the worker.Peer once Setup
+// arrives, and executes rounds against the data mesh. All coordinator
+// requests are serialized (ctlMu), so the peer state has a single driver.
+type Node struct {
+	opts NodeOptions
+
+	mu       sync.Mutex
+	lis      stdnet.Listener
+	conns    map[stdnet.Conn]struct{} // every accepted/dialed conn, for Close
+	closed   bool
+	incoming chan inConn
+
+	ctlMu  sync.Mutex
+	peer   *worker.Peer
+	nparts int
+	me     int
+	gen    uint32
+	addrs  []string
+	mesh   []*peerConn
+	bufs   map[int]*roundBufs
+
+	done chan struct{}
+}
+
+// NewNode builds an idle node; Serve runs it.
+func NewNode(opts NodeOptions) *Node {
+	return &Node{
+		opts:     opts.withDefaults(),
+		conns:    make(map[stdnet.Conn]struct{}),
+		incoming: make(chan inConn, 64),
+		bufs:     make(map[int]*roundBufs),
+		done:     make(chan struct{}),
+	}
+}
+
+// track registers a conn for Close teardown; returns false if the node is
+// already closed (the conn is closed on the spot).
+func (n *Node) track(conn stdnet.Conn) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		conn.Close()
+		return false
+	}
+	n.conns[conn] = struct{}{}
+	return true
+}
+
+func (n *Node) untrack(conn stdnet.Conn) {
+	n.mu.Lock()
+	delete(n.conns, conn)
+	n.mu.Unlock()
+}
+
+// Close tears the node down: listener and every connection die, which makes
+// Serve return and simulates a killed process in in-process tests.
+func (n *Node) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	if n.lis != nil {
+		n.lis.Close()
+	}
+	for conn := range n.conns {
+		conn.Close()
+	}
+	n.mu.Unlock()
+	close(n.done)
+}
+
+// Serve accepts connections on lis until Close or a Shutdown control frame.
+// The first frame on every connection is a Hello: the coordinator
+// (Sender == CoordID) gets a control loop; a peer's connection is parked for
+// mesh assembly at its generation.
+func (n *Node) Serve(lis stdnet.Listener) error {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return errors.New("net: node is closed")
+	}
+	n.lis = lis
+	n.mu.Unlock()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			select {
+			case <-n.done:
+				return nil
+			default:
+				return fmt.Errorf("net: accept: %w", err)
+			}
+		}
+		if !n.track(conn) {
+			return nil
+		}
+		go n.handshake(conn)
+	}
+}
+
+// handshake reads the Hello and routes the connection.
+func (n *Node) handshake(conn stdnet.Conn) {
+	conn.SetReadDeadline(time.Now().Add(n.opts.RoundTimeout))
+	ft, payload, err := readFrame(conn)
+	conn.SetReadDeadline(time.Time{})
+	if err != nil || ft != frameHello {
+		n.untrack(conn)
+		conn.Close()
+		return
+	}
+	hello, err := decodeHello(payload)
+	if err != nil {
+		n.untrack(conn)
+		conn.Close()
+		return
+	}
+	if hello.Sender == CoordID {
+		n.serveControl(conn)
+		return
+	}
+	select {
+	case n.incoming <- inConn{sender: hello.Sender, gen: hello.Gen, conn: conn}:
+	case <-n.done:
+		n.untrack(conn)
+		conn.Close()
+	}
+}
+
+// serveControl answers coordinator requests until the connection drops or a
+// Shutdown arrives. Requests are strictly request/response and serialized
+// across connections.
+func (n *Node) serveControl(conn stdnet.Conn) {
+	defer func() {
+		n.untrack(conn)
+		conn.Close()
+	}()
+	for {
+		ft, payload, err := readFrame(conn)
+		if err != nil {
+			return
+		}
+		n.ctlMu.Lock()
+		shutdown, err := n.handleControl(conn, ft, payload)
+		n.ctlMu.Unlock()
+		if err != nil {
+			n.opts.Logf("node %d: control: %v", n.me, err)
+			return
+		}
+		if shutdown {
+			n.Close()
+			return
+		}
+	}
+}
+
+// reply sends one response frame on the control connection.
+func (n *Node) reply(conn stdnet.Conn, ft frameType, payload []byte) error {
+	conn.SetWriteDeadline(time.Now().Add(n.opts.RoundTimeout))
+	defer conn.SetWriteDeadline(time.Time{})
+	return writeFrame(conn, ft, payload)
+}
+
+// handleControl executes one coordinator request. The returned error is
+// transport-level (tear the control conn down); request-level failures ride
+// back inside the response instead.
+func (n *Node) handleControl(conn stdnet.Conn, ft frameType, payload []byte) (shutdown bool, err error) {
+	switch ft {
+	case frameSetup:
+		m, err := decodeSetup(payload)
+		if err != nil {
+			return false, err
+		}
+		return false, n.reply(conn, frameAck, Ack{Err: errString(n.setup(m))}.encode())
+	case frameEpoch:
+		m, err := decodeEpoch(payload)
+		if err != nil {
+			return false, err
+		}
+		if n.peer == nil {
+			return false, n.reply(conn, frameAck, Ack{Err: "node has no setup"}.encode())
+		}
+		if m.Eval {
+			n.peer.StartEvalEpoch(int(m.Epoch))
+		} else {
+			n.peer.StartEpoch(int(m.Epoch))
+		}
+		return false, n.reply(conn, frameAck, Ack{}.encode())
+	case frameRound:
+		m, err := decodeRound(payload)
+		if err != nil {
+			return false, err
+		}
+		return false, n.reply(conn, frameRoundDone, n.runRound(m).encode())
+	case frameRepart:
+		m, err := decodeRepart(payload)
+		if err != nil {
+			return false, err
+		}
+		resp := RepartDone{Seq: m.Seq}
+		if n.peer == nil {
+			resp.Err = "node has no setup"
+		} else if dirty, rerr := n.peer.Repartition(toInts(m.Part)); rerr != nil {
+			resp.Err = rerr.Error()
+		} else {
+			resp.Dirty = toInt32s(dirty)
+		}
+		return false, n.reply(conn, frameRepartDone, resp.encode())
+	case frameState:
+		m, err := decodeState(payload)
+		if err != nil {
+			return false, err
+		}
+		resp := State{Seq: m.Seq}
+		if n.peer == nil {
+			resp.Err = "node has no setup"
+		} else if blob, berr := persist.EncodeCheckpoint(n.peer.State()); berr != nil {
+			resp.Err = berr.Error()
+		} else {
+			resp.Blob = blob
+		}
+		return false, n.reply(conn, frameState, resp.encode())
+	case frameRestore:
+		m, err := decodeState(payload)
+		if err != nil {
+			return false, err
+		}
+		resp := Ack{Seq: m.Seq}
+		st := new(worker.PeerState)
+		if n.peer == nil {
+			resp.Err = "node has no setup"
+		} else if derr := persist.DecodeCheckpoint(m.Blob, st); derr != nil {
+			resp.Err = derr.Error()
+		} else if rerr := n.peer.Restore(st); rerr != nil {
+			resp.Err = rerr.Error()
+		}
+		return false, n.reply(conn, frameAck, resp.encode())
+	case frameRemesh:
+		m, err := decodeRemesh(payload)
+		if err != nil {
+			return false, err
+		}
+		return false, n.reply(conn, frameAck, Ack{Seq: m.Seq, Err: errString(n.buildMesh(m.Gen))}.encode())
+	case frameShutdown:
+		n.reply(conn, frameAck, Ack{}.encode())
+		return true, nil
+	default:
+		return false, fmt.Errorf("%w: control frame type %d", ErrProtocol, ft)
+	}
+}
+
+// setup rebuilds the peer from the Setup inputs and assembles the data mesh
+// at the carried generation. The graph is rebuilt from the directed arc list
+// (graph.New canonicalizes to the same sorted CSR the coordinator holds), so
+// every structural derivation downstream is bit-identical across replicas.
+func (n *Node) setup(m Setup) error {
+	edges := make([]graph.Edge, len(m.EdgeU))
+	for i := range m.EdgeU {
+		edges[i] = graph.Edge{U: m.EdgeU[i], V: m.EdgeV[i]}
+	}
+	g := graph.New(int(m.Nodes), edges)
+	peer, err := worker.NewPeer(g, toInts(m.Part), int(m.NParts), int(m.Me), m.Cfg.Config())
+	if err != nil {
+		return err
+	}
+	n.peer = peer
+	n.nparts = int(m.NParts)
+	n.me = int(m.Me)
+	n.addrs = m.Addrs
+	n.bufs = make(map[int]*roundBufs)
+	return n.buildMesh(m.Gen)
+}
+
+// buildMesh (re)builds the data mesh at generation gen: existing connections
+// are torn down, lower-numbered peers are dialed, higher-numbered peers are
+// awaited from the accept loop. Stale-generation arrivals are discarded; the
+// whole assembly is bounded by RoundTimeout.
+func (n *Node) buildMesh(gen uint32) error {
+	if n.peer == nil {
+		return errors.New("net: remesh before setup")
+	}
+	n.teardownMesh()
+	n.gen = gen
+	n.mesh = make([]*peerConn, n.nparts)
+	deadline := time.Now().Add(n.opts.RoundTimeout)
+
+	// Dial every lower-numbered peer (they accept from higher ids).
+	type dialRes struct {
+		peer int
+		conn stdnet.Conn
+		err  error
+	}
+	ch := make(chan dialRes, n.me)
+	for j := 0; j < n.me; j++ {
+		go func(j int) {
+			conn, err := dialRetry(n.opts.Dial, n.addrs[j], n.opts.DialRetries, n.opts.DialBackoff)
+			if err == nil {
+				err = writeFrame(conn, frameHello, Hello{Sender: int32(n.me), Gen: gen}.encode())
+				if err != nil {
+					conn.Close()
+					conn = nil
+				}
+			}
+			ch <- dialRes{peer: j, conn: conn, err: err}
+		}(j)
+	}
+	var firstErr error
+	for j := 0; j < n.me; j++ {
+		res := <-ch
+		if res.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("net: node %d: mesh dial %d: %w", n.me, res.peer, res.err)
+			}
+			continue
+		}
+		if !n.track(res.conn) {
+			return errors.New("net: node is closed")
+		}
+		n.mesh[res.peer] = newPeerConn(res.conn)
+	}
+	if firstErr != nil {
+		n.teardownMesh()
+		return firstErr
+	}
+
+	// Await every higher-numbered peer's dial at this generation.
+	for need := n.nparts - 1 - n.me; need > 0; {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			n.teardownMesh()
+			return fmt.Errorf("net: node %d: mesh assembly: %w", n.me, ErrRoundTimeout)
+		}
+		select {
+		case in := <-n.incoming:
+			if in.gen != gen || int(in.sender) <= n.me || int(in.sender) >= n.nparts ||
+				n.mesh[in.sender] != nil {
+				n.untrack(in.conn)
+				in.conn.Close() // stale generation or bogus sender
+				continue
+			}
+			n.mesh[in.sender] = newPeerConn(in.conn)
+			need--
+		case <-time.After(wait):
+		case <-n.done:
+			return errors.New("net: node is closed")
+		}
+	}
+	n.opts.Logf("node %d: mesh up at gen %d", n.me, gen)
+	return nil
+}
+
+// teardownMesh closes every data connection; readers drain out via errors.
+func (n *Node) teardownMesh() {
+	for _, pc := range n.mesh {
+		if pc != nil {
+			n.untrack(pc.conn)
+			pc.conn.Close()
+		}
+	}
+	n.mesh = nil
+}
+
+// runRound executes one aggregate round against the mesh and reports the
+// owned out rows plus the traffic delta. A round failure rides back in
+// RoundDone.Err (the peer stays poisoned until the coordinator restores it).
+func (n *Node) runRound(m Round) RoundDone {
+	resp := RoundDone{Seq: m.Seq}
+	if n.peer == nil {
+		resp.Err = "node has no setup"
+		return resp
+	}
+	own := n.peer.Own()
+	cols := int(m.Cols)
+	if len(m.H) != len(own)*cols {
+		resp.Err = fmt.Sprintf("round %d: %d h values, want %d own rows x %d cols",
+			m.Seq, len(m.H), len(own), cols)
+		return resp
+	}
+	bufs := n.bufs[cols]
+	if bufs == nil {
+		nn := n.peer.NumNodes()
+		bufs = &roundBufs{h: tensor.New(nn, cols), out: tensor.New(nn, cols)}
+		n.bufs[cols] = bufs
+	}
+	for k, u := range own {
+		copy(bufs.h.Row(int(u)), m.H[k*cols:(k+1)*cols])
+	}
+
+	deadline := time.Now().Add(n.opts.RoundTimeout)
+	send := func(peer int, frame []byte) error {
+		pc := n.mesh[peer]
+		if pc == nil {
+			return fmt.Errorf("%w: no mesh connection to %d", ErrPeerDown, peer)
+		}
+		pc.conn.SetWriteDeadline(deadline)
+		defer pc.conn.SetWriteDeadline(time.Time{})
+		return writeFrame(pc.conn, frameBatch, Batch{Seq: m.Seq, From: int32(n.me), Data: frame}.encode())
+	}
+	next := 0
+	recv := func() ([]byte, error) {
+		for {
+			if next == n.me {
+				next++
+			}
+			if next >= n.nparts {
+				return nil, fmt.Errorf("%w: round %d over-received", ErrProtocol, m.Seq)
+			}
+			pc := n.mesh[next]
+			if pc == nil {
+				return nil, fmt.Errorf("%w: no mesh connection to %d", ErrPeerDown, next)
+			}
+			select {
+			case qf := <-pc.queue:
+				if qf.err != nil {
+					return nil, fmt.Errorf("from peer %d: %w", next, qf.err)
+				}
+				if qf.seq < m.Seq {
+					continue // stale duplicate from a previous round: drop
+				}
+				if qf.seq != m.Seq || int(qf.from) != next {
+					return nil, fmt.Errorf("%w: batch seq %d from %d, want seq %d from %d",
+						ErrProtocol, qf.seq, qf.from, m.Seq, next)
+				}
+				next++
+				return qf.data, nil
+			case <-time.After(time.Until(deadline)):
+				return nil, fmt.Errorf("waiting for peer %d batch: %w", next, ErrRoundTimeout)
+			case <-n.done:
+				return nil, errors.New("net: node is closed")
+			}
+		}
+	}
+	if err := n.peer.Round(bufs.h, bufs.out, m.Backward, send, recv); err != nil {
+		resp.Err = err.Error()
+		return resp
+	}
+	resp.Out = make([]float64, 0, len(own)*cols)
+	for _, u := range own {
+		resp.Out = append(resp.Out, bufs.out.Row(int(u))...)
+	}
+	resp.Bytes, resp.Msgs = n.peer.TrafficDelta()
+	return resp
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func toInts(v []int32) []int {
+	out := make([]int, len(v))
+	for i, x := range v {
+		out[i] = int(x)
+	}
+	return out
+}
+
+func toInt32s(v []int) []int32 {
+	out := make([]int32, len(v))
+	for i, x := range v {
+		out[i] = int32(x)
+	}
+	return out
+}

@@ -1,0 +1,235 @@
+package net
+
+import (
+	"fmt"
+	"math/rand"
+	stdnet "net"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"scgnn/internal/datasets"
+	"scgnn/internal/dist"
+	"scgnn/internal/graph"
+	"scgnn/internal/partition"
+	"scgnn/internal/tensor"
+	"scgnn/internal/worker"
+)
+
+// testCluster is an in-process multi-node deployment over unix sockets: one
+// Node per partition, each serving on its own socket, plus a connected
+// Coordinator. It exercises the full socket transport (framing, mesh
+// assembly, control protocol) inside one test binary, which is what lets
+// `go test -cover` see the server paths.
+type testCluster struct {
+	dir   string
+	addrs []string
+	nodes []*Node
+	coord *Coordinator
+}
+
+// shortTempDir returns a temp dir short enough for unix socket paths (the
+// sockaddr_un limit is ~108 bytes; t.TempDir can exceed it).
+func shortTempDir(t *testing.T) string {
+	t.Helper()
+	dir, err := os.MkdirTemp("", "scgnn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.RemoveAll(dir) })
+	return dir
+}
+
+// startNode launches one node serving on addr and returns it.
+func startNode(t *testing.T, addr string, opts NodeOptions) *Node {
+	t.Helper()
+	lis, err := stdnet.Listen("unix", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	node := NewNode(opts)
+	go node.Serve(lis)
+	t.Cleanup(node.Close)
+	return node
+}
+
+// startCluster spins up nparts nodes and a connected coordinator.
+func startCluster(t *testing.T, nparts int, nodeOpts NodeOptions, coordOpts CoordOptions) *testCluster {
+	t.Helper()
+	tc := &testCluster{dir: shortTempDir(t)}
+	for p := 0; p < nparts; p++ {
+		addr := filepath.Join(tc.dir, fmt.Sprintf("n%d.sock", p))
+		tc.addrs = append(tc.addrs, addr)
+		tc.nodes = append(tc.nodes, startNode(t, addr, nodeOpts))
+	}
+	tc.coord = NewCoordinator(tc.addrs, coordOpts)
+	if err := tc.coord.Connect(); err != nil {
+		t.Fatalf("coordinator connect: %v", err)
+	}
+	t.Cleanup(tc.coord.Close)
+	return tc
+}
+
+// respawnNode replaces a killed node on the same address with a fresh one.
+func (tc *testCluster) respawnNode(t *testing.T, p int, opts NodeOptions) {
+	t.Helper()
+	os.Remove(tc.addrs[p]) // a killed process leaves the socket file behind
+	tc.nodes[p] = startNode(t, tc.addrs[p], opts)
+}
+
+// testGraph builds the standard small test dataset and two partitions.
+func testGraph(t *testing.T, nparts int) (*datasets.Dataset, []int, []int) {
+	t.Helper()
+	d := datasets.Generate(datasets.Spec{
+		Name: "w", Nodes: 150, AvgDegree: 10, Classes: 3, FeatureDim: 5, Seed: 1,
+	})
+	part := partition.Partition(d.Graph, nparts, partition.NodeCut, partition.Config{Seed: 2})
+	part2 := partition.Partition(d.Graph, nparts, partition.NodeCut, partition.Config{Seed: 5})
+	return d, part, part2
+}
+
+// randMat fills an n x m matrix with fp32-truncated uniform values, exactly
+// as the worker tests do (pre-truncation keeps fp32 wire legs lossless).
+func randMat(n, m int, seed int64) *tensor.Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	mat := tensor.New(n, m)
+	for i := range mat.Data {
+		mat.Data[i] = float64(float32(rng.Float64()*2 - 1))
+	}
+	return mat
+}
+
+// quickOpts are timeouts suited to in-process tests: long enough for -race
+// scheduling noise, short enough that a genuine hang fails the test quickly.
+func quickNodeOpts() NodeOptions {
+	return NodeOptions{RoundTimeout: 5 * time.Second, DialRetries: 20, DialBackoff: 5 * time.Millisecond}
+}
+
+func quickCoordOpts() CoordOptions {
+	return CoordOptions{RoundTimeout: 5 * time.Second, DialRetries: 20, DialBackoff: 5 * time.Millisecond}
+}
+
+// TestCoordClusterEquivalenceMatrix is the cross-runtime equivalence lock:
+// the multi-node socket deployment must agree with the in-process
+// worker.Cluster on every method combination, through a mid-training
+// Repartition — aggregate values to fp64-reassociation tolerance (the wire
+// bytes are identical; only decode arrival order differs) and per-epoch
+// traffic snapshots exactly.
+func TestCoordClusterEquivalenceMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node matrix is not short")
+	}
+	const nparts = 3
+	d, part, part2 := testGraph(t, nparts)
+	h := randMat(d.NumNodes(), 5, 77)
+	g := randMat(d.NumNodes(), 5, 78)
+
+	for name, cfg := range dist.MethodMatrix(9) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			cl := worker.NewClusterFromConfig(d.Graph, part, nparts, cfg)
+			defer cl.Close()
+			tc := startCluster(t, nparts, quickNodeOpts(), quickCoordOpts())
+			if err := tc.coord.Setup(d.Graph, part, cfg); err != nil {
+				t.Fatalf("setup: %v", err)
+			}
+
+			for epoch := 0; epoch < 5; epoch++ {
+				if epoch == 3 {
+					wantDirty, err := cl.Repartition(part2)
+					if err != nil {
+						t.Fatalf("cluster repartition: %v", err)
+					}
+					gotDirty, err := tc.coord.Repartition(part2)
+					if err != nil {
+						t.Fatalf("coordinator repartition: %v", err)
+					}
+					if len(gotDirty) != len(wantDirty) {
+						t.Fatalf("dirty sets: coord %v, cluster %v", gotDirty, wantDirty)
+					}
+					for i := range gotDirty {
+						if gotDirty[i] != wantDirty[i] {
+							t.Fatalf("dirty sets: coord %v, cluster %v", gotDirty, wantDirty)
+						}
+					}
+				}
+				cl.ResetTraffic()
+				cl.StartEpoch(epoch)
+				tc.coord.StartEpoch(epoch)
+				for _, bwd := range []bool{false, true} {
+					in := h
+					if bwd {
+						in = g
+					}
+					var want *tensor.Matrix
+					if bwd {
+						want = cl.Backward(in)
+					} else {
+						want = cl.Forward(in)
+					}
+					got, err := tc.coord.Round(in, bwd)
+					if err != nil {
+						t.Fatalf("epoch %d bwd=%v: %v", epoch, bwd, err)
+					}
+					if !got.Equal(want, 1e-9*(1+want.MaxAbs())) {
+						t.Fatalf("epoch %d bwd=%v: socket aggregate diverged from cluster", epoch, bwd)
+					}
+				}
+				if cs, ns := cl.Snapshot(), tc.coord.CaptureEpoch(); cs != ns {
+					t.Fatalf("epoch %d: socket traffic %+v vs cluster %+v", epoch, ns, cs)
+				}
+			}
+			tc.coord.Shutdown()
+		})
+	}
+}
+
+// TestCoordEvalEpoch covers the measurement-only marker: under delayed
+// transmission an eval pass must bypass the replay cache on every node, so
+// socket and in-process results agree on a fresh pass after stale epochs.
+func TestCoordEvalEpoch(t *testing.T) {
+	const nparts = 3
+	d, part, _ := testGraph(t, nparts)
+	h := randMat(d.NumNodes(), 5, 21)
+	cfg := dist.Config{DelayPeriod: 3, Seed: 4}
+
+	cl := worker.NewClusterFromConfig(d.Graph, part, nparts, cfg)
+	defer cl.Close()
+	tc := startCluster(t, nparts, quickNodeOpts(), quickCoordOpts())
+	if err := tc.coord.Setup(d.Graph, part, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 0; epoch < 4; epoch++ {
+		cl.StartEpoch(epoch)
+		tc.coord.StartEpoch(epoch)
+		want := cl.Forward(h)
+		got, err := tc.coord.Round(h, false)
+		if err != nil {
+			t.Fatalf("epoch %d: %v", epoch, err)
+		}
+		if !got.Equal(want, 1e-9*(1+want.MaxAbs())) {
+			t.Fatalf("epoch %d diverged", epoch)
+		}
+	}
+	cl.StartEvalEpoch(4)
+	tc.coord.StartEvalEpoch(4)
+	want := cl.Forward(h)
+	got, err := tc.coord.Round(h, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want, 1e-9*(1+want.MaxAbs())) {
+		t.Fatal("eval pass diverged (delay cache not bypassed)")
+	}
+	tc.coord.Shutdown()
+}
+
+// graphFromEdges is a tiny convenience for hand-built graphs in this file.
+func graphFromEdges(n int, pairs [][2]int32) *graph.Graph {
+	edges := make([]graph.Edge, len(pairs))
+	for i, p := range pairs {
+		edges[i] = graph.Edge{U: p[0], V: p[1]}
+	}
+	return graph.NewUndirected(n, edges)
+}

@@ -224,6 +224,56 @@ func NewAdam(lr float64) *Adam {
 	}
 }
 
+// AdamState is the serializable optimizer state for a fixed parameter list:
+// the step counter plus first/second moment vectors in parameter order.
+type AdamState struct {
+	T    int
+	M, V [][]float64
+}
+
+// State exports the moments for the given parameters (in order), deep-copied
+// so a checkpoint is unaffected by later steps. Parameters the optimizer has
+// not stepped yet export zero moments, matching what Step would lazily
+// allocate.
+func (a *Adam) State(params []Param) *AdamState {
+	st := &AdamState{T: a.t}
+	for _, p := range params {
+		m, v := a.m[p.Value], a.v[p.Value]
+		if m == nil {
+			m = make([]float64, len(p.Value.Data))
+		}
+		if v == nil {
+			v = make([]float64, len(p.Value.Data))
+		}
+		st.M = append(st.M, append([]float64(nil), m...))
+		st.V = append(st.V, append([]float64(nil), v...))
+	}
+	return st
+}
+
+// SetState restores moments exported by State against the same parameter
+// list; a resumed run then steps bit-identically to the uninterrupted one.
+// Length mismatches mean the checkpoint was taken on a different
+// architecture and are reported as errors.
+func (a *Adam) SetState(params []Param, st *AdamState) error {
+	if len(st.M) != len(params) || len(st.V) != len(params) {
+		return fmt.Errorf("nn: adam state covers %d/%d moment vectors, model has %d params",
+			len(st.M), len(st.V), len(params))
+	}
+	a.t = st.T
+	a.m = make(map[*tensor.Matrix][]float64, len(params))
+	a.v = make(map[*tensor.Matrix][]float64, len(params))
+	for i, p := range params {
+		if len(st.M[i]) != len(p.Value.Data) || len(st.V[i]) != len(p.Value.Data) {
+			return fmt.Errorf("nn: adam state param %d has %d/%d moments, model wants %d",
+				i, len(st.M[i]), len(st.V[i]), len(p.Value.Data))
+		}
+		a.m[p.Value] = append([]float64(nil), st.M[i]...)
+		a.v[p.Value] = append([]float64(nil), st.V[i]...)
+	}
+	return nil
+}
+
 // Step implements Optimizer.
 func (a *Adam) Step(params []Param) {
 	a.t++

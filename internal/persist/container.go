@@ -1,0 +1,130 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Checkpoint container: a small self-validating envelope around a gob body,
+// used by the multi-process runtime for crash-recovery checkpoints. Layout:
+//
+//	4 bytes  magic "SCCK"
+//	1 byte   format version (1)
+//	8 bytes  body length  (little-endian u64)
+//	4 bytes  CRC32 (IEEE) of the body
+//	N bytes  gob-encoded body
+//
+// The CRC catches torn or bit-rotted files (a node killed mid-checkpoint
+// truncates the body; restore must fail loudly, never load half a state),
+// and the magic/version bytes catch cross-format confusion. Writes are
+// atomic: the container lands in a temp file in the target directory and is
+// renamed into place, so a crash mid-write leaves either the old checkpoint
+// or none — never a partial one at the final path.
+
+var (
+	checkpointMagic = [4]byte{'S', 'C', 'C', 'K'}
+
+	// ErrCorruptCheckpoint marks a checkpoint that failed structural or
+	// checksum validation; errors.Is works through the wrapped detail.
+	ErrCorruptCheckpoint = errors.New("persist: corrupt checkpoint")
+)
+
+const checkpointVersion = 1
+
+// checkpointHeaderLen is the fixed envelope size before the gob body.
+const checkpointHeaderLen = 4 + 1 + 8 + 4
+
+// EncodeCheckpoint serializes state into a checksummed container buffer.
+func EncodeCheckpoint(state any) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(state); err != nil {
+		return nil, fmt.Errorf("persist: encode checkpoint body: %w", err)
+	}
+	buf := make([]byte, checkpointHeaderLen+body.Len())
+	copy(buf, checkpointMagic[:])
+	buf[4] = checkpointVersion
+	binary.LittleEndian.PutUint64(buf[5:], uint64(body.Len()))
+	binary.LittleEndian.PutUint32(buf[13:], crc32.ChecksumIEEE(body.Bytes()))
+	copy(buf[checkpointHeaderLen:], body.Bytes())
+	return buf, nil
+}
+
+// DecodeCheckpoint validates a container buffer and decodes its body into
+// state (a pointer). Truncation, bad magic, an unknown version, or a
+// checksum mismatch all return errors wrapping ErrCorruptCheckpoint.
+func DecodeCheckpoint(buf []byte, state any) error {
+	if len(buf) < checkpointHeaderLen {
+		return fmt.Errorf("%w: %d bytes, need at least %d (truncated header)",
+			ErrCorruptCheckpoint, len(buf), checkpointHeaderLen)
+	}
+	if !bytes.Equal(buf[:4], checkpointMagic[:]) {
+		return fmt.Errorf("%w: bad magic %q", ErrCorruptCheckpoint, buf[:4])
+	}
+	if buf[4] != checkpointVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrCorruptCheckpoint, buf[4])
+	}
+	n := binary.LittleEndian.Uint64(buf[5:])
+	if n != uint64(len(buf)-checkpointHeaderLen) {
+		return fmt.Errorf("%w: body length %d, file carries %d (truncated body)",
+			ErrCorruptCheckpoint, n, len(buf)-checkpointHeaderLen)
+	}
+	body := buf[checkpointHeaderLen:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(buf[13:]); got != want {
+		return fmt.Errorf("%w: checksum %08x, want %08x", ErrCorruptCheckpoint, got, want)
+	}
+	if err := gob.NewDecoder(bytes.NewReader(body)).Decode(state); err != nil {
+		return fmt.Errorf("%w: decode body: %v", ErrCorruptCheckpoint, err)
+	}
+	return nil
+}
+
+// SaveCheckpoint atomically writes state as a checksummed container at path:
+// the bytes land in a temp file in the same directory, are fsynced, and
+// renamed over the target.
+func SaveCheckpoint(path string, state any) error {
+	buf, err := EncodeCheckpoint(state)
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("persist: checkpoint temp file: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: write checkpoint: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("persist: sync checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: close checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("persist: publish checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads and validates a container written by SaveCheckpoint.
+// A missing file surfaces as the os error (errors.Is(err, os.ErrNotExist));
+// a damaged file wraps ErrCorruptCheckpoint.
+func LoadCheckpoint(path string, state any) error {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("persist: read checkpoint: %w", err)
+	}
+	if err := DecodeCheckpoint(buf, state); err != nil {
+		return fmt.Errorf("persist: checkpoint %s: %w", path, err)
+	}
+	return nil
+}

@@ -1,0 +1,134 @@
+package persist
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type demoState struct {
+	Epoch int
+	Loss  []float64
+	Pairs map[int64][]float64
+}
+
+func demo() *demoState {
+	return &demoState{
+		Epoch: 7,
+		Loss:  []float64{1.5, 1.2, 0.9},
+		Pairs: map[int64][]float64{3: {0.1, -0.2}, 9: {4}},
+	}
+}
+
+func TestCheckpointRoundtrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := SaveCheckpoint(path, demo()); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	var got demoState
+	if err := LoadCheckpoint(path, &got); err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	want := demo()
+	if got.Epoch != want.Epoch || len(got.Loss) != 3 || got.Loss[2] != 0.9 ||
+		len(got.Pairs) != 2 || got.Pairs[3][1] != -0.2 {
+		t.Fatalf("roundtrip mismatch: %+v", got)
+	}
+}
+
+func TestCheckpointOverwriteAtomic(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck")
+	if err := SaveCheckpoint(path, demo()); err != nil {
+		t.Fatal(err)
+	}
+	next := demo()
+	next.Epoch = 8
+	if err := SaveCheckpoint(path, next); err != nil {
+		t.Fatalf("overwrite: %v", err)
+	}
+	var got demoState
+	if err := LoadCheckpoint(path, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 8 {
+		t.Fatalf("epoch = %d after overwrite, want 8", got.Epoch)
+	}
+	// No temp litter left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries after save, want 1", len(entries))
+	}
+}
+
+// TestCheckpointCorruption: every damage mode — truncated header, truncated
+// body, flipped payload bit, bad magic, unknown version — surfaces as a
+// wrapped ErrCorruptCheckpoint, never a clean load or a panic.
+func TestCheckpointCorruption(t *testing.T) {
+	buf, err := EncodeCheckpoint(demo())
+	if err != nil {
+		t.Fatal(err)
+	}
+	damage := map[string]func([]byte) []byte{
+		"truncated-header": func(b []byte) []byte { return b[:10] },
+		"truncated-body":   func(b []byte) []byte { return b[:len(b)-5] },
+		"flipped-bit": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[len(c)-1] ^= 0x40
+			return c
+		},
+		"bad-magic": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[0] = 'X'
+			return c
+		},
+		"bad-version": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			c[4] = 99
+			return c
+		},
+		"empty": func(b []byte) []byte { return nil },
+	}
+	dir := t.TempDir()
+	for name, f := range damage {
+		t.Run(name, func(t *testing.T) {
+			path := filepath.Join(dir, name)
+			if err := os.WriteFile(path, f(buf), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			var got demoState
+			err := LoadCheckpoint(path, &got)
+			if !errors.Is(err, ErrCorruptCheckpoint) {
+				t.Fatalf("damage %q: err = %v, want ErrCorruptCheckpoint", name, err)
+			}
+		})
+	}
+}
+
+func TestCheckpointMissingFile(t *testing.T) {
+	var got demoState
+	err := LoadCheckpoint(filepath.Join(t.TempDir(), "absent"), &got)
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("err = %v, want os.ErrNotExist", err)
+	}
+	if errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatal("missing file misreported as corruption")
+	}
+}
+
+// TestCheckpointGobBodyCorruption: a valid envelope whose gob body is
+// garbage (CRC recomputed over the garbage) still fails as corruption.
+func TestCheckpointGobBodyCorruption(t *testing.T) {
+	// Encode one type, decode into an incompatible one.
+	buf, err := EncodeCheckpoint(&demoState{Epoch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wrong struct{ Epoch string }
+	if err := DecodeCheckpoint(buf, &wrong); !errors.Is(err, ErrCorruptCheckpoint) {
+		t.Fatalf("type-mismatched body: err = %v, want ErrCorruptCheckpoint", err)
+	}
+}

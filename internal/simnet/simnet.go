@@ -191,6 +191,21 @@ func (s *ShardCounter) TotalBytes() int64 {
 	return t
 }
 
+// DrainRow copies out and zeroes the counters of every link src→dst — the
+// export step of a networked worker, which ships its own row's deltas to the
+// coordinator after each round instead of draining into a local fabric.
+func (s *ShardCounter) DrainRow(src int) (bytes, msgs []int64) {
+	bytes = make([]int64, s.nparts)
+	msgs = make([]int64, s.nparts)
+	row := s.bytes[src*s.nparts : (src+1)*s.nparts]
+	mrow := s.msgs[src*s.nparts : (src+1)*s.nparts]
+	copy(bytes, row)
+	copy(msgs, mrow)
+	clear(row)
+	clear(mrow)
+	return bytes, msgs
+}
+
 // Reset zeroes the shard so it can be reused next round.
 func (s *ShardCounter) Reset() {
 	for i := range s.bytes {

@@ -1,0 +1,413 @@
+package worker
+
+import (
+	"errors"
+	"fmt"
+
+	"scgnn/internal/dist"
+	"scgnn/internal/graph"
+	"scgnn/internal/tensor"
+)
+
+// Peer is one partition's share of the cluster runtime, driven externally by
+// a transport instead of the in-process goroutine pool: internal/net runs one
+// Peer per OS process and carries the framed batches over sockets. The peer
+// holds the complete cluster state — plans, kernels, cross-arc buckets,
+// per-pair compression streams — rebuilt deterministically from the same
+// (graph, partition, config) every node receives, so all replicas agree on
+// every structural decision without ever serializing a plan.
+//
+// # Shared RNG streams across processes
+//
+// In-process, the ordered pair (s,t) owns ONE sampler stream, consumed by
+// worker s on forward rounds and worker t on backward rounds. Across
+// processes each node holds a replica of every pair's stream, but only the
+// encoding node consumes coins — so after each exchanging round every peer
+// ghost-advances the pairs it did not encode, replaying the structural coin
+// loop (unit counts and memo keys derive from plans and cross-edge lists,
+// which all replicas share) without touching any payload. Streams therefore
+// stay position-identical across all replicas, which is what makes a later
+// backward round, checkpoint, or repartition agree bit-for-bit with the
+// in-process oracle.
+type Peer struct {
+	c  *Cluster
+	me int
+}
+
+// NewPeer builds partition me's driven runtime for the same method
+// combination a dist.Config engine or NewClusterFromConfig cluster would
+// run. The full cluster state is constructed (every node needs every plan to
+// encode, decode, and ghost-advance), but no goroutines are spawned; rounds
+// are executed by Round on the caller's goroutine.
+func NewPeer(g *graph.Graph, part []int, nparts, me int, cfg dist.Config) (*Peer, error) {
+	if me < 0 || me >= nparts {
+		return nil, fmt.Errorf("worker: peer id %d out of range [0,%d)", me, nparts)
+	}
+	if err := graph.ValidatePartition(g.NumNodes(), part, nparts); err != nil {
+		return nil, fmt.Errorf("worker: NewPeer: %w", err)
+	}
+	c := newClusterState(g, part, nparts, cfg.Semantic, cfg.Plan)
+	c.applyConfig(cfg)
+	return &Peer{c: c, me: me}, nil
+}
+
+// ID returns the partition this peer runs.
+func (p *Peer) ID() int { return p.me }
+
+// NumParts returns the cluster width.
+func (p *Peer) NumParts() int { return p.c.nparts }
+
+// NumNodes returns the graph's node count (the row dimension Round expects).
+func (p *Peer) NumNodes() int { return p.c.g.NumNodes() }
+
+// Own returns the ascending node ids this peer owns under the current
+// partition. The slice is live cluster state; callers must not mutate it and
+// must re-fetch it after Repartition.
+func (p *Peer) Own() []int32 { return p.c.own[p.me] }
+
+// StartEpoch marks an epoch boundary (see Cluster.StartEpoch).
+func (p *Peer) StartEpoch(epoch int) { p.c.StartEpoch(epoch) }
+
+// StartEvalEpoch prepares a measurement-only pass (see
+// Cluster.StartEvalEpoch).
+func (p *Peer) StartEvalEpoch(epoch int) { p.c.StartEvalEpoch(epoch) }
+
+// Repartition moves the peer to a new partition of the same graph, with
+// Cluster.Repartition's exact incremental contract. Every node applies the
+// same vector, computes the same dirty set, and reseeds the same pair
+// streams, so the replicas stay in lockstep.
+func (p *Peer) Repartition(part []int) ([]int, error) { return p.c.Repartition(part) }
+
+// Round executes one aggregate round for this peer: the boundary-first local
+// schedule, one encoded frame handed to send per peer (ascending, skipping
+// self), ghost-advance of the pairs other nodes encoded, then nparts-1 recv
+// calls whose buffers are stream-decoded into the rows this peer owns.
+// h and out are full-size n×d matrices of which only this peer's rows are
+// meaningful: h must carry valid rows for every node this peer owns (local
+// aggregation and encoding read nothing else), and out receives the
+// aggregate on owned rows. Delayed-transmission replay/fresh decisions are
+// computed locally from the epoch schedule — deterministic, so every node
+// independently agrees on the round shape. A non-nil error (transport or
+// decode) poisons the peer: contributions may have been dropped mid-round,
+// so every later Round returns the same error until Restore rewinds the
+// state.
+func (p *Peer) Round(h, out *tensor.Matrix, backward bool, send func(peer int, frame []byte) error, recv func() ([]byte, error)) error {
+	c, me := p.c, p.me
+	if c.err != nil {
+		return c.err
+	}
+	n := c.g.NumNodes()
+	if h.Rows != n {
+		return fmt.Errorf("worker: peer %d: matrix rows %d, graph nodes %d", me, h.Rows, n)
+	}
+	if out.Rows != n || out.Cols != h.Cols {
+		return fmt.Errorf("worker: peer %d: out shape (%d,%d), want (%d,%d)", me, out.Rows, out.Cols, n, h.Cols)
+	}
+	out.Zero()
+	round := c.round
+	c.ws[me].ensure(h.Cols)
+
+	// Same replay/fresh/target resolution as AggregateInto, applied to the
+	// node-local slot store.
+	delayOn := c.delayPeriod > 1 && !c.freshEval
+	replay := false
+	target := out
+	if delayOn {
+		transmit := c.epoch%c.delayPeriod == 0
+		filled := round < len(c.delayFilled) && c.delayFilled[round]
+		if !transmit && filled {
+			replay = true
+			target = c.delaySlots[round]
+		} else {
+			for len(c.delaySlots) <= round {
+				c.delaySlots = append(c.delaySlots, nil)
+				c.delayFilled = append(c.delayFilled, false)
+			}
+			slot := c.delaySlots[round]
+			if slot == nil || slot.Rows != out.Rows || slot.Cols != out.Cols {
+				slot = tensor.New(out.Rows, out.Cols)
+				c.delaySlots[round] = slot
+				c.delayFilled[round] = false
+			}
+			target = slot
+		}
+	}
+
+	lp := c.local[me]
+	if replay {
+		// No exchange anywhere this round (all replicas agree), so no coins
+		// are consumed and no ghost-advance is needed.
+		c.localRows(me, h, out, 0, len(lp.rows))
+		for _, u := range c.own[me] {
+			tensor.AXPY(1, target.Row(int(u)), out.Row(int(u)))
+		}
+		c.round++
+		return nil
+	}
+
+	c.localRows(me, h, out, 0, lp.nBoundary)
+	for peer := 0; peer < c.nparts; peer++ {
+		if peer == me {
+			continue
+		}
+		buf := c.encodePeer(me, peer, h, backward)
+		if err := send(peer, buf); err != nil {
+			c.err = fmt.Errorf("worker: peer %d: send to %d: %w", me, peer, err)
+			return c.err
+		}
+	}
+	c.ghostAdvance(me, backward)
+	if target != out {
+		for _, u := range c.own[me] {
+			clear(target.Row(int(u)))
+		}
+	}
+	c.localRows(me, h, out, lp.nBoundary, len(lp.rows))
+
+	var firstErr error
+	for k := 0; k < c.nparts-1; k++ {
+		buf, err := recv()
+		if err != nil {
+			// Transport failure: the remaining batches are not coming; abort
+			// rather than drain.
+			if firstErr == nil {
+				firstErr = fmt.Errorf("worker: peer %d: recv: %w", me, err)
+			}
+			break
+		}
+		if firstErr != nil {
+			continue // keep draining so the transport stays balanced
+		}
+		if err := c.decodeBatch(me, backward, target, buf); err != nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		c.err = firstErr
+		return firstErr
+	}
+	if target != out {
+		for _, u := range c.own[me] {
+			tensor.AXPY(1, target.Row(int(u)), out.Row(int(u)))
+		}
+		c.delayFilled[round] = true
+	}
+	c.round++
+	return nil
+}
+
+// ghostAdvance replays the structural coin consumption of every pair some
+// OTHER node encoded this round, so this replica's streams end the round at
+// the same position as the consumer's. Pair (s,t) is consumed by node s on
+// forward rounds and node t on backward rounds.
+func (c *Cluster) ghostAdvance(me int, backward bool) {
+	if c.pairs == nil {
+		return
+	}
+	for s := 0; s < c.nparts; s++ {
+		for t := 0; t < c.nparts; t++ {
+			if s == t {
+				continue
+			}
+			consumer := s
+			if backward {
+				consumer = t
+			}
+			if consumer == me {
+				continue
+			}
+			c.ghostAdvancePair(s*c.nparts+t, backward)
+		}
+	}
+}
+
+// ghostAdvancePair replays one pair's coin loop without touching payloads:
+// the same unit order (groups by index, then O2O; or cross edges in bucket
+// order) and the same memo keys as the encoders, so per-edge samplers
+// consume one coin per unit and node samplers consume exactly the coins a
+// memo miss would.
+func (c *Cluster) ghostAdvancePair(idx int, backward bool) {
+	ps := c.pairAt(idx)
+	if ps == nil {
+		return
+	}
+	sampler, nodeSampler := ps.sampler, ps.nodeSampler
+	if sampler == nil && nodeSampler == nil {
+		return
+	}
+	if nodeSampler != nil {
+		nodeSampler.StartRound()
+	}
+	if c.semantic {
+		plan := c.plans[idx]
+		if plan == nil {
+			return
+		}
+		for gi := range plan.Groups {
+			if sampler != nil {
+				sampler.Keep()
+			} else {
+				nodeSampler.Keep(groupCoinKey(gi))
+			}
+		}
+		for _, o := range plan.O2O {
+			sender := o.Src
+			if backward {
+				sender = o.Dst
+			}
+			if sampler != nil {
+				sampler.Keep()
+			} else {
+				nodeSampler.Keep(sender)
+			}
+		}
+		return
+	}
+	for _, e := range c.crossOut[idx] {
+		sender := e.U
+		if backward {
+			sender = e.V
+		}
+		if sampler != nil {
+			sampler.Keep()
+		} else {
+			nodeSampler.Keep(sender)
+		}
+	}
+}
+
+// TrafficDelta exports and clears the peer's per-destination traffic counted
+// since the last call: bytes[d], msgs[d] for every destination partition d.
+// The coordinator merges the rows of all nodes into its fabric, reproducing
+// the in-process cluster's exact per-link accounting.
+func (p *Peer) TrafficDelta() (bytes, msgs []int64) {
+	return p.c.counters[p.me].DrainRow(p.me)
+}
+
+// PairStreamState is one ordered pair's serializable compression-stream
+// position. Sampler streams are stored as draw counts (restore re-derives
+// the seed and fast-forwards); the node sampler's xorshift state word is
+// stored directly; error-feedback residuals are stored in full.
+type PairStreamState struct {
+	SamplerDraws int64
+	NodeState    uint64
+	EF           map[int64][]float64
+}
+
+// PeerState is the peer's checkpointable runtime state: every pair's stream
+// position plus the delayed-transmission cache restricted to the rows this
+// peer owns. Model parameters and the training-loop bookkeeping live in the
+// coordinator's checkpoint; graph, partition, plans, and kernels are
+// rebuilt deterministically from the Setup inputs and are never serialized.
+// Valid at epoch boundaries (StartEpoch resets the intra-epoch round
+// counter, so no mid-epoch cursor needs saving).
+type PeerState struct {
+	NParts int
+	// Pairs has nparts² entries (nil when no stateful method is configured).
+	Pairs []PairStreamState
+	// DelayFilled[r] marks aggregate-round slot r as holding a usable cached
+	// delta; DelayRows[r] is then the flattened own-row data
+	// (len(own)×DelayCols[r]), in ascending owned-node order. Columns are
+	// per-slot: a multi-layer model aggregates at a different width every
+	// round. Unfilled slots carry no rows.
+	DelayFilled []bool
+	DelayRows   [][]float64
+	DelayCols   []int
+}
+
+// State captures the peer's stream and delay-cache state at an epoch
+// boundary, deep-copied so later rounds leave the checkpoint untouched.
+func (p *Peer) State() *PeerState {
+	c := p.c
+	st := &PeerState{NParts: c.nparts}
+	if c.pairs != nil {
+		st.Pairs = make([]PairStreamState, len(c.pairs))
+		for i := range c.pairs {
+			ps := &c.pairs[i]
+			if ps.sampler != nil {
+				st.Pairs[i].SamplerDraws = ps.sampler.Draws()
+			}
+			if ps.nodeSampler != nil {
+				st.Pairs[i].NodeState = ps.nodeSampler.State()
+			}
+			if ps.ef != nil {
+				st.Pairs[i].EF = ps.ef.Snapshot()
+			}
+		}
+	}
+	if len(c.delayFilled) > 0 {
+		st.DelayFilled = append([]bool(nil), c.delayFilled...)
+		st.DelayRows = make([][]float64, len(c.delaySlots))
+		st.DelayCols = make([]int, len(c.delaySlots))
+		for r, slot := range c.delaySlots {
+			if !c.delayFilled[r] || slot == nil {
+				continue
+			}
+			st.DelayCols[r] = slot.Cols
+			rows := make([]float64, 0, len(c.own[p.me])*slot.Cols)
+			for _, u := range c.own[p.me] {
+				rows = append(rows, slot.Row(int(u))...)
+			}
+			st.DelayRows[r] = rows
+		}
+	}
+	return st
+}
+
+// Restore rewinds the peer to a captured state: dirty streams are re-derived
+// from the configured seed and fast-forwarded to the saved position, the
+// delay cache is rebuilt for the rows this peer owns, and any poisoning is
+// cleared. The peer must have been built with the same (graph, partition,
+// config) the state was captured under; the coordinator guarantees this by
+// re-running Setup from its own checkpoint before restoring nodes.
+func (p *Peer) Restore(st *PeerState) error {
+	c := p.c
+	if st == nil {
+		return errors.New("worker: nil peer state")
+	}
+	if st.NParts != c.nparts {
+		return fmt.Errorf("worker: peer state for %d parts, cluster has %d", st.NParts, c.nparts)
+	}
+	if (st.Pairs == nil) != (c.pairs == nil) || len(st.Pairs) != len(c.pairs) {
+		return fmt.Errorf("worker: peer state has %d pair streams, cluster has %d (method config mismatch)",
+			len(st.Pairs), len(c.pairs))
+	}
+	for i := range c.pairs {
+		c.reseedPair(i)
+		ps := &c.pairs[i]
+		if ps.sampler != nil {
+			ps.sampler.Skip(st.Pairs[i].SamplerDraws)
+		}
+		if ps.nodeSampler != nil {
+			ps.nodeSampler.SetState(st.Pairs[i].NodeState)
+		}
+		if ps.ef != nil {
+			ps.ef.Restore(st.Pairs[i].EF)
+		}
+	}
+	c.delayFilled = append([]bool(nil), st.DelayFilled...)
+	c.delaySlots = make([]*tensor.Matrix, len(st.DelayFilled))
+	for r := range st.DelayFilled {
+		if !st.DelayFilled[r] {
+			continue
+		}
+		rows, cols := 0, 0
+		if r < len(st.DelayRows) {
+			rows = len(st.DelayRows[r])
+		}
+		if r < len(st.DelayCols) {
+			cols = st.DelayCols[r]
+		}
+		if cols < 1 || rows != len(c.own[p.me])*cols {
+			return fmt.Errorf("worker: peer state slot %d has %d row values, want %d×%d",
+				r, rows, len(c.own[p.me]), cols)
+		}
+		slot := tensor.New(c.g.NumNodes(), cols)
+		for k, u := range c.own[p.me] {
+			copy(slot.Row(int(u)), st.DelayRows[r][k*cols:(k+1)*cols])
+		}
+		c.delaySlots[r] = slot
+	}
+	c.err = nil
+	return nil
+}

@@ -1,0 +1,310 @@
+package worker
+
+import (
+	"sync"
+	"testing"
+
+	"scgnn/internal/dist"
+	"scgnn/internal/partition"
+	"scgnn/internal/simnet"
+	"scgnn/internal/tensor"
+)
+
+// peerMesh drives nparts driven Peers in lockstep rounds over buffered
+// channels — the in-process stand-in for the socket transport, with the same
+// deterministic discipline internal/net uses: frames are received in
+// ascending sender order, so decode order (and therefore every fp64 row sum)
+// is reproducible run over run.
+type peerMesh struct {
+	peers []*Peer
+	// h and out are each peer's full-size retained matrices; h carries only
+	// the rows that peer owns (the coordinator's scatter).
+	h, out []*tensor.Matrix
+	chans  [][]chan []byte // chans[s][t]: frames from s to t
+	fabric *simnet.Fabric
+	shard  *simnet.ShardCounter
+}
+
+func newPeerMesh(t *testing.T, peers []*Peer, n, dim int) *peerMesh {
+	t.Helper()
+	np := len(peers)
+	m := &peerMesh{
+		peers:  peers,
+		fabric: simnet.NewFabric(np),
+		shard:  simnet.NewShardCounter(np),
+	}
+	m.chans = make([][]chan []byte, np)
+	for s := 0; s < np; s++ {
+		m.chans[s] = make([]chan []byte, np)
+		for d := 0; d < np; d++ {
+			m.chans[s][d] = make(chan []byte, np)
+		}
+	}
+	for range peers {
+		m.h = append(m.h, tensor.New(n, dim))
+		m.out = append(m.out, tensor.New(n, dim))
+	}
+	return m
+}
+
+// scatter copies each peer's owned rows of h into its local h matrix (the
+// coordinator's per-node scatter; other rows stay stale on purpose — peers
+// must never read them).
+func (m *peerMesh) scatter(h *tensor.Matrix) {
+	for p, peer := range m.peers {
+		for _, u := range peer.Own() {
+			copy(m.h[p].Row(int(u)), h.Row(int(u)))
+		}
+	}
+}
+
+// round runs one lockstep aggregate round on every peer and folds each
+// peer's traffic delta into the mesh fabric.
+func (m *peerMesh) round(t *testing.T, backward bool) error {
+	t.Helper()
+	np := len(m.peers)
+	errs := make([]error, np)
+	var wg sync.WaitGroup
+	for p := 0; p < np; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			next := 0
+			recv := func() ([]byte, error) {
+				if next == p {
+					next++
+				}
+				buf := <-m.chans[next][p]
+				next++
+				return buf, nil
+			}
+			send := func(peer int, frame []byte) error {
+				m.chans[p][peer] <- append([]byte(nil), frame...)
+				return nil
+			}
+			errs[p] = m.peers[p].Round(m.h[p], m.out[p], backward, send, recv)
+		}(p)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	for p, peer := range m.peers {
+		bytes, msgs := peer.TrafficDelta()
+		for d := 0; d < np; d++ {
+			if bytes[d] != 0 || msgs[d] != 0 {
+				m.shard.Add(p, d, bytes[d], msgs[d])
+			}
+		}
+	}
+	m.fabric.Drain(m.shard)
+	return nil
+}
+
+// gather assembles the global aggregate from each peer's owned out rows.
+func (m *peerMesh) gather(dst *tensor.Matrix) {
+	for p, peer := range m.peers {
+		for _, u := range peer.Own() {
+			copy(dst.Row(int(u)), m.out[p].Row(int(u)))
+		}
+	}
+}
+
+// TestPeerClusterEquivalenceMatrix locks the driven multi-replica Peer
+// runtime to the in-process cluster across the full 13-combo method matrix,
+// including a mid-training Repartition: aggregates within fp64 reassociation
+// tolerance (the wire bytes are identical; only decode arrival order
+// differs), per-epoch traffic snapshots exactly — which transitively pins
+// the ghost-advance scheme, since one skipped or extra coin on any replica
+// desynchronizes drop decisions and the byte counts with them.
+func TestPeerClusterEquivalenceMatrix(t *testing.T) {
+	d, part := setup(t, 3)
+	const nparts = 3
+	part2 := partition.Partition(d.Graph, nparts, partition.NodeCut, partition.Config{Seed: 5})
+	h := randMat(d.NumNodes(), 5, 77)
+	g := randMat(d.NumNodes(), 5, 78)
+	want := tensor.New(d.NumNodes(), 5)
+
+	for name, cfg := range dist.MethodMatrix(9) {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			cl := NewClusterFromConfig(d.Graph, part, nparts, cfg)
+			defer cl.Close()
+			peers := make([]*Peer, nparts)
+			for p := 0; p < nparts; p++ {
+				peer, err := NewPeer(d.Graph, part, nparts, p, cfg)
+				if err != nil {
+					t.Fatalf("NewPeer(%d): %v", p, err)
+				}
+				peers[p] = peer
+			}
+			mesh := newPeerMesh(t, peers, d.NumNodes(), 5)
+
+			for epoch := 0; epoch < 5; epoch++ {
+				if epoch == 3 {
+					// Mid-training repartition, applied identically on every
+					// replica; the incremental dirty sets must agree.
+					wantDirty, err := cl.Repartition(part2)
+					if err != nil {
+						t.Fatalf("cluster Repartition: %v", err)
+					}
+					for p, peer := range peers {
+						gotDirty, err := peer.Repartition(part2)
+						if err != nil {
+							t.Fatalf("peer %d Repartition: %v", p, err)
+						}
+						if len(gotDirty) != len(wantDirty) {
+							t.Fatalf("peer %d dirty %v, cluster %v", p, gotDirty, wantDirty)
+						}
+						for i := range gotDirty {
+							if gotDirty[i] != wantDirty[i] {
+								t.Fatalf("peer %d dirty %v, cluster %v", p, gotDirty, wantDirty)
+							}
+						}
+					}
+				}
+				cl.ResetTraffic()
+				cl.StartEpoch(epoch)
+				mesh.fabric.Reset()
+				for _, peer := range peers {
+					peer.StartEpoch(epoch)
+				}
+				for _, bwd := range []bool{false, true} {
+					in := h
+					if bwd {
+						in = g
+					}
+					var wantOut *tensor.Matrix
+					if bwd {
+						wantOut = cl.Backward(in)
+					} else {
+						wantOut = cl.Forward(in)
+					}
+					mesh.scatter(in)
+					if err := mesh.round(t, bwd); err != nil {
+						t.Fatalf("epoch %d bwd=%v: %v", epoch, bwd, err)
+					}
+					mesh.gather(want)
+					if !want.Equal(wantOut, 1e-9*(1+wantOut.MaxAbs())) {
+						t.Fatalf("epoch %d bwd=%v: peer aggregate diverged from cluster", epoch, bwd)
+					}
+				}
+				if cs, ps := cl.Snapshot(), mesh.fabric.Capture(); cs != ps {
+					t.Fatalf("epoch %d: peer traffic %+v vs cluster %+v", epoch, ps, cs)
+				}
+			}
+		})
+	}
+}
+
+// TestPeerStateRestoreRoundtrip pins the checkpoint contract on the
+// stateful combos: capture every peer's State at an epoch boundary, keep
+// running the originals, then rebuild fresh peers, Restore, and replay —
+// the resumed mesh must reproduce the uninterrupted aggregates bit for bit
+// (the mesh's ascending-sender decode order makes the rounds fully
+// deterministic, so exact equality is required, not just tolerance).
+func TestPeerStateRestoreRoundtrip(t *testing.T) {
+	d, part := setup(t, 3)
+	const nparts, dim = 3, 5
+	h := randMat(d.NumNodes(), dim, 81)
+	g := randMat(d.NumNodes(), dim, 82)
+
+	for name, cfg := range map[string]dist.Config{
+		"sampling":  {SampleRate: 0.5, Seed: 9},
+		"nsampling": {SampleRate: 0.5, SampleNodes: true, Seed: 9},
+		"quant4+ef": {QuantBits: 4, ErrorFeedback: true, Seed: 9},
+		"delay3":    {DelayPeriod: 3, Seed: 9},
+		"semantic":  {Semantic: true, SampleRate: 0.5, Seed: 9},
+	} {
+		cfg := cfg
+		t.Run(name, func(t *testing.T) {
+			build := func() []*Peer {
+				peers := make([]*Peer, nparts)
+				for p := 0; p < nparts; p++ {
+					peer, err := NewPeer(d.Graph, part, nparts, p, cfg)
+					if err != nil {
+						t.Fatalf("NewPeer(%d): %v", p, err)
+					}
+					peers[p] = peer
+				}
+				return peers
+			}
+			const splitAt, epochs = 3, 6
+			runEpoch := func(mesh *peerMesh, peers []*Peer, epoch int) []*tensor.Matrix {
+				var outs []*tensor.Matrix
+				for _, peer := range peers {
+					peer.StartEpoch(epoch)
+				}
+				for _, bwd := range []bool{false, true} {
+					in := h
+					if bwd {
+						in = g
+					}
+					mesh.scatter(in)
+					if err := mesh.round(t, bwd); err != nil {
+						t.Fatalf("epoch %d bwd=%v: %v", epoch, bwd, err)
+					}
+					got := tensor.New(d.NumNodes(), dim)
+					mesh.gather(got)
+					outs = append(outs, got)
+				}
+				return outs
+			}
+
+			peersA := build()
+			meshA := newPeerMesh(t, peersA, d.NumNodes(), dim)
+			var states []*PeerState
+			var want [][]*tensor.Matrix
+			for e := 0; e < epochs; e++ {
+				if e == splitAt {
+					for _, peer := range peersA {
+						states = append(states, peer.State())
+					}
+				}
+				outs := runEpoch(meshA, peersA, e)
+				if e >= splitAt {
+					want = append(want, outs)
+				}
+			}
+
+			peersB := build()
+			meshB := newPeerMesh(t, peersB, d.NumNodes(), dim)
+			for p, peer := range peersB {
+				if err := peer.Restore(states[p]); err != nil {
+					t.Fatalf("Restore(%d): %v", p, err)
+				}
+			}
+			for e := splitAt; e < epochs; e++ {
+				outs := runEpoch(meshB, peersB, e)
+				for i, got := range outs {
+					if !got.Equal(want[e-splitAt][i], 0) {
+						t.Fatalf("epoch %d round %d: resumed aggregate != uninterrupted (bit-exact required)", e, i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPeerRestoreRejectsMismatch covers the validation errors.
+func TestPeerRestoreRejectsMismatch(t *testing.T) {
+	d, part := setup(t, 3)
+	peer, err := NewPeer(d.Graph, part, 3, 0, dist.Config{SampleRate: 0.5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := peer.Restore(nil); err == nil {
+		t.Fatal("nil state accepted")
+	}
+	if err := peer.Restore(&PeerState{NParts: 4}); err == nil {
+		t.Fatal("wrong nparts accepted")
+	}
+	if err := peer.Restore(&PeerState{NParts: 3}); err == nil {
+		t.Fatal("missing pair streams accepted (config mismatch)")
+	}
+	if _, err := NewPeer(d.Graph, part, 3, 7, dist.Config{}); err == nil {
+		t.Fatal("out-of-range peer id accepted")
+	}
+}

@@ -406,6 +406,19 @@ func (c *Cluster) StartEvalEpoch(epoch int) {
 // vanilla per-edge exchange is used. Call Close when done with the cluster to
 // release the worker goroutines.
 func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg core.PlanConfig) *Cluster {
+	c := newClusterState(g, part, nparts, semantic, planCfg)
+	for p := 0; p < nparts; p++ {
+		go c.run(p)
+	}
+	return c
+}
+
+// newClusterState builds every piece of cluster state — ownership, cross-arc
+// buckets, semantic plans, compiled kernels — without spawning the worker
+// goroutines. NewCluster adds the goroutine pool for the in-process runtime;
+// NewPeer reuses the state as-is, with rounds driven externally by the
+// multi-process transport.
+func newClusterState(g *graph.Graph, part []int, nparts int, semantic bool, planCfg core.PlanConfig) *Cluster {
 	if len(part) != g.NumNodes() {
 		panic(fmt.Sprintf("worker: partition len %d, want %d", len(part), g.NumNodes()))
 	}
@@ -452,9 +465,6 @@ func NewCluster(g *graph.Graph, part []int, nparts int, semantic bool, planCfg c
 	c.local = make([]*localPlan, nparts)
 	for p := 0; p < nparts; p++ {
 		c.local[p] = c.compileLocal(p)
-	}
-	for p := 0; p < nparts; p++ {
-		go c.run(p)
 	}
 	return c
 }
@@ -545,6 +555,13 @@ func (c *Cluster) Repartition(part []int) ([]int, error) {
 // DelayPeriod > 1; AdaptiveQuant and ErrorFeedback ride on quantization.
 func NewClusterFromConfig(g *graph.Graph, part []int, nparts int, cfg dist.Config) *Cluster {
 	c := NewCluster(g, part, nparts, cfg.Semantic, cfg.Plan)
+	c.applyConfig(cfg)
+	return c
+}
+
+// applyConfig maps a dist.Config onto the method setters with the engine's
+// exact gating, shared by NewClusterFromConfig and NewPeer.
+func (c *Cluster) applyConfig(cfg dist.Config) {
 	if cfg.QuantBits > 0 && cfg.QuantBits < 32 {
 		c.SetQuantization(cfg.QuantBits)
 		c.SetAdaptiveQuant(cfg.AdaptiveQuant)
@@ -556,7 +573,6 @@ func NewClusterFromConfig(g *graph.Graph, part []int, nparts int, cfg dist.Confi
 	if cfg.DelayPeriod > 1 {
 		c.SetDelay(cfg.DelayPeriod)
 	}
-	return c
 }
 
 // Close releases the persistent worker goroutines. It is idempotent, must
@@ -805,19 +821,28 @@ func (c *Cluster) sendPhase(me int, h *tensor.Matrix, backward bool) {
 		if peer == me {
 			continue
 		}
-		batch := &c.ws[me].batches[peer]
-		batch.Reset()
-		if c.semantic {
-			c.encodeSemantic(batch, me, peer, h, backward)
-		} else {
-			c.encodeVanilla(batch, me, peer, h, backward)
-		}
-		buf := batch.Bytes()
-		// Wire framing is already inside buf (each message carries its own
-		// header), so record pre-framed bytes rather than ShardCounter.Send.
-		c.counters[me].Add(me, peer, int64(len(buf)), int64(batch.Len()))
-		c.inbox[peer] <- buf
+		c.inbox[peer] <- c.encodePeer(me, peer, h, backward)
 	}
+}
+
+// encodePeer encodes worker me's outgoing halo for one peer into the
+// retained batch buffer, records the traffic on me's shard counter, and
+// returns the framed bytes. The buffer is reused next round: receivers must
+// fully consume it before then (in-process the round barrier guarantees
+// this; the multi-process transport copies it onto the socket immediately).
+func (c *Cluster) encodePeer(me, peer int, h *tensor.Matrix, backward bool) []byte {
+	batch := &c.ws[me].batches[peer]
+	batch.Reset()
+	if c.semantic {
+		c.encodeSemantic(batch, me, peer, h, backward)
+	} else {
+		c.encodeVanilla(batch, me, peer, h, backward)
+	}
+	buf := batch.Bytes()
+	// Wire framing is already inside buf (each message carries its own
+	// header), so record pre-framed bytes rather than ShardCounter.Send.
+	c.counters[me].Add(me, peer, int64(len(buf)), int64(batch.Len()))
+	return buf
 }
 
 // addMsg appends a message to the batch — quantized when configured, with
