@@ -17,13 +17,15 @@ test:
 
 # The concurrent surfaces: the worker runtime (including the cross-engine
 # equivalence matrix over all Fig. 12(b) method combinations), the
-# receiver-sharded parallel engine, and the planning pipeline (single-sweep
+# receiver-sharded parallel engine, the planning pipeline (single-sweep
 # DBG extraction fanned into concurrent per-pair plan builds and the sharded
-# k-means sweep). The core package's TestScale100KSmoke makes this lane
+# k-means sweep), and the communication scheduler whose decisions every
+# runtime replays. The core package's TestScale100KSmoke makes this lane
 # build the 100k streaming preset under the race detector on every verify.
 race:
 	$(GO) test -race ./internal/dist/... ./internal/worker/... \
-		./internal/cluster/... ./internal/core/... ./internal/graph/...
+		./internal/cluster/... ./internal/core/... ./internal/graph/... \
+		./internal/sched/...
 
 # The multi-process lane: the whole socket transport package under the race
 # detector (framing/control codecs, fault-injection matrix, cross-runtime
@@ -42,9 +44,12 @@ test-net:
 # Coverage floors on the packages the incremental replanning subsystem lives
 # in — new code there must arrive tested. Floors sit a few points under the
 # current numbers (core 96%, graph 97%, cluster 91%) so routine churn passes
-# while an untested subsystem landing in one of them fails the gate.
+# while an untested subsystem landing in one of them fails the gate. The
+# scheduler package holds a 90% floor (currently 100%): its decisions must
+# replay bit-identically on three runtimes, so untested branches there are
+# cross-runtime divergence waiting to happen.
 cover:
-	@for spec in ./internal/core:90 ./internal/graph:90 ./internal/cluster:85 ./internal/net:85; do \
+	@for spec in ./internal/core:90 ./internal/graph:90 ./internal/cluster:85 ./internal/net:85 ./internal/sched:90; do \
 		pkg=$${spec%:*}; floor=$${spec##*:}; \
 		line=$$($(GO) test -cover $$pkg) || { echo "$$line"; exit 1; }; \
 		pct=$$(echo "$$line" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
@@ -65,6 +70,7 @@ fuzz:
 	$(GO) test ./internal/wire/ -run '^$$' -fuzz '^FuzzBatchRoundtrip$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/graph/ -run '^$$' -fuzz '^FuzzDiffDBGs$$' -fuzztime=$(FUZZTIME)
 	$(GO) test ./internal/net/ -run '^$$' -fuzz '^FuzzFrameDecoder$$' -fuzztime=$(FUZZTIME)
+	$(GO) test ./internal/net/ -run '^$$' -fuzz '^FuzzSchedUpdate$$' -fuzztime=$(FUZZTIME)
 
 # Short fuzz pass for the verify gate / CI.
 fuzz-smoke:
@@ -82,12 +88,15 @@ verify: build vet test race test-net cover fuzz-smoke
 # is preserved by the merge). The planning-pipeline benchmarks (one-sweep DBG
 # extraction + concurrent plan builds + EEP sweep, plus the 100k-preset
 # dirty-fraction replan sweep BenchmarkReplan100K*) refresh BENCH_plan.json
-# the same way.
+# the same way. The scheduler-overhead rows (per-boundary merge+decide cost
+# across pair counts) land in BENCH_plan.json under "sched".
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkClusterRound|BenchmarkEngineExchange' -benchmem . ./internal/worker/ \
 		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_worker.json -key after
 	$(GO) test -run '^$$' -bench 'BenchmarkAllDBGs|BenchmarkPlanPipeline|BenchmarkReplan' -benchmem . \
 		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_plan.json -key after
+	$(GO) test -run '^$$' -bench 'BenchmarkSchedDecide' -benchmem ./internal/sched/ \
+		| $(GO) run ./cmd/scgnn-benchjson -o BENCH_plan.json -key sched
 
 # The round hot-path lane: per-worker local aggregation and full semantic
 # rounds at the 10k/100k scale presets, kernel and reference variants in

@@ -34,6 +34,7 @@ import (
 	"scgnn/internal/gnn"
 	"scgnn/internal/net"
 	"scgnn/internal/partition"
+	"scgnn/internal/sched"
 )
 
 func fatal(err error) {
@@ -58,6 +59,12 @@ func main() {
 		seed    = flag.Int64("seed", 1, "random seed")
 		ckPath  = flag.String("checkpoint", "", "checkpoint file, written at every epoch boundary (resumes if it exists)")
 		verbose = flag.Bool("v", false, "print per-epoch progress")
+
+		schedOn      = flag.Bool("sched", false, "variable-rate scheduling: the coordinator gathers per-pair signals each epoch and anneals every pair from sampling+quant4 up to the chosen method")
+		schedPace    = flag.Int("sched-epochs-per-level", 0, "scheduler: epochs per annealing rung (0 = default 2)")
+		schedStagger = flag.Int("sched-stagger", 0, "scheduler: spread pair transitions over up to this many extra epochs (0 = default 1, negative = none)")
+		schedBits    = flag.Float64("sched-bits-trigger", 0, "scheduler: mean adaptive bit width that accelerates a pair one rung (0 = default 6)")
+		schedEF      = flag.Float64("sched-ef-trigger", 0, "scheduler: error-feedback corrections per unit that accelerate a pair one rung (0 = default 64)")
 	)
 	flag.Parse()
 
@@ -104,6 +111,13 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "scgnn-coord: unknown method %q\n", *method)
 		os.Exit(2)
+	}
+	if *schedOn {
+		// The per-pair stagger offsets derive from the config seed, so pin it:
+		// same seed → same schedule on any runtime.
+		cfg.Seed = *seed
+		cfg.Sched = sched.Policy{Enabled: true, EpochsPerLevel: *schedPace,
+			Stagger: *schedStagger, BitsTrigger: *schedBits, EFTrigger: *schedEF}
 	}
 
 	coord := net.NewCoordinator(addrs, net.CoordOptions{})

@@ -22,6 +22,15 @@ type AdaptiveQuantizer struct {
 	ErrorBudget float64
 	// LastBits records the width chosen by the most recent Roundtrip.
 	LastBits int
+	// BitsSum and Calls accumulate every ChooseBits outcome since the
+	// quantizer was created: Calls counts allocation decisions, BitsSum their
+	// chosen widths. The variable-rate scheduler reads the pair (BitsSum ≥
+	// trigger·Calls means the payload stream wants wide words, so annealing
+	// toward finer rungs may accelerate). Both are integers on purpose:
+	// replicas that never encode a pair hold zeros, so a coordinator can merge
+	// per-node snapshots by summation without double counting.
+	BitsSum int64
+	Calls   int64
 }
 
 // NewAdaptiveQuantizer validates the range and returns the quantizer.
@@ -58,6 +67,8 @@ func (q *AdaptiveQuantizer) ChooseBits(v []float64) int {
 		}
 	}
 	q.LastBits = bits
+	q.BitsSum += int64(bits)
+	q.Calls++
 	return bits
 }
 

@@ -36,6 +36,7 @@ import (
 	"scgnn/internal/compress"
 	"scgnn/internal/core"
 	"scgnn/internal/graph"
+	"scgnn/internal/sched"
 	"scgnn/internal/simnet"
 	"scgnn/internal/tensor"
 )
@@ -76,6 +77,15 @@ type Config struct {
 	// Seed drives sampling. Every ordered partition pair derives its own
 	// decorrelated child stream from this seed.
 	Seed int64
+	// Sched enables variable-rate communication scheduling: every ordered
+	// pair starts on the most aggressive rung of sched.Ladder(base) — where
+	// base is this Config's own sampling/quantization/EF gates — and anneals
+	// toward the base as epochs pass and signals fire. Decisions are pure
+	// functions of (epoch, per-pair signals, Seed), so every runtime and
+	// every replica picks the identical schedule. Semantic grouping and
+	// delayed transmission stay global (plans and whole-round delay caches
+	// cannot vary per pair).
+	Sched sched.Policy
 	// BytesPerValue is the wire size of an unquantized value (default 4,
 	// mirroring fp32 training payloads).
 	BytesPerValue int
@@ -125,10 +135,28 @@ func (c Config) MethodName() string {
 	if c.ErrorFeedback && c.QuantBits > 0 && c.QuantBits < 32 {
 		parts = append(parts, "ef")
 	}
-	if len(parts) == 0 {
-		return "vanilla"
+	name := "vanilla"
+	if len(parts) > 0 {
+		name = strings.Join(parts, "+")
 	}
-	return strings.Join(parts, "+")
+	if c.Sched.Enabled {
+		return "sched(" + name + ")"
+	}
+	return name
+}
+
+// BaseSetting projects the config's per-pair compression gates onto the
+// scheduler's Setting — the final rung of the annealing ladder. The worker
+// runtime uses the same projection so both runtimes anneal toward the
+// identical base.
+func (c Config) BaseSetting() sched.Setting {
+	return sched.Setting{
+		SampleRate:  c.SampleRate,
+		SampleNodes: c.SampleNodes,
+		QuantBits:   c.QuantBits,
+		Adaptive:    c.AdaptiveQuant,
+		EF:          c.ErrorFeedback,
+	}
 }
 
 // Vanilla returns the uncompressed baseline configuration.
@@ -154,6 +182,7 @@ func Semantic(plan core.PlanConfig) Config { return Config{Semantic: true, Plan:
 type pairState struct {
 	sampler     *compress.Sampler
 	nodeSampler *compress.NodeSampler
+	quant       *compress.Quantizer
 	adaptive    *compress.AdaptiveQuantizer
 	ef          *compress.ErrorFeedback
 }
@@ -244,12 +273,14 @@ type Engine struct {
 	// pass (gradients flow dst→src through the same semantics).
 	revGroups [][]*core.Group
 
-	// quant is stateless (bit width only) and shared across shards; all
-	// stateful compression lives in pairs.
-	quant *compress.Quantizer
-	// pairs[s*nparts+t] holds per-pair samplers, adaptive quantizers, and
-	// error-feedback stores.
+	// pairs[s*nparts+t] holds per-pair samplers, quantizers, adaptive
+	// quantizers, and error-feedback stores. Fixed-width quantizers are
+	// per-pair (not shared) because the variable-rate scheduler can put
+	// every pair on a different rung.
 	pairs []pairState
+	// sched holds the variable-rate schedule state (nil when disabled);
+	// initPairState reads the pair's current rung from it.
+	sched *sched.Scheduler
 
 	delay *compress.DelayCache
 	// freshEval forces the next rounds to bypass delayed transmission —
@@ -309,8 +340,8 @@ func NewEngine(g *graph.Graph, part []int, nparts int, cfg Config) *Engine {
 			e.installPlan(idx)
 		}
 	}
-	if cfg.QuantBits > 0 && cfg.QuantBits < 32 && !cfg.AdaptiveQuant {
-		e.quant = compress.NewQuantizer(cfg.QuantBits)
+	if cfg.Sched.Enabled {
+		e.sched = sched.New(cfg.Sched, cfg.BaseSetting(), cfg.Seed, nparts*nparts)
 	}
 	e.pairs = make([]pairState, nparts*nparts)
 	for idx := range e.pairs {
@@ -358,13 +389,23 @@ func (e *Engine) installPlan(idx int) {
 	e.revGroups[idx] = core.ReverseGroups(p)
 }
 
-// initPairState (re)creates pair idx's stateful compression from scratch:
-// the sampler restarts its DeriveSeed(seed, idx) stream at the beginning,
-// the adaptive quantizer and error-feedback store drop their history. Used
-// at construction for every pair and by Repartition for dirty pairs only —
-// a freshly re-seeded pair behaves exactly like the same pair in a brand-new
-// engine, which is what keeps engine and worker-cluster repartitions
-// equivalent.
+// pairSetting resolves the compression gates pair idx currently runs: the
+// scheduler's rung when variable-rate scheduling is on, else the config's
+// static gates.
+func (e *Engine) pairSetting(idx int) sched.Setting {
+	if e.sched != nil {
+		return e.sched.Setting(idx)
+	}
+	return e.cfg.BaseSetting()
+}
+
+// initPairState (re)creates pair idx's stateful compression from scratch
+// under its current setting: the sampler restarts its DeriveSeed(seed, idx)
+// stream at the beginning, the quantizers and error-feedback store drop
+// their history. Used at construction for every pair, by Repartition for
+// dirty pairs, and by the scheduler whenever a pair changes rung — a freshly
+// re-seeded pair behaves exactly like the same pair in a brand-new engine,
+// which is what keeps engine and worker-cluster reconfigurations equivalent.
 func (e *Engine) initPairState(idx int) {
 	ps := &e.pairs[idx]
 	*ps = pairState{}
@@ -372,24 +413,28 @@ func (e *Engine) initPairState(idx int) {
 	if s == t {
 		return
 	}
-	cfg := e.cfg
-	if cfg.SampleRate > 0 && cfg.SampleRate < 1 {
-		pairSeed := compress.DeriveSeed(cfg.Seed, idx)
-		if cfg.SampleNodes {
-			ps.nodeSampler = compress.NewNodeSampler(cfg.SampleRate, pairSeed)
+	st := e.pairSetting(idx)
+	if st.SampleRate > 0 && st.SampleRate < 1 {
+		pairSeed := compress.DeriveSeed(e.cfg.Seed, idx)
+		if st.SampleNodes {
+			ps.nodeSampler = compress.NewNodeSampler(st.SampleRate, pairSeed)
 		} else {
-			ps.sampler = compress.NewSampler(cfg.SampleRate, pairSeed)
+			ps.sampler = compress.NewSampler(st.SampleRate, pairSeed)
 		}
 	}
-	if cfg.QuantBits > 0 && cfg.QuantBits < 32 && cfg.AdaptiveQuant {
-		minBits := 2
-		if cfg.QuantBits < minBits {
-			minBits = cfg.QuantBits
+	if st.QuantBits > 0 && st.QuantBits < 32 {
+		if st.Adaptive {
+			minBits := 2
+			if st.QuantBits < minBits {
+				minBits = st.QuantBits
+			}
+			ps.adaptive = compress.NewAdaptiveQuantizer(minBits, st.QuantBits, 0)
+		} else {
+			ps.quant = compress.NewQuantizer(st.QuantBits)
 		}
-		ps.adaptive = compress.NewAdaptiveQuantizer(minBits, cfg.QuantBits, 0)
-	}
-	if cfg.ErrorFeedback && cfg.QuantBits > 0 && cfg.QuantBits < 32 {
-		ps.ef = compress.NewErrorFeedback()
+		if st.EF {
+			ps.ef = compress.NewErrorFeedback()
+		}
 	}
 }
 
@@ -454,8 +499,18 @@ func (e *Engine) Plans() []*core.PairPlan {
 func (e *Engine) Config() Config { return e.cfg }
 
 // StartEpoch resets the per-epoch counters; must be called before each
-// training epoch.
+// training epoch. When variable-rate scheduling is on, the epoch boundary is
+// also the decision point: the scheduler reads every pair's signal snapshot,
+// runs the pure decision function, and each pair whose rung changed is
+// re-seeded from scratch — the same reconfiguration contract Repartition
+// applies to dirty pairs. Rung changes never touch the delay cache (delay
+// slots hold whole-round aggregates, which scheduling does not vary).
 func (e *Engine) StartEpoch(epoch int) {
+	if e.sched != nil {
+		for _, idx := range e.sched.Advance(epoch, e.collectSignals()) {
+			e.initPairState(idx)
+		}
+	}
 	e.epoch = epoch
 	e.round = 0
 	e.freshEval = false
@@ -467,6 +522,40 @@ func (e *Engine) StartEpoch(epoch int) {
 	if e.delay != nil {
 		e.delay.ResetCounters()
 	}
+}
+
+// collectSignals snapshots every pair's scheduler-visible counters (see the
+// sched package's signal contract). All counters are cumulative since the
+// pair's stream was last (re)seeded.
+func (e *Engine) collectSignals() []sched.Signals {
+	sigs := make([]sched.Signals, len(e.pairs))
+	for idx := range e.pairs {
+		ps := &e.pairs[idx]
+		sg := &sigs[idx]
+		if ps.sampler != nil {
+			sg.Draws = ps.sampler.Draws()
+		}
+		if ps.adaptive != nil {
+			sg.BitsSum = ps.adaptive.BitsSum
+			sg.BitsCalls = ps.adaptive.Calls
+			sg.LastBits = ps.adaptive.LastBits
+		}
+		if ps.ef != nil {
+			sg.EFUnits = int64(ps.ef.Units())
+			sg.EFCorrected = ps.ef.Corrected
+			sg.ResidualNorm = ps.ef.ResidualNorm()
+		}
+	}
+	return sigs
+}
+
+// ScheduleLevels returns a copy of the current per-pair rung levels, or nil
+// when variable-rate scheduling is disabled.
+func (e *Engine) ScheduleLevels() []int {
+	if e.sched == nil {
+		return nil
+	}
+	return e.sched.Levels()
 }
 
 // StartEvalEpoch prepares a measurement-only forward pass: counters reset as
@@ -987,8 +1076,8 @@ func (e *Engine) sendPayload(ps *pairState, sh *shard, from, to, round int, unit
 	}
 	var bytes int
 	switch {
-	case e.quant != nil:
-		bytes = e.quant.Roundtrip(payload)
+	case ps.quant != nil:
+		bytes = ps.quant.Roundtrip(payload)
 		sh.quantValues += int64(len(payload))
 	case ps.adaptive != nil:
 		bytes = ps.adaptive.Roundtrip(payload)

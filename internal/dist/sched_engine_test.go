@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"testing"
+
+	"scgnn/internal/core"
+	"scgnn/internal/sched"
+)
+
+// schedBases are the base configurations the scheduled-engine tests anneal
+// toward: a plain quantized exchange, the full SC-GNN composition, and a
+// vanilla base (where the ladder still starts aggressive and relaxes to
+// uncompressed).
+func schedBases(seed int64) map[string]Config {
+	policy := sched.Policy{Enabled: true}
+	return map[string]Config{
+		"sched(quant8)": {QuantBits: 8, Seed: seed, Sched: policy},
+		"sched(semantic+quant+ef)": {Semantic: true,
+			Plan:      core.PlanConfig{Grouping: core.GroupingConfig{Seed: seed}},
+			QuantBits: 8, ErrorFeedback: true, Seed: seed, Sched: policy},
+		"sched(vanilla)": {Seed: seed, Sched: policy},
+	}
+}
+
+// TestScheduledWorkersInvariance: variable-rate scheduling must preserve the
+// engine's Workers-invariance guarantee — for any Workers value the per-epoch
+// schedule decisions, outputs, and traffic snapshots are bit-identical. The
+// per-pair signals feeding Decide (sampler draws, adaptive bit sums, EF
+// counters) are all accumulated on single-owner pair state, so the parallel
+// schedule cannot perturb them.
+func TestScheduledWorkersInvariance(t *testing.T) {
+	d, part := smallSetup(t)
+	const nparts = 3
+	h := randMat(d.NumNodes(), 5, 41)
+	g := randMat(d.NumNodes(), 5, 42)
+
+	for name, cfg := range schedBases(7) {
+		seqCfg, parCfg, rowCfg := cfg, cfg, cfg
+		seqCfg.Workers = 1
+		parCfg.Workers = 4
+		rowCfg.Workers = 64
+		seq := NewEngine(d.Graph, part, nparts, seqCfg)
+		par := NewEngine(d.Graph, part, nparts, parCfg)
+		row := NewEngine(d.Graph, part, nparts, rowCfg)
+		engines := []*Engine{seq, par, row}
+		for epoch := 0; epoch < 10; epoch++ {
+			for _, e := range engines {
+				e.StartEpoch(epoch)
+			}
+			want := seq.ScheduleLevels()
+			for _, e := range engines[1:] {
+				got := e.ScheduleLevels()
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s epoch %d workers=%d: pair %d level %d, want %d",
+							name, epoch, e.cfg.Workers, i, got[i], want[i])
+					}
+				}
+			}
+			fSeq := seq.Forward(h)
+			bitEqual(t, name, epoch, "forward/par", fSeq, par.Forward(h))
+			bitEqual(t, name, epoch, "forward/row", fSeq, row.Forward(h))
+			bSeq := seq.Backward(g)
+			bitEqual(t, name, epoch, "backward/par", bSeq, par.Backward(g))
+			bitEqual(t, name, epoch, "backward/row", bSeq, row.Backward(g))
+			ss := seq.CaptureEpoch()
+			if ps := par.CaptureEpoch(); ss != ps {
+				t.Fatalf("%s epoch %d: snapshots differ:\nseq %+v\npar %+v", name, epoch, ss, ps)
+			}
+			if rs := row.CaptureEpoch(); ss != rs {
+				t.Fatalf("%s epoch %d: row snapshot differs:\nseq %+v\nrow %+v", name, epoch, ss, rs)
+			}
+		}
+	}
+}
+
+// TestScheduledAnnealsToBase: the epoch-driven floor must march every pair to
+// the base rung, after which the scheduled engine's traffic is bit-identical
+// to an unscheduled engine that always ran the base config — the terminal
+// state of the anneal IS the base configuration, freshly reseeded.
+func TestScheduledAnnealsToBase(t *testing.T) {
+	d, part := smallSetup(t)
+	const nparts = 3
+	h := randMat(d.NumNodes(), 5, 51)
+	g := randMat(d.NumNodes(), 5, 52)
+
+	cfg := Config{QuantBits: 8, ErrorFeedback: true, Seed: 11,
+		Sched: sched.Policy{Enabled: true, EpochsPerLevel: 1, Stagger: -1}}
+	eng := NewEngine(d.Graph, part, nparts, cfg)
+	maxLevel := len(sched.Ladder(cfg.BaseSetting())) - 1
+
+	prev := eng.ScheduleLevels()
+	converged := -1
+	for epoch := 0; epoch < 8; epoch++ {
+		eng.StartEpoch(epoch)
+		lv := eng.ScheduleLevels()
+		all := true
+		for i := range lv {
+			if lv[i] < prev[i] {
+				t.Fatalf("epoch %d: pair %d level dropped %d→%d", epoch, i, prev[i], lv[i])
+			}
+			if lv[i] != maxLevel {
+				all = false
+			}
+		}
+		prev = lv
+		if all && converged < 0 {
+			converged = epoch
+		}
+		eng.Forward(h)
+		eng.Backward(g)
+		eng.CaptureEpoch()
+	}
+	if converged < 0 {
+		t.Fatalf("schedule never reached the base rung; levels %v", prev)
+	}
+
+	// From the convergence epoch on, a base-config engine whose pair streams
+	// are equally fresh must produce the identical exchange. Reseeding the
+	// base engine happens implicitly: its pairs were never sampled (base has
+	// no sampler) and EF state resets on rung change, so compare an engine
+	// built fresh and fast-forwarded through the post-convergence epochs.
+	base := cfg
+	base.Sched = sched.Policy{}
+	be := NewEngine(d.Graph, part, nparts, base)
+	se := NewEngine(d.Graph, part, nparts, cfg)
+	for epoch := 0; epoch < converged; epoch++ {
+		se.StartEpoch(epoch)
+		se.Forward(h)
+		se.Backward(g)
+	}
+	// One more boundary so the scheduled engine's changed pairs reseed at the
+	// convergence epoch — from here the two engines' streams line up.
+	se.StartEpoch(converged)
+	be.StartEpoch(converged)
+	fs, fb := se.Forward(h), be.Forward(h)
+	bitEqual(t, "converged", converged, "forward", fb, fs)
+	bitEqual(t, "converged", converged, "backward", be.Backward(g), se.Backward(g))
+	ss, bs := se.CaptureEpoch(), be.CaptureEpoch()
+	if ss != bs {
+		t.Fatalf("converged snapshots differ:\nsched %+v\nbase  %+v", ss, bs)
+	}
+}
+
+// TestScheduledEarlyEpochsCheaper: the point of the anneal — rung-0 epochs
+// must communicate strictly fewer bytes than the base configuration.
+func TestScheduledEarlyEpochsCheaper(t *testing.T) {
+	d, part := smallSetup(t)
+	const nparts = 3
+	h := randMat(d.NumNodes(), 5, 61)
+
+	base := Config{QuantBits: 8, Seed: 13}
+	schedCfg := base
+	schedCfg.Sched = sched.Policy{Enabled: true, EpochsPerLevel: 4}
+	be := NewEngine(d.Graph, part, nparts, base)
+	se := NewEngine(d.Graph, part, nparts, schedCfg)
+	be.StartEpoch(0)
+	se.StartEpoch(0)
+	be.Forward(h)
+	se.Forward(h)
+	bb, sb := be.CaptureEpoch().TotalBytes, se.CaptureEpoch().TotalBytes
+	if sb >= bb {
+		t.Fatalf("scheduled epoch 0 bytes %d, want < base %d", sb, bb)
+	}
+}
+
+// TestScheduledRepartition: a mid-anneal repartition reseeds dirty pairs'
+// compression but must not disturb the schedule itself, and the
+// Workers-invariance guarantee must hold straight through the boundary
+// change.
+func TestScheduledRepartition(t *testing.T) {
+	d, part := smallSetup(t)
+	const nparts = 3
+	h := randMat(d.NumNodes(), 5, 71)
+	g := randMat(d.NumNodes(), 5, 72)
+
+	cfg := Config{Semantic: true,
+		Plan:      core.PlanConfig{Grouping: core.GroupingConfig{Seed: 5}},
+		QuantBits: 8, ErrorFeedback: true, Seed: 5,
+		Sched: sched.Policy{Enabled: true}}
+	seqCfg, rowCfg := cfg, cfg
+	seqCfg.Workers = 1
+	rowCfg.Workers = 16
+	seq := NewEngine(d.Graph, part, nparts, seqCfg)
+	row := NewEngine(d.Graph, part, nparts, rowCfg)
+
+	part2 := append([]int(nil), part...)
+	moved := 0
+	for u := 0; u < len(part2) && moved < 12; u += 10 {
+		part2[u] = (part2[u] + 1) % nparts
+		moved++
+	}
+
+	for epoch := 0; epoch < 8; epoch++ {
+		if epoch == 3 {
+			before := seq.ScheduleLevels()
+			d1, err := seq.Repartition(part2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			d2, err := row.Repartition(part2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(d1) != len(d2) {
+				t.Fatalf("dirty sets differ: %v vs %v", d1, d2)
+			}
+			after := seq.ScheduleLevels()
+			for i := range before {
+				if before[i] != after[i] {
+					t.Fatalf("repartition changed pair %d level %d→%d", i, before[i], after[i])
+				}
+			}
+		}
+		seq.StartEpoch(epoch)
+		row.StartEpoch(epoch)
+		bitEqual(t, "sched-repart", epoch, "forward", seq.Forward(h), row.Forward(h))
+		bitEqual(t, "sched-repart", epoch, "backward", seq.Backward(g), row.Backward(g))
+		if ss, rs := seq.CaptureEpoch(), row.CaptureEpoch(); ss != rs {
+			t.Fatalf("epoch %d: snapshots differ:\nseq %+v\nrow %+v", epoch, ss, rs)
+		}
+	}
+}
+
+// TestScheduledMethodName pins the "sched(base)" rendering.
+func TestScheduledMethodName(t *testing.T) {
+	cfg := Config{Semantic: true, QuantBits: 8, Sched: sched.Policy{Enabled: true}}
+	if got := cfg.MethodName(); got != "sched(semantic+quant)" {
+		t.Fatalf("MethodName = %q", got)
+	}
+	if got := (Config{Sched: sched.Policy{Enabled: true}}).MethodName(); got != "sched(vanilla)" {
+		t.Fatalf("vanilla MethodName = %q", got)
+	}
+}

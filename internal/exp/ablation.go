@@ -2,7 +2,6 @@ package exp
 
 import (
 	"math/rand"
-	"sort"
 
 	"scgnn/internal/core"
 	"scgnn/internal/dist"
@@ -253,15 +252,9 @@ func AblCodec(o Options) *Report {
 	tb := trace.NewTable("ablation: codec refinements",
 		"method", "comm MB/epoch", "test acc")
 
-	plan := core.PlanConfig{Grouping: core.GroupingConfig{Seed: o.Seed}}
-	cfgs := []dist.Config{
-		{},
-		{QuantBits: 4},
-		{QuantBits: 4, AdaptiveQuant: true},
-		{QuantBits: 4, ErrorFeedback: true},
-		{Semantic: true, Plan: plan, QuantBits: 4},
-		{Semantic: true, Plan: plan, QuantBits: 4, ErrorFeedback: true},
-	}
+	cfgs := laneList(o.Seed,
+		"vanilla", "quant4", "quant4+adaptive", "quant4+ef",
+		"semantic+quant4", "semantic+quant+ef")
 	for _, cfg := range cfgs {
 		res := dist.Run(ds, part, o.Partitions, cfg, runCfg(o))
 		tb.AddRow(res.Method, res.MBPerEpoch(), res.TestAcc)
@@ -282,12 +275,8 @@ func AblRuntime(o Options) *Report {
 	tb := trace.NewTable("ablation: sequential engine vs goroutine workers",
 		"dataset", "method", "engine bytes", "wire bytes", "match")
 
-	matrix := dist.MethodMatrix(o.Seed)
-	names := make([]string, 0, len(matrix))
-	for name := range matrix {
-		names = append(names, name)
-	}
-	sort.Strings(names)
+	lanes := Lanes(o.Seed)
+	names := matrixLaneNames(o.Seed)
 
 	for _, ds := range benchDatasets(o) {
 		part := partitionFor(ds, o.Partitions, o.Seed)
@@ -297,7 +286,7 @@ func AblRuntime(o Options) *Report {
 			h.Data[i] = float64(float32(rng.NormFloat64()))
 		}
 		for _, name := range names {
-			cfg := matrix[name]
+			cfg := lanes[name]
 			eng := dist.NewEngine(ds.Graph, part, o.Partitions, cfg)
 			cl := worker.NewClusterFromConfig(ds.Graph, part, o.Partitions, cfg)
 			var engBytes int64

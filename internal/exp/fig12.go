@@ -1,7 +1,6 @@
 package exp
 
 import (
-	"scgnn/internal/core"
 	"scgnn/internal/datasets"
 	"scgnn/internal/dist"
 	"scgnn/internal/trace"
@@ -52,17 +51,15 @@ func Fig12b(o Options) *Report {
 	tb := trace.NewTable("Fig. 12(b): method compatibility",
 		"combo", "comm MB/epoch", "norm volume", "test acc")
 
-	plan := core.PlanConfig{Grouping: core.GroupingConfig{Seed: o.Seed}}
-	combos := []dist.Config{
-		{},                           // vanilla reference
-		{Semantic: true, Plan: plan}, // ours
-		{Semantic: true, Plan: plan, QuantBits: 8},
-		{Semantic: true, Plan: plan, DelayPeriod: 2},
-		{Semantic: true, Plan: plan, SampleRate: 0.5, Seed: o.Seed},
-		{SampleRate: 0.5, QuantBits: 8, Seed: o.Seed},
-		{SampleRate: 0.5, DelayPeriod: 2, Seed: o.Seed},
-		{QuantBits: 8, DelayPeriod: 2},
-	}
+	combos := laneList(o.Seed,
+		"vanilla",
+		"semantic", // ours
+		"semantic+quant",
+		"semantic+delay",
+		"semantic+sampling",
+		"sampling+quant8",
+		"sampling+delay2",
+		"quant8+delay2")
 
 	var vanBytes float64
 	for i, cfg := range combos {

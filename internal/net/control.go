@@ -8,6 +8,7 @@ import (
 
 	"scgnn/internal/core"
 	"scgnn/internal/dist"
+	"scgnn/internal/sched"
 )
 
 // Control-message codecs: hand-rolled little-endian encoders with fully
@@ -253,6 +254,12 @@ type WireConfig struct {
 	PlanSeed                                 int64
 	UniformWeights                           bool
 	DropO2O, DropO2M, DropM2O, DropM2M       bool
+
+	SchedEnabled        bool
+	SchedEpochsPerLevel int32
+	SchedStagger        int32
+	SchedBitsTrigger    float64
+	SchedEFTrigger      float64
 }
 
 // FlattenConfig projects a dist.Config onto the wire fields.
@@ -272,6 +279,11 @@ func FlattenConfig(cfg dist.Config) WireConfig {
 		PlanMaxPivots: int32(g.MaxPivots), PlanSeed: g.Seed,
 		UniformWeights: cfg.Plan.UniformWeights,
 		DropO2O:        d.O2O, DropO2M: d.O2M, DropM2O: d.M2O, DropM2M: d.M2M,
+		SchedEnabled:        cfg.Sched.Enabled,
+		SchedEpochsPerLevel: int32(cfg.Sched.EpochsPerLevel),
+		SchedStagger:        int32(cfg.Sched.Stagger),
+		SchedBitsTrigger:    cfg.Sched.BitsTrigger,
+		SchedEFTrigger:      cfg.Sched.EFTrigger,
 	}
 }
 
@@ -294,6 +306,13 @@ func (c WireConfig) Config() dist.Config {
 		ErrorFeedback: c.ErrorFeedback,
 		DelayPeriod:   int(c.DelayPeriod),
 		Seed:          c.Seed,
+		Sched: sched.Policy{
+			Enabled:        c.SchedEnabled,
+			EpochsPerLevel: int(c.SchedEpochsPerLevel),
+			Stagger:        int(c.SchedStagger),
+			BitsTrigger:    c.SchedBitsTrigger,
+			EFTrigger:      c.SchedEFTrigger,
+		},
 	}
 }
 
@@ -316,6 +335,11 @@ func (c WireConfig) encodeInto(w *cwriter) {
 	w.bool(c.DropO2M)
 	w.bool(c.DropM2O)
 	w.bool(c.DropM2M)
+	w.bool(c.SchedEnabled)
+	w.i32(c.SchedEpochsPerLevel)
+	w.i32(c.SchedStagger)
+	w.f64(c.SchedBitsTrigger)
+	w.f64(c.SchedEFTrigger)
 }
 
 func decodeWireConfig(r *creader) WireConfig {
@@ -338,6 +362,12 @@ func decodeWireConfig(r *creader) WireConfig {
 		DropO2M:        r.bool(),
 		DropM2O:        r.bool(),
 		DropM2M:        r.bool(),
+
+		SchedEnabled:        r.bool(),
+		SchedEpochsPerLevel: r.i32(),
+		SchedStagger:        r.i32(),
+		SchedBitsTrigger:    r.f64(),
+		SchedEFTrigger:      r.f64(),
 	}
 }
 
@@ -629,4 +659,114 @@ func decodeRemesh(p []byte) (Remesh, error) {
 	r := creader{b: p}
 	m := Remesh{Seq: r.u64(), Gen: r.u32()}
 	return m, r.done()
+}
+
+// SchedSig carries one node's per-pair scheduler signals (the integer-exact
+// counters of the sched package's signal contract, flattened into parallel
+// nparts² vectors in pair-index order). The coordinator's request ships empty
+// vectors; the node's response fills them. Diagnostics-only floats are
+// deliberately not on the wire: the decision function may not read them, so
+// the protocol cannot carry them into a decision by accident.
+type SchedSig struct {
+	Seq         uint64
+	Draws       []int64
+	BitsSum     []int64
+	BitsCalls   []int64
+	EFUnits     []int64
+	EFCorrected []int64
+	Err         string
+}
+
+func (m SchedSig) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.i64s(m.Draws)
+	w.i64s(m.BitsSum)
+	w.i64s(m.BitsCalls)
+	w.i64s(m.EFUnits)
+	w.i64s(m.EFCorrected)
+	w.str(m.Err)
+	return w.b
+}
+
+func decodeSchedSig(p []byte) (SchedSig, error) {
+	r := creader{b: p}
+	m := SchedSig{
+		Seq:         r.u64(),
+		Draws:       r.i64s(),
+		BitsSum:     r.i64s(),
+		BitsCalls:   r.i64s(),
+		EFUnits:     r.i64s(),
+		EFCorrected: r.i64s(),
+		Err:         r.str(),
+	}
+	if err := r.done(); err != nil {
+		return SchedSig{}, err
+	}
+	n := len(m.Draws)
+	if len(m.BitsSum) != n || len(m.BitsCalls) != n || len(m.EFUnits) != n || len(m.EFCorrected) != n {
+		return SchedSig{}, fmt.Errorf("%w: sched signal vectors %d/%d/%d/%d/%d must agree",
+			errBadControl, n, len(m.BitsSum), len(m.BitsCalls), len(m.EFUnits), len(m.EFCorrected))
+	}
+	return m, nil
+}
+
+// signals converts the wire vectors to the sched package's per-pair view.
+func (m SchedSig) signals() []sched.Signals {
+	out := make([]sched.Signals, len(m.Draws))
+	for i := range out {
+		out[i] = sched.Signals{
+			Draws: m.Draws[i], BitsSum: m.BitsSum[i], BitsCalls: m.BitsCalls[i],
+			EFUnits: m.EFUnits[i], EFCorrected: m.EFCorrected[i],
+		}
+	}
+	return out
+}
+
+// schedSigFrom flattens a node's signal snapshot onto the wire vectors.
+func schedSigFrom(seq uint64, sigs []sched.Signals) SchedSig {
+	m := SchedSig{
+		Seq:         seq,
+		Draws:       make([]int64, len(sigs)),
+		BitsSum:     make([]int64, len(sigs)),
+		BitsCalls:   make([]int64, len(sigs)),
+		EFUnits:     make([]int64, len(sigs)),
+		EFCorrected: make([]int64, len(sigs)),
+	}
+	for i, s := range sigs {
+		m.Draws[i], m.BitsSum[i], m.BitsCalls[i] = s.Draws, s.BitsSum, s.BitsCalls
+		m.EFUnits[i], m.EFCorrected[i] = s.EFUnits, s.EFCorrected
+	}
+	return m
+}
+
+// SchedUpdate broadcasts the coordinator's decided per-pair rung levels for
+// epoch Epoch. Every node applies them before processing the epoch frame, so
+// the fleet reconfigures on the same boundary the self-advancing runtimes do.
+type SchedUpdate struct {
+	Seq    uint64
+	Epoch  int32
+	Levels []int32
+}
+
+func (m SchedUpdate) encode() []byte {
+	var w cwriter
+	w.u64(m.Seq)
+	w.i32(m.Epoch)
+	w.i32s(m.Levels)
+	return w.b
+}
+
+func decodeSchedUpdate(p []byte) (SchedUpdate, error) {
+	r := creader{b: p}
+	m := SchedUpdate{Seq: r.u64(), Epoch: r.i32(), Levels: r.i32s()}
+	if err := r.done(); err != nil {
+		return SchedUpdate{}, err
+	}
+	for i, lv := range m.Levels {
+		if lv < 0 {
+			return SchedUpdate{}, fmt.Errorf("%w: pair %d schedule level %d", errBadControl, i, lv)
+		}
+	}
+	return m, nil
 }

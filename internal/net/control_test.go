@@ -8,6 +8,7 @@ import (
 
 	"scgnn/internal/core"
 	"scgnn/internal/dist"
+	"scgnn/internal/sched"
 )
 
 // exampleConfig is a dist.Config exercising every flattened wire field.
@@ -26,6 +27,7 @@ func exampleConfig() dist.Config {
 		ErrorFeedback: true,
 		DelayPeriod:   3,
 		Seed:          7,
+		Sched:         sched.Policy{Enabled: true, EpochsPerLevel: 3, Stagger: 2, BitsTrigger: 5, EFTrigger: 32},
 	}
 }
 
@@ -113,6 +115,30 @@ func TestControlRoundtrips(t *testing.T) {
 	if err != nil || rm.Gen != 2 {
 		t.Fatalf("remesh: %+v, %v", rm, err)
 	}
+
+	sig := schedSigFrom(8, []sched.Signals{
+		{Draws: 3, BitsSum: 12, BitsCalls: 2, EFUnits: 1, EFCorrected: 9},
+		{Draws: 4},
+	})
+	gotSig, err := decodeSchedSig(sig.encode())
+	if err != nil || gotSig.Seq != 8 || len(gotSig.Draws) != 2 ||
+		gotSig.BitsSum[0] != 12 || gotSig.EFCorrected[0] != 9 || gotSig.Draws[1] != 4 {
+		t.Fatalf("sched-sig: %+v, %v", gotSig, err)
+	}
+	back := gotSig.signals()
+	if back[0].BitsCalls != 2 || back[1].Draws != 4 {
+		t.Fatalf("sched-sig signals: %+v", back)
+	}
+	// The request shape (empty vectors, just a Seq) round-trips too.
+	req, err := decodeSchedSig(SchedSig{Seq: 9}.encode())
+	if err != nil || req.Seq != 9 || req.Draws != nil {
+		t.Fatalf("sched-sig request: %+v, %v", req, err)
+	}
+
+	su, err := decodeSchedUpdate(SchedUpdate{Seq: 10, Epoch: 4, Levels: []int32{0, 2, 1, 3}}.encode())
+	if err != nil || su.Epoch != 4 || len(su.Levels) != 4 || su.Levels[1] != 2 {
+		t.Fatalf("sched-update: %+v, %v", su, err)
+	}
 }
 
 // TestControlValidation: structural invariants beyond field framing are
@@ -164,6 +190,14 @@ func TestControlValidation(t *testing.T) {
 	raw[len(raw)-1] = 2
 	if _, err := decodeEpoch(raw); !errors.Is(err, errBadControl) {
 		t.Errorf("bad bool: %v", err)
+	}
+	// Sched signal vectors of unequal length.
+	if _, err := decodeSchedSig(SchedSig{Draws: []int64{1, 2}, BitsSum: []int64{1}}.encode()); !errors.Is(err, errBadControl) {
+		t.Errorf("ragged sched-sig: %v", err)
+	}
+	// Negative schedule level.
+	if _, err := decodeSchedUpdate(SchedUpdate{Levels: []int32{0, -1}}.encode()); !errors.Is(err, errBadControl) {
+		t.Errorf("negative sched level: %v", err)
 	}
 }
 

@@ -10,8 +10,11 @@ import (
 
 	"scgnn/internal/dist"
 	"scgnn/internal/graph"
+	"scgnn/internal/persist"
+	"scgnn/internal/sched"
 	"scgnn/internal/simnet"
 	"scgnn/internal/tensor"
+	"scgnn/internal/worker"
 )
 
 // CoordOptions tunes the coordinator's transport behavior.
@@ -68,6 +71,7 @@ type Coordinator struct {
 	own    [][]int32
 	gen    uint32
 	seq    uint64
+	sched  *sched.Scheduler
 
 	fabric *simnet.Fabric
 	shard  *simnet.ShardCounter
@@ -200,6 +204,10 @@ func (c *Coordinator) Setup(g *graph.Graph, part []int, cfg dist.Config) error {
 	c.g = g
 	c.part = append([]int(nil), part...)
 	c.cfg = cfg
+	c.sched = nil
+	if cfg.Sched.Enabled {
+		c.sched = sched.New(cfg.Sched, cfg.BaseSetting(), cfg.Seed, c.nparts*c.nparts)
+	}
 	c.rebuildOwn()
 	return c.broadcast(func(i int) error { return c.setupNode(i) })
 }
@@ -232,17 +240,81 @@ func (c *Coordinator) rebuildOwn() {
 	}
 }
 
-// StartEpoch resets the per-epoch traffic capture and marks the epoch
-// boundary on every node.
+// StartEpoch resets the per-epoch traffic capture, runs the schedule step
+// (when variable-rate scheduling is on), and marks the epoch boundary on
+// every node. The schedule step must precede the epoch frame so nodes
+// reconfigure their pair streams on the same boundary the self-advancing
+// runtimes do.
 func (c *Coordinator) StartEpoch(epoch int) {
 	c.fabric.Reset()
+	c.mustSchedule(epoch)
 	c.mustBroadcastEpoch(Epoch{Epoch: int32(epoch)})
 }
 
-// StartEvalEpoch marks a measurement-only pass on every node.
+// StartEvalEpoch marks a measurement-only pass on every node. The schedule
+// still advances: the in-process runtimes run their epoch prologue on eval
+// passes too, and equivalence demands identical decision sequences.
 func (c *Coordinator) StartEvalEpoch(epoch int) {
 	c.fabric.Reset()
+	c.mustSchedule(epoch)
 	c.mustBroadcastEpoch(Epoch{Epoch: int32(epoch), Eval: true})
+}
+
+// mustSchedule performs one epoch-boundary schedule step: gather every
+// node's signal snapshot, merge them under the sched exactness contract, run
+// the pure decision function, and broadcast the decided levels. The gather
+// and the broadcast both fan out concurrently; the decision itself happens
+// once, on the coordinator, so the fleet cannot split-brain a schedule.
+func (c *Coordinator) mustSchedule(epoch int) {
+	if c.sched == nil {
+		return
+	}
+	c.seq++
+	seq := c.seq
+	perNode := make([][]sched.Signals, c.nparts)
+	err := c.broadcast(func(i int) error {
+		rft, resp, err := c.request(i, frameSchedSig, SchedSig{Seq: seq}.encode(), c.opts.RoundTimeout)
+		if err != nil {
+			return err
+		}
+		if rft != frameSchedSig {
+			return fmt.Errorf("node %d: %w: response type %d, want sched-sig", i, ErrProtocol, rft)
+		}
+		sig, err := decodeSchedSig(resp)
+		if err != nil {
+			return fmt.Errorf("node %d: %w", i, err)
+		}
+		if sig.Err != "" {
+			return fmt.Errorf("node %d: %w: %s", i, ErrRemote, sig.Err)
+		}
+		if len(sig.Draws) != c.nparts*c.nparts {
+			return fmt.Errorf("node %d: %w: %d pair signals, want %d",
+				i, ErrProtocol, len(sig.Draws), c.nparts*c.nparts)
+		}
+		perNode[i] = sig.signals()
+		return nil
+	})
+	if err != nil {
+		panic(fmt.Errorf("net: schedule signals: %w", err))
+	}
+	c.sched.Advance(epoch, sched.MergeNodeSignals(c.nparts, perNode))
+	c.seq++
+	m := SchedUpdate{Seq: c.seq, Epoch: int32(epoch), Levels: toInt32s(c.sched.Levels())}
+	err = c.broadcast(func(i int) error {
+		return c.requestAck(i, frameSchedUpdate, m.encode(), c.opts.RoundTimeout)
+	})
+	if err != nil {
+		panic(fmt.Errorf("net: schedule update: %w", err))
+	}
+}
+
+// ScheduleLevels returns the coordinator's current per-pair schedule levels
+// (nil when variable-rate scheduling is off).
+func (c *Coordinator) ScheduleLevels() []int {
+	if c.sched == nil {
+		return nil
+	}
+	return c.sched.Levels()
 }
 
 func (c *Coordinator) mustBroadcastEpoch(m Epoch) {
@@ -432,10 +504,26 @@ func (c *Coordinator) CollectStates() ([][]byte, error) {
 }
 
 // RestoreStates rewinds every node to the given checkpoint blobs (index =
-// partition id). Restoring also clears node-side round poisoning.
+// partition id). Restoring also clears node-side round poisoning. When
+// variable-rate scheduling is on, the coordinator's own decision-side levels
+// rewind too — recovered from node 0's blob, since every node's state carries
+// the identical level vector — so post-restore Advance calls see the same
+// prev levels an undisturbed run would.
 func (c *Coordinator) RestoreStates(blobs [][]byte) error {
 	if len(blobs) != c.nparts {
 		return fmt.Errorf("net: %d state blobs for %d nodes", len(blobs), c.nparts)
+	}
+	if c.sched != nil {
+		st := new(worker.PeerState)
+		if err := persist.DecodeCheckpoint(blobs[0], st); err != nil {
+			return fmt.Errorf("net: restore states: decode node 0 blob: %w", err)
+		}
+		if st.Levels == nil {
+			return errors.New("net: restore states: checkpoint carries no schedule levels but scheduling is on")
+		}
+		if _, err := c.sched.SetLevels(toInts(st.Levels)); err != nil {
+			return fmt.Errorf("net: restore states: %w", err)
+		}
 	}
 	c.seq++
 	seq := c.seq

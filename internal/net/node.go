@@ -389,6 +389,32 @@ func (n *Node) handleControl(conn stdnet.Conn, ft frameType, payload []byte) (sh
 			return false, err
 		}
 		return false, n.reply(conn, frameAck, Ack{Seq: m.Seq, Err: errString(n.buildMesh(m.Gen))}.encode())
+	case frameSchedSig:
+		m, err := decodeSchedSig(payload)
+		if err != nil {
+			return false, err
+		}
+		resp := SchedSig{Seq: m.Seq}
+		if n.peer == nil {
+			resp.Err = "node has no setup"
+		} else if sigs := n.peer.SchedSignals(); sigs == nil {
+			resp.Err = "scheduling is off"
+		} else {
+			resp = schedSigFrom(m.Seq, sigs)
+		}
+		return false, n.reply(conn, frameSchedSig, resp.encode())
+	case frameSchedUpdate:
+		m, err := decodeSchedUpdate(payload)
+		if err != nil {
+			return false, err
+		}
+		resp := Ack{Seq: m.Seq}
+		if n.peer == nil {
+			resp.Err = "node has no setup"
+		} else if aerr := n.peer.ApplySchedule(toInts(m.Levels)); aerr != nil {
+			resp.Err = aerr.Error()
+		}
+		return false, n.reply(conn, frameAck, resp.encode())
 	case frameShutdown:
 		n.reply(conn, frameAck, Ack{}.encode())
 		return true, nil

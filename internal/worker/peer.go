@@ -6,6 +6,7 @@ import (
 
 	"scgnn/internal/dist"
 	"scgnn/internal/graph"
+	"scgnn/internal/sched"
 	"scgnn/internal/tensor"
 )
 
@@ -48,6 +49,10 @@ func NewPeer(g *graph.Graph, part []int, nparts, me int, cfg dist.Config) (*Peer
 	}
 	c := newClusterState(g, part, nparts, cfg.Semantic, cfg.Plan)
 	c.applyConfig(cfg)
+	// A transport-driven replica never advances its own schedule: the
+	// coordinator runs the decision function on merged signals and pushes
+	// levels through ApplySchedule before each epoch frame.
+	c.schedExternal = true
 	return &Peer{c: c, me: me}, nil
 }
 
@@ -77,6 +82,20 @@ func (p *Peer) StartEvalEpoch(epoch int) { p.c.StartEvalEpoch(epoch) }
 // same vector, computes the same dirty set, and reseeds the same pair
 // streams, so the replicas stay in lockstep.
 func (p *Peer) Repartition(part []int) ([]int, error) { return p.c.Repartition(part) }
+
+// SchedSignals reports this replica's per-pair scheduler signals (see
+// Cluster.SchedSignals); the coordinator merges all replicas' snapshots with
+// sched.MergeNodeSignals before deciding.
+func (p *Peer) SchedSignals() []sched.Signals { return p.c.SchedSignals() }
+
+// ApplySchedule installs coordinator-decided rung levels (see
+// Cluster.ApplySchedule). Must arrive between rounds — the coordinator sends
+// it before each epoch frame.
+func (p *Peer) ApplySchedule(levels []int) error { return p.c.ApplySchedule(levels) }
+
+// ScheduleLevels returns the current rung levels (nil when scheduling is
+// off).
+func (p *Peer) ScheduleLevels() []int { return p.c.ScheduleLevels() }
 
 // Round executes one aggregate round for this peer: the boundary-first local
 // schedule, one encoded frame handed to send per peer (ascending, skipping
@@ -292,6 +311,12 @@ type PairStreamState struct {
 	SamplerDraws int64
 	NodeState    uint64
 	EF           map[int64][]float64
+	// Scheduler-visible cumulative counters (zero when the pair runs no
+	// adaptive quantizer / error feedback): restoring them keeps a resumed
+	// run's schedule decisions bit-equal to an undisturbed one.
+	AdaptiveBitsSum int64
+	AdaptiveCalls   int64
+	EFCorrected     int64
 }
 
 // PeerState is the peer's checkpointable runtime state: every pair's stream
@@ -305,6 +330,10 @@ type PeerState struct {
 	NParts int
 	// Pairs has nparts² entries (nil when no stateful method is configured).
 	Pairs []PairStreamState
+	// Levels is the variable-rate schedule's per-pair rung vector (nil when
+	// scheduling is off). Restore applies it before reseeding pair streams,
+	// so each stream is rebuilt under the rung it was captured on.
+	Levels []int32
 	// DelayFilled[r] marks aggregate-round slot r as holding a usable cached
 	// delta; DelayRows[r] is then the flattened own-row data
 	// (len(own)×DelayCols[r]), in ascending owned-node order. Columns are
@@ -332,7 +361,19 @@ func (p *Peer) State() *PeerState {
 			}
 			if ps.ef != nil {
 				st.Pairs[i].EF = ps.ef.Snapshot()
+				st.Pairs[i].EFCorrected = ps.ef.Corrected
 			}
+			if ps.adaptive != nil {
+				st.Pairs[i].AdaptiveBitsSum = ps.adaptive.BitsSum
+				st.Pairs[i].AdaptiveCalls = ps.adaptive.Calls
+			}
+		}
+	}
+	if c.schedule != nil {
+		lv := c.schedule.Levels()
+		st.Levels = make([]int32, len(lv))
+		for i, v := range lv {
+			st.Levels[i] = int32(v)
 		}
 	}
 	if len(c.delayFilled) > 0 {
@@ -372,6 +413,23 @@ func (p *Peer) Restore(st *PeerState) error {
 		return fmt.Errorf("worker: peer state has %d pair streams, cluster has %d (method config mismatch)",
 			len(st.Pairs), len(c.pairs))
 	}
+	if c.schedule != nil {
+		// The rung vector must land before the reseed loop below: reseedPair
+		// derives each pair's sampler/quantizer/EF gates from its rung.
+		if len(st.Levels) != c.nparts*c.nparts {
+			return fmt.Errorf("worker: peer state has %d schedule levels, cluster has %d pairs (sched config mismatch)",
+				len(st.Levels), c.nparts*c.nparts)
+		}
+		lv := make([]int, len(st.Levels))
+		for i, v := range st.Levels {
+			lv[i] = int(v)
+		}
+		if _, err := c.schedule.SetLevels(lv); err != nil {
+			return fmt.Errorf("worker: peer state: %w", err)
+		}
+	} else if st.Levels != nil {
+		return errors.New("worker: peer state carries schedule levels but scheduling is off (sched config mismatch)")
+	}
 	for i := range c.pairs {
 		c.reseedPair(i)
 		ps := &c.pairs[i]
@@ -383,6 +441,11 @@ func (p *Peer) Restore(st *PeerState) error {
 		}
 		if ps.ef != nil {
 			ps.ef.Restore(st.Pairs[i].EF)
+			ps.ef.Corrected = st.Pairs[i].EFCorrected
+		}
+		if ps.adaptive != nil {
+			ps.adaptive.BitsSum = st.Pairs[i].AdaptiveBitsSum
+			ps.adaptive.Calls = st.Pairs[i].AdaptiveCalls
 		}
 	}
 	c.delayFilled = append([]bool(nil), st.DelayFilled...)

@@ -84,6 +84,7 @@ import (
 	"scgnn/internal/core"
 	"scgnn/internal/dist"
 	"scgnn/internal/graph"
+	"scgnn/internal/sched"
 	"scgnn/internal/simnet"
 	"scgnn/internal/tensor"
 	"scgnn/internal/wire"
@@ -156,6 +157,16 @@ type Cluster struct {
 	// rounds, so the state needs no locking.
 	pairs []pairState
 
+	// schedule holds the variable-rate communication schedule (nil when
+	// disabled): reseedPair reads each pair's current rung from it, and pairs
+	// is always non-nil while it is set (every rung below the base carries
+	// stateful compression). schedExternal marks a transport-driven replica
+	// (a Peer): its schedule advances only through ApplySchedule — the
+	// coordinator runs the decision function and broadcasts levels — never
+	// through StartEpoch.
+	schedule      *sched.Scheduler
+	schedExternal bool
+
 	// delaySlots[round] is the retained remote-delta matrix of one
 	// aggregate-round slot (layer × direction); delayFilled marks slots that
 	// hold a usable cached delta. Only the coordinator touches these outside
@@ -222,6 +233,10 @@ type pairState struct {
 	nodeSampler *compress.NodeSampler
 	adaptive    *compress.AdaptiveQuantizer
 	ef          *compress.ErrorFeedback
+	// bits is the pair's fixed quantization width under variable-rate
+	// scheduling (0 = unquantized rung); without a schedule the global
+	// quantBits applies and this field is ignored.
+	bits int
 }
 
 // groupCoinKey maps a plan-group index into the dedicated negative key space
@@ -320,14 +335,19 @@ func (c *Cluster) SetErrorFeedback(on bool) {
 
 // rebuildPairs derives the per-pair compression state from the current
 // method configuration. Setters call it, so configuration is
-// order-independent and always starts training from pristine streams.
+// order-independent and always starts training from pristine streams. With a
+// schedule installed the pair array always exists: rungs below the base
+// carry their own samplers and quantizers even when the base config has no
+// stateful method.
 func (c *Cluster) rebuildPairs() {
-	samplingOn := c.sampleRate > 0 && c.sampleRate < 1
-	adaptiveOn := c.adaptive && c.quantBits > 0
-	efOn := c.efOn && c.quantBits > 0
-	if !samplingOn && !adaptiveOn && !efOn {
-		c.pairs = nil
-		return
+	if c.schedule == nil {
+		samplingOn := c.sampleRate > 0 && c.sampleRate < 1
+		adaptiveOn := c.adaptive && c.quantBits > 0
+		efOn := c.efOn && c.quantBits > 0
+		if !samplingOn && !adaptiveOn && !efOn {
+			c.pairs = nil
+			return
+		}
 	}
 	c.pairs = make([]pairState, c.nparts*c.nparts)
 	for idx := range c.pairs {
@@ -335,12 +355,29 @@ func (c *Cluster) rebuildPairs() {
 	}
 }
 
-// reseedPair (re)creates one ordered pair's compression state from scratch —
-// the sampler restarts its DeriveSeed(seed, idx) stream, the adaptive
-// quantizer and error-feedback store drop their history — exactly like the
-// same pair in a freshly built cluster. Repartition calls this for dirty
-// pairs only, mirroring the engine's initPairState so the two runtimes stay
-// equivalent after a repartition.
+// pairSetting resolves the compression gates pair idx currently runs — the
+// scheduler's rung when variable-rate scheduling is on, else the cluster's
+// global method configuration — mirroring the engine's resolution exactly.
+func (c *Cluster) pairSetting(idx int) sched.Setting {
+	if c.schedule != nil {
+		return c.schedule.Setting(idx)
+	}
+	return sched.Setting{
+		SampleRate:  c.sampleRate,
+		SampleNodes: c.sampleNodes,
+		QuantBits:   c.quantBits,
+		Adaptive:    c.adaptive,
+		EF:          c.efOn,
+	}
+}
+
+// reseedPair (re)creates one ordered pair's compression state from scratch
+// under its current setting — the sampler restarts its DeriveSeed(seed, idx)
+// stream, the adaptive quantizer and error-feedback store drop their history
+// — exactly like the same pair in a freshly built cluster. Repartition calls
+// this for dirty pairs only, and the scheduler for pairs whose rung changed,
+// mirroring the engine's initPairState so the two runtimes stay equivalent
+// after any reconfiguration.
 func (c *Cluster) reseedPair(idx int) {
 	if c.pairs == nil {
 		return
@@ -350,23 +387,27 @@ func (c *Cluster) reseedPair(idx int) {
 	if idx/c.nparts == idx%c.nparts {
 		return
 	}
-	if c.sampleRate > 0 && c.sampleRate < 1 {
+	st := c.pairSetting(idx)
+	if st.SampleRate > 0 && st.SampleRate < 1 {
 		pairSeed := compress.DeriveSeed(c.seed, idx)
-		if c.sampleNodes {
-			ps.nodeSampler = compress.NewNodeSampler(c.sampleRate, pairSeed)
+		if st.SampleNodes {
+			ps.nodeSampler = compress.NewNodeSampler(st.SampleRate, pairSeed)
 		} else {
-			ps.sampler = compress.NewSampler(c.sampleRate, pairSeed)
+			ps.sampler = compress.NewSampler(st.SampleRate, pairSeed)
 		}
 	}
-	if c.adaptive && c.quantBits > 0 {
-		minBits := 2
-		if c.quantBits < minBits {
-			minBits = c.quantBits
+	if st.QuantBits > 0 && st.QuantBits < 32 {
+		ps.bits = st.QuantBits
+		if st.Adaptive {
+			minBits := 2
+			if st.QuantBits < minBits {
+				minBits = st.QuantBits
+			}
+			ps.adaptive = compress.NewAdaptiveQuantizer(minBits, st.QuantBits, 0)
 		}
-		ps.adaptive = compress.NewAdaptiveQuantizer(minBits, c.quantBits, 0)
-	}
-	if c.efOn && c.quantBits > 0 {
-		ps.ef = compress.NewErrorFeedback()
+		if st.EF {
+			ps.ef = compress.NewErrorFeedback()
+		}
 	}
 }
 
@@ -383,11 +424,78 @@ func (c *Cluster) pairAt(idx int) *pairState {
 // that keys error-feedback residuals and the delay cache, and advances the
 // delayed-transmission schedule to the given epoch (gnn.Train calls this
 // through the gnn.EpochMarker interface). Harmless when neither method is
-// on.
+// on. With variable-rate scheduling the boundary is also the decision point:
+// the scheduler reads every pair's signal snapshot, runs the pure decision
+// function, and pairs whose rung changed are reseeded from scratch — unless
+// the replica is transport-driven, in which case the coordinator decides and
+// broadcasts levels through ApplySchedule before releasing the epoch.
 func (c *Cluster) StartEpoch(epoch int) {
+	if c.schedule != nil && !c.schedExternal {
+		for _, idx := range c.schedule.Advance(epoch, c.SchedSignals()) {
+			c.reseedPair(idx)
+		}
+	}
 	c.epoch = epoch
 	c.round = 0
 	c.freshEval = false
+}
+
+// SchedSignals snapshots every pair's scheduler-visible counters (nil when
+// scheduling is off) under the sched package's signal contract: the integer
+// fields are exact on every runtime, the float fields are diagnostics. A
+// transport-driven replica reports its local snapshot; the coordinator
+// merges replicas with sched.Signals.Merge.
+func (c *Cluster) SchedSignals() []sched.Signals {
+	if c.schedule == nil {
+		return nil
+	}
+	sigs := make([]sched.Signals, len(c.pairs))
+	for idx := range c.pairs {
+		ps := &c.pairs[idx]
+		sg := &sigs[idx]
+		if ps.sampler != nil {
+			sg.Draws = ps.sampler.Draws()
+		}
+		if ps.adaptive != nil {
+			sg.BitsSum = ps.adaptive.BitsSum
+			sg.BitsCalls = ps.adaptive.Calls
+			sg.LastBits = ps.adaptive.LastBits
+		}
+		if ps.ef != nil {
+			sg.EFUnits = int64(ps.ef.Units())
+			sg.EFCorrected = ps.ef.Corrected
+			sg.ResidualNorm = ps.ef.ResidualNorm()
+		}
+	}
+	return sigs
+}
+
+// ScheduleLevels returns a copy of the current per-pair rung levels, or nil
+// when variable-rate scheduling is disabled.
+func (c *Cluster) ScheduleLevels() []int {
+	if c.schedule == nil {
+		return nil
+	}
+	return c.schedule.Levels()
+}
+
+// ApplySchedule installs coordinator-decided per-pair rung levels on a
+// transport-driven replica, reseeding every pair whose rung changed. Must be
+// called between rounds (the coordinator sends it before the epoch frame).
+// Returns an error when scheduling is off or the levels are malformed; the
+// cluster is unchanged on error.
+func (c *Cluster) ApplySchedule(levels []int) error {
+	if c.schedule == nil {
+		return errors.New("worker: ApplySchedule without a schedule")
+	}
+	changed, err := c.schedule.SetLevels(levels)
+	if err != nil {
+		return err
+	}
+	for _, idx := range changed {
+		c.reseedPair(idx)
+	}
+	return nil
 }
 
 // StartEvalEpoch prepares a measurement-only pass: like StartEpoch, but
@@ -560,7 +668,10 @@ func NewClusterFromConfig(g *graph.Graph, part []int, nparts int, cfg dist.Confi
 }
 
 // applyConfig maps a dist.Config onto the method setters with the engine's
-// exact gating, shared by NewClusterFromConfig and NewPeer.
+// exact gating, shared by NewClusterFromConfig and NewPeer. Variable-rate
+// scheduling is enabled last: the scheduler's ladder anneals toward the base
+// gates the setters just configured, and the final rebuild derives every
+// pair's state from its rung.
 func (c *Cluster) applyConfig(cfg dist.Config) {
 	if cfg.QuantBits > 0 && cfg.QuantBits < 32 {
 		c.SetQuantization(cfg.QuantBits)
@@ -572,6 +683,13 @@ func (c *Cluster) applyConfig(cfg dist.Config) {
 	}
 	if cfg.DelayPeriod > 1 {
 		c.SetDelay(cfg.DelayPeriod)
+	}
+	if cfg.Sched.Enabled {
+		// Rung streams derive from cfg.Seed even when the base has no
+		// sampling (where no setter recorded the seed).
+		c.seed = cfg.Seed
+		c.schedule = sched.New(cfg.Sched, cfg.BaseSetting(), cfg.Seed, c.nparts*c.nparts)
+		c.rebuildPairs()
 	}
 }
 
@@ -851,21 +969,27 @@ func (c *Cluster) encodePeer(me, peer int, h *tensor.Matrix, backward bool) []by
 // index within (pair, round); together with the round slot they key the
 // residual store exactly like the analytic engine's RoundUnitKey scheme.
 func (c *Cluster) addMsg(me int, batch *wire.Batch, m *wire.Message, pairIdx int, unit int64) {
-	if c.quantBits <= 0 {
-		batch.Add(m)
-		return
-	}
 	ps := c.pairAt(pairIdx)
+	bits := c.quantBits
 	var ef *compress.ErrorFeedback
 	var aq *compress.AdaptiveQuantizer
 	if ps != nil {
 		ef, aq = ps.ef, ps.adaptive
+		if c.schedule != nil {
+			// Under variable-rate scheduling the width is the pair's rung,
+			// not the global configuration (and 0 means this rung ships raw).
+			bits = ps.bits
+		}
+	}
+	if bits <= 0 {
+		batch.Add(m)
+		return
 	}
 	if ef == nil {
 		if aq != nil {
 			batch.AddAdaptive(m, aq.ChooseBits(m.Payload))
 		} else {
-			batch.AddQuantized(m, c.quantBits)
+			batch.AddQuantized(m, bits)
 		}
 		return
 	}
@@ -880,7 +1004,7 @@ func (c *Cluster) addMsg(me int, batch *wire.Batch, m *wire.Message, pairIdx int
 		// engine's Roundtrip sees after its own PreCompress.
 		batch.AddAdaptiveRoundtrip(m, aq.ChooseBits(m.Payload), sent)
 	} else {
-		batch.AddQuantizedRoundtrip(m, c.quantBits, sent)
+		batch.AddQuantizedRoundtrip(m, bits, sent)
 	}
 	ef.PostCompress(key, trueVals, sent)
 }

@@ -100,8 +100,8 @@ func TestPlanCacheFacade(t *testing.T) {
 
 func TestExperimentFacade(t *testing.T) {
 	ids := scgnn.ExperimentIDs()
-	if len(ids) != 24 { // 12 paper experiments + 11 ablations + the scale study
-		t.Fatalf("experiment count = %d, want 24", len(ids))
+	if len(ids) != 25 { // 12 paper experiments + 12 ablations + the scale study
+		t.Fatalf("experiment count = %d, want 25", len(ids))
 	}
 	out := scgnn.RunExperiment("fig4a", 1, 5)
 	if !strings.Contains(out, "fig4a") {
